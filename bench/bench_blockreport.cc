@@ -1,0 +1,114 @@
+// §7.7: block report performance. The paper: 150 datanodes each report
+// 100K blocks; HopsFS processes 30 reports/s with 30 namenodes while HDFS
+// manages 60/s -- HopsFS reads a lot of metadata over the network per
+// report, but needs full reports far less often because block locations are
+// persistent in the database.
+//
+// This benchmark measures the real HopsFS engine processing scaled-down
+// reports (default 150 datanodes x 2K blocks; HOPS_BENCH_FULL=1 for 100K)
+// and compares per-report work against an in-memory HDFS-style block map.
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "hopsfs/mini_cluster.h"
+#include "util/clock.h"
+#include "workload/namespace_gen.h"
+
+int main() {
+  using namespace hops;
+  const bool full = std::getenv("HOPS_BENCH_FULL") != nullptr;
+  const int num_dns = 15;                        // scaled from 150
+  const int blocks_per_dn = full ? 100000 : 2000;  // scaled from 100K
+
+  fs::MiniClusterOptions options;
+  options.db.num_datanodes = 12;
+  options.db.replication = 2;
+  options.db.partitions_per_table = 48;
+  options.num_namenodes = 2;
+  options.num_datanodes = num_dns;
+  auto cluster = *fs::MiniCluster::Start(options);
+
+  // Populate: files of 1 block each, spread across the datanodes.
+  int64_t total_blocks = static_cast<int64_t>(num_dns) * blocks_per_dn;
+  wl::NamespaceShape shape;
+  shape.files_per_dir = 128;
+  shape.top_level_dirs = 32;
+  auto ns = wl::PlanNamespace(shape, total_blocks, 13);
+  wl::BulkLoader loader(&cluster->db(), &cluster->schema(), &cluster->fs_config());
+  if (!loader.Load(ns, 1.0, 0, 13).ok()) return 1;
+
+  // Assign block replicas to datanodes round-robin (1 replica per block to
+  // keep the scaled run tractable) by registering them via block reports'
+  // repair path: instead, insert replica rows directly.
+  {
+    auto tx = cluster->db().Begin();
+    auto rows = tx->FullTableScan(cluster->schema().block_lookup);
+    int i = 0;
+    auto wtx = cluster->db().Begin();
+    for (const auto& row : *rows) {
+      fs::BlockId block = row[fs::col::kLookupBlock].i64();
+      fs::InodeId inode = row[fs::col::kLookupInode].i64();
+      int dn_index = i % num_dns;
+      cluster->datanode(dn_index).StoreBlock(block);
+      fs::Replica rep{inode, block, cluster->datanode(dn_index).id(),
+                      fs::ReplicaState::kFinalized};
+      (void)wtx->Insert(cluster->schema().replicas, fs::ToRow(rep));
+      if (++i % 512 == 0) {
+        (void)wtx->Commit();
+        wtx = cluster->db().Begin();
+      }
+    }
+    (void)wtx->Commit();
+  }
+
+  std::printf("# Block report performance (§7.7), %d datanodes x %d blocks%s\n",
+              num_dns, blocks_per_dn, full ? "" : " (50x scaled; HOPS_BENCH_FULL=1)");
+
+  // HopsFS: process every datanode's report; measure wall time.
+  int64_t t0 = MonotonicMicros();
+  int64_t rows_read_before = cluster->db().StatsSnapshot().rows_read;
+  for (int d = 0; d < num_dns; ++d) {
+    auto& dn = cluster->datanode(d);
+    auto result = cluster->namenode(d % 2).ProcessBlockReport(dn.id(),
+                                                              dn.GenerateBlockReport());
+    if (!result.ok()) return 1;
+  }
+  double hops_seconds = static_cast<double>(MonotonicMicros() - t0) / 1e6;
+  int64_t rows_read =
+      static_cast<int64_t>(cluster->db().StatsSnapshot().rows_read) - rows_read_before;
+  double hops_reports_per_sec = num_dns / hops_seconds;
+
+  // HDFS-style baseline: validate each report against an in-memory block
+  // map (hash lookups only, no network).
+  std::unordered_map<fs::BlockId, fs::InodeId> block_map;
+  {
+    auto tx = cluster->db().Begin();
+    auto rows = tx->FullTableScan(cluster->schema().block_lookup);
+    for (const auto& row : *rows) {
+      block_map[row[fs::col::kLookupBlock].i64()] = row[fs::col::kLookupInode].i64();
+    }
+  }
+  t0 = MonotonicMicros();
+  int64_t matched = 0;
+  for (int d = 0; d < num_dns; ++d) {
+    for (fs::BlockId b : cluster->datanode(d).GenerateBlockReport()) {
+      matched += block_map.count(b) ? 1 : 0;
+    }
+  }
+  double hdfs_seconds = static_cast<double>(MonotonicMicros() - t0) / 1e6;
+  double hdfs_reports_per_sec = num_dns / std::max(hdfs_seconds, 1e-9);
+
+  std::printf("\nHopsFS : %6.1f reports/s (2 namenodes), %lld DB rows read per report\n",
+              hops_reports_per_sec,
+              static_cast<long long>(rows_read / num_dns));
+  std::printf("HDFS   : %6.1f reports/s (in-memory block map, %lld blocks matched)\n",
+              hdfs_reports_per_sec, static_cast<long long>(matched));
+  std::printf("ratio  : HDFS processes %.1fx more reports/s per namenode\n",
+              hdfs_reports_per_sec / hops_reports_per_sec);
+  std::printf("\npaper reference: HopsFS 30 reports/s (30 NNs) vs HDFS 60 reports/s --\n");
+  std::printf("HDFS is ~2x faster per report because HopsFS reads block metadata over\n");
+  std::printf("the network; but HopsFS persists block locations and needs full reports\n");
+  std::printf("far less often (the paper sizes 6-hourly reports for an exabyte cluster).\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Shared setup for the figure/table benchmarks: build a capture cluster,
+// bulk-load a namespace with the paper's shape statistics, and record
+// database-access trace pools that the simulator replays (see DESIGN.md §2).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+
+#include "sim/model.h"
+#include "workload/driver.h"
+#include "workload/trace.h"
+
+namespace hops::bench {
+
+struct CaptureEnv {
+  std::unique_ptr<hops::fs::MiniCluster> cluster;
+  wl::GeneratedNamespace ns;
+  wl::TracePools pools;
+};
+
+inline CaptureEnv MakeCapture(const wl::OpMix& mix, int64_t files = 8000, int top_dirs = 32,
+                              int samples_per_op = 16, const char* hotspot_base = nullptr,
+                              uint64_t seed = 11) {
+  CaptureEnv env;
+  hops::fs::MiniClusterOptions options;
+  options.db.num_datanodes = 12;  // §7.1 capture topology
+  options.db.replication = 2;
+  options.db.partitions_per_table = 48;
+  options.num_namenodes = 1;
+  options.num_datanodes = 3;
+  env.cluster = *hops::fs::MiniCluster::Start(options);
+  wl::NamespaceShape shape;
+  shape.top_level_dirs = top_dirs;
+  env.ns = hotspot_base != nullptr
+               ? wl::PlanNamespaceUnder(hotspot_base, shape, files, seed)
+               : wl::PlanNamespace(shape, files, seed);
+  if (hotspot_base != nullptr) {
+    auto client = env.cluster->NewClient(hops::fs::NamenodePolicy::kSticky, "mk");
+    (void)client.Mkdirs(hotspot_base);
+  }
+  wl::BulkLoader loader(&env.cluster->db(), &env.cluster->schema(),
+                        &env.cluster->fs_config());
+  auto loaded = loader.Load(env.ns, 1.3, 0, seed);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "bulk load failed: %s\n", loaded.status().ToString().c_str());
+    std::abort();
+  }
+  env.pools = wl::CollectTraces(*env.cluster, env.ns, mix, samples_per_op, seed);
+  return env;
+}
+
+// Enough closed-loop clients to saturate the configured topology.
+inline int SaturatingClients(int num_namenodes) {
+  return std::min(6000, std::max(128, num_namenodes * 90));
+}
+
+}  // namespace hops::bench

@@ -1,0 +1,41 @@
+// Table 1: relative frequency of file system operations (Spotify trace).
+// Validates that the workload generator reproduces the published mix, and
+// prints expected vs. sampled frequencies.
+#include <cstdio>
+#include <map>
+
+#include "util/rng.h"
+#include "workload/spec.h"
+
+int main() {
+  using namespace hops::wl;
+  OpMix mix = OpMix::Spotify();
+  OpSampler sampler(mix);
+  hops::Rng rng(1);
+  constexpr int kSamples = 2000000;
+  std::map<OpType, int64_t> counts;
+  std::map<OpType, int64_t> dir_counts;
+  for (int i = 0; i < kSamples; ++i) {
+    auto [op, on_dir] = sampler.Sample(rng);
+    counts[op]++;
+    if (on_dir) dir_counts[op]++;
+  }
+  std::printf("Table 1: relative frequency of file system operations (Spotify)\n");
+  std::printf("%-18s %10s %10s %14s\n", "operation", "paper %", "sampled %", "dir-share %");
+  double read_total = 0;
+  for (const auto& e : mix.entries) {
+    double sampled = 100.0 * static_cast<double>(counts[e.op]) / kSamples;
+    double dir_share =
+        counts[e.op] > 0
+            ? 100.0 * static_cast<double>(dir_counts[e.op]) / static_cast<double>(counts[e.op])
+            : 0.0;
+    std::printf("%-18s %10.2f %10.2f %14.1f\n", std::string(OpTypeName(e.op)).c_str(),
+                e.pct, sampled, dir_share);
+    if (e.op == OpType::kList || e.op == OpType::kStat || e.op == OpType::kRead ||
+        e.op == OpType::kContentSummary) {
+      read_total += sampled;
+    }
+  }
+  std::printf("%-18s %10.2f %10.2f\n", "total read ops", 94.74, read_total);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// §9 "External Metadata Implications": because HopsFS metadata lives in a
+// commodity database instead of namenode heap objects, it can be queried
+// ad hoc. This example runs online analytics straight against the metadata
+// tables while the file system serves traffic: per-owner usage, largest
+// directories, block-size distribution.
+//
+//   $ ./examples/metadata_analytics
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "hopsfs/mini_cluster.h"
+#include "workload/namespace_gen.h"
+
+int main() {
+  using namespace hops;
+
+  fs::MiniClusterOptions options;
+  options.db.num_datanodes = 4;
+  options.db.replication = 2;
+  options.num_namenodes = 2;
+  options.num_datanodes = 3;
+  auto cluster = *fs::MiniCluster::Start(options);
+  fs::Client client = cluster->NewClient(fs::NamenodePolicy::kRoundRobin, "app");
+
+  // Build a namespace with several owners.
+  wl::NamespaceShape shape;
+  shape.top_level_dirs = 6;
+  shape.name_length = 12;
+  auto ns = wl::PlanNamespace(shape, 600, 5);
+  wl::BulkLoader loader(&cluster->db(), &cluster->schema(), &cluster->fs_config());
+  if (!loader.Load(ns, 1.3, 0, 5).ok()) return 1;
+  const char* users[] = {"alice", "bob", "carol"};
+  for (size_t i = 0; i < ns.files.size(); i += 7) {
+    if (!client.SetOwner(ns.files[i], users[i % 3], "users").ok()) return 1;
+  }
+
+  // --- Query 1: namespace usage per owner (a full scan, the kind of job
+  // HDFS admins write offline image-parsing tools for).
+  auto tx = cluster->db().Begin();
+  auto rows = *tx->FullTableScan(cluster->schema().inodes);
+  std::map<std::string, std::pair<int64_t, int64_t>> by_owner;  // files, bytes
+  std::map<int64_t, int64_t> children_of;
+  for (const auto& row : rows) {
+    fs::Inode inode = fs::InodeFromRow(row);
+    if (!inode.is_dir) {
+      auto& [files, bytes] = by_owner[inode.owner];
+      files++;
+      bytes += inode.size;
+    }
+    children_of[inode.parent_id]++;
+  }
+  std::printf("namespace usage by owner (SELECT owner, COUNT(*), SUM(size) ...):\n");
+  for (const auto& [owner, stats] : by_owner) {
+    std::printf("  %-8s %6lld files %10lld bytes\n", owner.c_str(),
+                static_cast<long long>(stats.first), static_cast<long long>(stats.second));
+  }
+
+  // --- Query 2: fattest directories (GROUP BY parent_id ORDER BY count).
+  std::vector<std::pair<int64_t, int64_t>> fat(children_of.begin(), children_of.end());
+  std::sort(fat.begin(), fat.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::printf("\ntop directories by child count:\n");
+  for (size_t i = 0; i < std::min<size_t>(5, fat.size()); ++i) {
+    std::printf("  inode %-6lld %lld children\n", static_cast<long long>(fat[i].first),
+                static_cast<long long>(fat[i].second));
+  }
+
+  // --- Query 3: block statistics from the normalized block table.
+  auto block_rows = *tx->FullTableScan(cluster->schema().blocks);
+  int64_t blocks = static_cast<int64_t>(block_rows.size());
+  int64_t bytes = 0;
+  for (const auto& row : block_rows) bytes += row[fs::col::kBlockBytes].i64();
+  std::printf("\nblock table: %lld blocks, %.1f average bytes (paper: ~1.3 blocks/file)\n",
+              static_cast<long long>(blocks),
+              blocks ? static_cast<double>(bytes) / static_cast<double>(blocks) : 0.0);
+  std::printf("blocks per file: %.2f\n",
+              static_cast<double>(blocks) / static_cast<double>(ns.files.size()));
+
+  // The file system kept serving while we scanned: prove it.
+  if (!client.WriteFile("/while_analytics_ran", 1, 64).ok()) return 1;
+  std::printf("\nconcurrent file system write during analytics: ok\n");
+  std::printf("(in production Hops, the same tables replicate asynchronously to a\n"
+              " MySQL slave / Elasticsearch for free-text search -- §9)\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Runs the paper's Spotify workload mix (Table 1) against a real in-process
+// HopsFS cluster with multiple client threads, then prints throughput and
+// per-operation latency -- the miniature analogue of §7.2.
+//
+//   $ ./examples/spotify_workload
+#include <cstdio>
+
+#include "workload/driver.h"
+
+int main() {
+  using namespace hops;
+
+  fs::MiniClusterOptions options;
+  options.db.num_datanodes = 4;
+  options.db.replication = 2;
+  options.num_namenodes = 3;
+  options.num_datanodes = 3;
+  auto cluster = *fs::MiniCluster::Start(options);
+
+  // Namespace with the paper's shape statistics (§7.2): ~16 files and 2
+  // subdirectories per directory.
+  wl::NamespaceShape shape;
+  shape.top_level_dirs = 8;
+  auto ns = wl::PlanNamespace(shape, 3000, 42);
+  wl::BulkLoader loader(&cluster->db(), &cluster->schema(), &cluster->fs_config());
+  auto loaded = loader.Load(ns, 1.3, 0, 42);
+  if (!loaded.ok()) return 1;
+  std::printf("namespace: %zu dirs, %zu files\n", ns.dirs.size(), ns.files.size());
+
+  auto mix = wl::OpMix::Spotify();
+  wl::DriverOptions opts;
+  opts.num_threads = 4;
+  opts.duration = std::chrono::milliseconds(3000);
+  auto report = wl::RunDriver(
+      [&](int t) {
+        return wl::MakeHopsAdapter(cluster->NewClient(fs::NamenodePolicy::kRoundRobin,
+                                                      "worker" + std::to_string(t),
+                                                      100 + t));
+      },
+      ns, mix, opts);
+
+  std::printf("\n%llu ops in %.1fs = %.0f ops/sec (failures: %llu)\n",
+              static_cast<unsigned long long>(report.ops), report.wall_seconds,
+              report.ops_per_second, static_cast<unsigned long long>(report.failures));
+  std::printf("\n%-18s %10s %12s %12s %12s\n", "operation", "count", "mean (us)",
+              "p99 (us)", "share %");
+  for (const auto& [op, hist] : report.latency) {
+    std::printf("%-18s %10llu %12.0f %12.0f %11.2f%%\n",
+                std::string(wl::OpTypeName(op)).c_str(),
+                static_cast<unsigned long long>(hist.count()), hist.Mean(),
+                hist.Percentile(0.99),
+                100.0 * static_cast<double>(hist.count()) / static_cast<double>(report.ops));
+  }
+  std::printf("\n(list/stat/read should account for ~95%% of operations, as in Table 1)\n");
+  return 0;
+}

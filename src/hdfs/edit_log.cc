@@ -1,0 +1,63 @@
+#include "hdfs/edit_log.h"
+
+namespace hops::hdfs {
+
+EditLog::EditLog(int num_journal_nodes)
+    : journal_alive_(static_cast<size_t>(num_journal_nodes), true) {}
+
+hops::Status EditLog::Append(EditEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int alive = 0;
+  for (bool a : journal_alive_) alive += a ? 1 : 0;
+  if (alive * 2 <= static_cast<int>(journal_alive_.size())) {
+    return hops::Status::Unavailable("journal quorum lost");
+  }
+  entry.txid = next_txid_++;
+  entries_.push_back(std::move(entry));
+  return hops::Status::Ok();
+}
+
+void EditLog::KillJournal(int i) {
+  std::lock_guard<std::mutex> lock(mu_);
+  journal_alive_[static_cast<size_t>(i)] = false;
+}
+
+void EditLog::RestartJournal(int i) {
+  std::lock_guard<std::mutex> lock(mu_);
+  journal_alive_[static_cast<size_t>(i)] = true;
+}
+
+bool EditLog::QuorumAlive() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int alive = 0;
+  for (bool a : journal_alive_) alive += a ? 1 : 0;
+  return alive * 2 > static_cast<int>(journal_alive_.size());
+}
+
+int EditLog::num_alive_journals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int alive = 0;
+  for (bool a : journal_alive_) alive += a ? 1 : 0;
+  return alive;
+}
+
+uint64_t EditLog::last_txid() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_txid_ - 1;
+}
+
+std::vector<EditEntry> EditLog::ReadSince(uint64_t after_txid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<EditEntry> out;
+  for (const auto& e : entries_) {
+    if (e.txid > after_txid) out.push_back(e);
+  }
+  return out;
+}
+
+size_t EditLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace hops::hdfs

@@ -1,0 +1,61 @@
+// HDFS quorum journal (paper §2.1, Figure 1): the active namenode logs every
+// namespace change to 2f+1 journal nodes and needs a majority ack. Losing
+// the quorum shuts the namenode down. The standby tails this log.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hops::hdfs {
+
+struct EditEntry {
+  enum class Kind : uint8_t {
+    kMkdir,
+    kCreate,
+    kAddBlock,
+    kComplete,
+    kRename,
+    kDelete,
+    kSetPerm,
+    kSetOwner,
+    kSetReplication,
+    kSetQuota,
+  };
+  Kind kind{};
+  std::string path;
+  std::string extra;   // rename destination / owner / holder
+  int64_t arg1 = 0;    // perm / replication / bytes / ns quota
+  int64_t arg2 = 0;    // ss quota
+  uint64_t txid = 0;
+};
+
+class EditLog {
+ public:
+  explicit EditLog(int num_journal_nodes);
+
+  // Appends an entry; requires a journal quorum. Assigns the txid.
+  hops::Status Append(EditEntry entry);
+
+  void KillJournal(int i);
+  void RestartJournal(int i);
+  bool QuorumAlive() const;
+  int num_journal_nodes() const { return static_cast<int>(journal_alive_.size()); }
+  int num_alive_journals() const;
+
+  uint64_t last_txid() const;
+  // Entries with txid in (after_txid, last]; the standby's tailing read.
+  std::vector<EditEntry> ReadSince(uint64_t after_txid) const;
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<bool> journal_alive_;
+  std::vector<EditEntry> entries_;
+  uint64_t next_txid_ = 1;
+};
+
+}  // namespace hops::hdfs

@@ -1,0 +1,50 @@
+#include "hdfs/ha_cluster.h"
+
+namespace hops::hdfs {
+
+HaCluster::HaCluster(Options options)
+    : options_(options), journal_(options.journal_nodes) {
+  active_ = std::make_unique<Namesystem>(options_.fs, &journal_);
+  standby_ = std::make_unique<Namesystem>(options_.fs, nullptr);
+}
+
+Namesystem* HaCluster::active() {
+  if (active_dead_ && !promoted_) return nullptr;
+  return active_.get();
+}
+
+void HaCluster::KillActive() {
+  active_dead_ = true;
+  promoted_ = false;
+}
+
+size_t HaCluster::TailJournal() {
+  if (standby_ == nullptr) return 0;
+  auto edits = journal_.ReadSince(standby_applied_txid_);
+  for (const auto& e : edits) {
+    standby_->ApplyEdit(e);
+    standby_applied_txid_ = e.txid;
+  }
+  return edits.size();
+}
+
+size_t HaCluster::FailoverToStandby() {
+  if (!active_dead_ || standby_ == nullptr) return 0;
+  // Catch up on everything the dead active managed to log. Anything it
+  // acknowledged but did not log is lost -- HDFS' documented failover
+  // weakness (§2.1).
+  size_t replayed = TailJournal();
+  standby_->AttachJournal(&journal_);
+  active_ = std::move(standby_);
+  standby_ = nullptr;
+  active_dead_ = false;
+  promoted_ = true;
+  return replayed;
+}
+
+void HaCluster::StartNewStandby() {
+  standby_ = std::make_unique<Namesystem>(options_.fs, nullptr);
+  standby_applied_txid_ = 0;
+}
+
+}  // namespace hops::hdfs

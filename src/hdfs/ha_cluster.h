@@ -1,0 +1,50 @@
+// HDFS high-availability pair (paper §2.1, Figure 1): an active namenode, a
+// standby tailing the quorum journal, journal nodes, and a ZooKeeper-style
+// failover coordinator that detects active death and promotes the standby
+// after a failover delay. During failover no metadata operation can be
+// served -- the downtime HopsFS eliminates (§7.6.1).
+#pragma once
+
+#include <memory>
+
+#include "hdfs/namesystem.h"
+
+namespace hops::hdfs {
+
+class HaCluster {
+ public:
+  struct Options {
+    HdfsConfig fs;
+    int journal_nodes = 3;
+  };
+
+  explicit HaCluster(Options options);
+
+  // The namesystem currently serving requests; nullptr during failover
+  // (active dead, standby not yet promoted).
+  Namesystem* active();
+  EditLog& journal() { return journal_; }
+
+  bool InFailover() const { return active_dead_ && !promoted_; }
+
+  // Kills the active namenode process.
+  void KillActive();
+  // The coordinator detected the death: the standby replays any outstanding
+  // journal entries and takes over. Returns the number of replayed edits.
+  size_t FailoverToStandby();
+  // The standby periodically tails the journal in the background; one tick.
+  size_t TailJournal();
+  // Boots a fresh standby (after a failover consumed the previous one).
+  void StartNewStandby();
+
+ private:
+  Options options_;
+  EditLog journal_;
+  std::unique_ptr<Namesystem> active_;
+  std::unique_ptr<Namesystem> standby_;
+  uint64_t standby_applied_txid_ = 0;
+  bool active_dead_ = false;
+  bool promoted_ = false;
+};
+
+}  // namespace hops::hdfs

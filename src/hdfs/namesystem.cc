@@ -1,0 +1,488 @@
+#include "hdfs/namesystem.h"
+
+#include <algorithm>
+
+#include "hopsfs/path.h"
+#include "util/clock.h"
+
+namespace hops::hdfs {
+
+using hops::fs::IsPrefixPath;
+using hops::fs::SplitPath;
+
+Namesystem::Namesystem(HdfsConfig config, EditLog* journal)
+    : config_(config), journal_(journal) {
+  root_ = std::make_unique<Node>();
+  root_->is_dir = true;
+  root_->name = "";
+}
+
+Namesystem::~Namesystem() = default;
+
+Namesystem::Node* Namesystem::Find(const std::string& path) const {
+  auto parts = SplitPath(path);
+  if (!parts.ok()) return nullptr;
+  Node* cur = root_.get();
+  for (const auto& part : *parts) {
+    if (!cur->is_dir) return nullptr;
+    auto it = cur->children.find(part);
+    if (it == cur->children.end()) return nullptr;
+    cur = it->second.get();
+  }
+  return cur;
+}
+
+std::pair<Namesystem::Node*, std::string> Namesystem::LocateParent(
+    const std::string& path) const {
+  auto parts = SplitPath(path);
+  if (!parts.ok() || parts->empty()) return {nullptr, ""};
+  Node* cur = root_.get();
+  for (size_t i = 0; i + 1 < parts->size(); ++i) {
+    if (!cur->is_dir) return {nullptr, ""};
+    auto it = cur->children.find((*parts)[i]);
+    if (it == cur->children.end()) return {nullptr, ""};
+    cur = it->second.get();
+  }
+  return {cur, parts->back()};
+}
+
+FileStatus Namesystem::StatusFor(const Node* node, std::string path) {
+  FileStatus st;
+  st.path = std::move(path);
+  st.name = node->name;
+  st.is_dir = node->is_dir;
+  st.perm = node->perm;
+  st.owner = node->owner;
+  st.group = node->group;
+  st.mtime = node->mtime;
+  st.size = node->FileBytes();
+  st.replication = node->replication;
+  st.num_blocks = static_cast<int64_t>(node->blocks.size());
+  return st;
+}
+
+hops::Status Namesystem::CheckQuota(Node* parent, int64_t ns_delta,
+                                    int64_t ss_delta) const {
+  for (Node* cur = parent; cur != nullptr; cur = cur->parent) {
+    if (!cur->has_quota) continue;
+    if (cur->ns_quota >= 0 && cur->ns_used + ns_delta > cur->ns_quota) {
+      return hops::Status::QuotaExceeded("namespace quota of " + cur->name);
+    }
+    if (cur->ss_quota >= 0 && cur->ss_used + ss_delta > cur->ss_quota) {
+      return hops::Status::QuotaExceeded("storage quota of " + cur->name);
+    }
+  }
+  return hops::Status::Ok();
+}
+
+void Namesystem::ChargeQuota(Node* node, int64_t ns_delta, int64_t ss_delta) {
+  for (Node* cur = node; cur != nullptr; cur = cur->parent) {
+    if (!cur->has_quota) continue;
+    cur->ns_used += ns_delta;
+    cur->ss_used += ss_delta;
+  }
+}
+
+void Namesystem::SubtreeTotals(const Node* node, int64_t* inodes, int64_t* bytes) {
+  *inodes += 1;
+  if (!node->is_dir) {
+    *bytes += node->FileBytes() * node->replication;
+    return;
+  }
+  for (const auto& [name, child] : node->children) {
+    SubtreeTotals(child.get(), inodes, bytes);
+  }
+}
+
+hops::Status Namesystem::LogEdit(EditEntry entry) {
+  // HDFS releases the namesystem lock before syncing the edit to the quorum
+  // (§2.1); callers invoke this after unlocking. A standby namesystem has no
+  // journal attached and never logs (it only replays).
+  if (journal_ == nullptr) return hops::Status::Ok();
+  return journal_->Append(std::move(entry));
+}
+
+hops::Status Namesystem::Mkdirs(const std::string& path) {
+  HOPS_ASSIGN_OR_RETURN(parts, SplitPath(path));
+  {
+    std::unique_lock<std::shared_mutex> lock(lock_);
+    Node* cur = root_.get();
+    for (const auto& part : parts) {
+      if (!cur->is_dir) return hops::Status::NotDirectory(cur->name);
+      auto it = cur->children.find(part);
+      if (it != cur->children.end()) {
+        cur = it->second.get();
+        continue;
+      }
+      HOPS_RETURN_IF_ERROR(CheckQuota(cur, +1, 0));
+      auto node = std::make_unique<Node>();
+      node->is_dir = true;
+      node->name = part;
+      node->mtime = hops::NowMicros();
+      node->parent = cur;
+      Node* raw = node.get();
+      cur->children[part] = std::move(node);
+      cur->mtime = hops::NowMicros();
+      ChargeQuota(cur, +1, 0);
+      num_inodes_++;
+      cur = raw;
+    }
+    if (!cur->is_dir) return hops::Status::NotDirectory(parts.back());
+  }
+  return LogEdit({EditEntry::Kind::kMkdir, path, "", 0, 0, 0});
+}
+
+hops::Status Namesystem::Create(const std::string& path, const std::string& holder) {
+  HOPS_ASSIGN_OR_RETURN(parts, SplitPath(path));
+  if (parts.empty()) return hops::Status::IsDirectory("/");
+  {
+    std::unique_lock<std::shared_mutex> lock(lock_);
+    auto [parent, name] = LocateParent(path);
+    if (parent == nullptr || !parent->is_dir) return hops::Status::NotFound(path);
+    auto it = parent->children.find(name);
+    if (it != parent->children.end()) {
+      if (it->second->is_dir) return hops::Status::IsDirectory(path);
+      return hops::Status::AlreadyExists(path);
+    }
+    HOPS_RETURN_IF_ERROR(CheckQuota(parent, +1, 0));
+    auto node = std::make_unique<Node>();
+    node->is_dir = false;
+    node->name = name;
+    node->mtime = hops::NowMicros();
+    node->replication = config_.default_replication;
+    node->under_construction = true;
+    node->lease_holder = holder;
+    node->parent = parent;
+    parent->children[name] = std::move(node);
+    parent->mtime = hops::NowMicros();
+    ChargeQuota(parent, +1, 0);
+    num_inodes_++;
+  }
+  return LogEdit({EditEntry::Kind::kCreate, path, holder, 0, 0, 0});
+}
+
+hops::Result<LocatedBlock> Namesystem::AddBlock(const std::string& path,
+                                                const std::string& holder,
+                                                int64_t num_bytes) {
+  LocatedBlock result;
+  {
+    std::unique_lock<std::shared_mutex> lock(lock_);
+    Node* node = Find(path);
+    if (node == nullptr) return hops::Status::NotFound(path);
+    if (node->is_dir) return hops::Status::IsDirectory(path);
+    if (!node->under_construction || node->lease_holder != holder) {
+      return hops::Status::LeaseConflict(path);
+    }
+    HOPS_RETURN_IF_ERROR(CheckQuota(node->parent, 0, num_bytes * node->replication));
+    if (!node->blocks.empty()) node->blocks.back().complete = true;
+    HBlock blk{next_block_id_++, num_bytes, {}, false};
+    result = LocatedBlock{blk.id, static_cast<int64_t>(node->blocks.size()), num_bytes, {}};
+    node->blocks.push_back(std::move(blk));
+    ChargeQuota(node->parent, 0, num_bytes * node->replication);
+  }
+  HOPS_RETURN_IF_ERROR(LogEdit({EditEntry::Kind::kAddBlock, path, holder, num_bytes, 0, 0}));
+  return result;
+}
+
+hops::Status Namesystem::CompleteFile(const std::string& path, const std::string& holder) {
+  {
+    std::unique_lock<std::shared_mutex> lock(lock_);
+    Node* node = Find(path);
+    if (node == nullptr) return hops::Status::NotFound(path);
+    if (node->is_dir) return hops::Status::IsDirectory(path);
+    if (!node->under_construction) return hops::Status::Ok();
+    if (node->lease_holder != holder) return hops::Status::LeaseConflict(path);
+    for (auto& b : node->blocks) b.complete = true;
+    node->under_construction = false;
+    node->lease_holder.clear();
+  }
+  return LogEdit({EditEntry::Kind::kComplete, path, holder, 0, 0, 0});
+}
+
+hops::Status Namesystem::Append(const std::string& path, const std::string& holder) {
+  {
+    std::unique_lock<std::shared_mutex> lock(lock_);
+    Node* node = Find(path);
+    if (node == nullptr) return hops::Status::NotFound(path);
+    if (node->is_dir) return hops::Status::IsDirectory(path);
+    if (node->under_construction) return hops::Status::LeaseConflict(path);
+    node->under_construction = true;
+    node->lease_holder = holder;
+  }
+  return LogEdit({EditEntry::Kind::kCreate, path, holder, 1 /*append marker*/, 0, 0});
+}
+
+hops::Result<std::vector<LocatedBlock>> Namesystem::GetBlockLocations(
+    const std::string& path) {
+  std::shared_lock<std::shared_mutex> lock(lock_);
+  Node* node = Find(path);
+  if (node == nullptr) return hops::Status::NotFound(path);
+  if (node->is_dir) return hops::Status::IsDirectory(path);
+  std::vector<LocatedBlock> out;
+  int64_t index = 0;
+  for (const auto& b : node->blocks) {
+    out.push_back(LocatedBlock{b.id, index++, b.bytes, b.locations});
+  }
+  return out;
+}
+
+hops::Result<FileStatus> Namesystem::GetFileInfo(const std::string& path) {
+  std::shared_lock<std::shared_mutex> lock(lock_);
+  Node* node = Find(path);
+  if (node == nullptr) return hops::Status::NotFound(path);
+  return StatusFor(node, path);
+}
+
+hops::Result<std::vector<FileStatus>> Namesystem::ListStatus(const std::string& path) {
+  std::shared_lock<std::shared_mutex> lock(lock_);
+  Node* node = Find(path);
+  if (node == nullptr) return hops::Status::NotFound(path);
+  std::vector<FileStatus> out;
+  if (!node->is_dir) {
+    out.push_back(StatusFor(node, path));
+    return out;
+  }
+  std::string base = path == "/" ? "" : path;
+  for (const auto& [name, child] : node->children) {
+    out.push_back(StatusFor(child.get(), base + "/" + name));
+  }
+  return out;
+}
+
+hops::Status Namesystem::SetPermission(const std::string& path, int64_t perm) {
+  {
+    std::unique_lock<std::shared_mutex> lock(lock_);
+    Node* node = Find(path);
+    if (node == nullptr) return hops::Status::NotFound(path);
+    if (node == root_.get()) return hops::Status::PermissionDenied("/");
+    node->perm = perm;
+    node->mtime = hops::NowMicros();
+  }
+  return LogEdit({EditEntry::Kind::kSetPerm, path, "", perm, 0, 0});
+}
+
+hops::Status Namesystem::SetOwner(const std::string& path, const std::string& owner,
+                                  const std::string& group) {
+  {
+    std::unique_lock<std::shared_mutex> lock(lock_);
+    Node* node = Find(path);
+    if (node == nullptr) return hops::Status::NotFound(path);
+    if (node == root_.get()) return hops::Status::PermissionDenied("/");
+    node->owner = owner;
+    node->group = group;
+  }
+  return LogEdit({EditEntry::Kind::kSetOwner, path, owner + ":" + group, 0, 0, 0});
+}
+
+hops::Status Namesystem::SetReplication(const std::string& path, int64_t replication) {
+  if (replication < 1) return hops::Status::InvalidArgument("replication >= 1");
+  {
+    std::unique_lock<std::shared_mutex> lock(lock_);
+    Node* node = Find(path);
+    if (node == nullptr) return hops::Status::NotFound(path);
+    if (node->is_dir) return hops::Status::IsDirectory(path);
+    int64_t delta = (replication - node->replication) * node->FileBytes();
+    if (delta > 0) HOPS_RETURN_IF_ERROR(CheckQuota(node->parent, 0, delta));
+    ChargeQuota(node->parent, 0, delta);
+    node->replication = replication;
+  }
+  return LogEdit({EditEntry::Kind::kSetReplication, path, "", replication, 0, 0});
+}
+
+hops::Result<ContentSummary> Namesystem::GetContentSummary(const std::string& path) {
+  std::shared_lock<std::shared_mutex> lock(lock_);
+  Node* node = Find(path);
+  if (node == nullptr) return hops::Status::NotFound(path);
+  ContentSummary cs;
+  struct Frame {
+    const Node* node;
+  };
+  std::vector<Frame> stack{{node}};
+  while (!stack.empty()) {
+    const Node* cur = stack.back().node;
+    stack.pop_back();
+    if (cur->is_dir) {
+      cs.dir_count++;
+      for (const auto& [name, child] : cur->children) stack.push_back({child.get()});
+    } else {
+      cs.file_count++;
+      cs.total_bytes += cur->FileBytes() * cur->replication;
+    }
+  }
+  return cs;
+}
+
+hops::Status Namesystem::Rename(const std::string& src, const std::string& dst) {
+  {
+    std::unique_lock<std::shared_mutex> lock(lock_);
+    if (IsPrefixPath(src, dst)) {
+      return hops::Status::InvalidArgument("cannot move into own subtree");
+    }
+    auto [sp, sname] = LocateParent(src);
+    if (sp == nullptr) return hops::Status::NotFound(src);
+    auto sit = sp->children.find(sname);
+    if (sit == sp->children.end()) return hops::Status::NotFound(src);
+    auto [dp, dname] = LocateParent(dst);
+    if (dp == nullptr || !dp->is_dir) return hops::Status::NotFound(dst);
+    if (dp->children.count(dname)) return hops::Status::AlreadyExists(dst);
+    int64_t inodes = 0, bytes = 0;
+    SubtreeTotals(sit->second.get(), &inodes, &bytes);
+    HOPS_RETURN_IF_ERROR(CheckQuota(dp, inodes, bytes));
+    std::unique_ptr<Node> moving = std::move(sit->second);
+    sp->children.erase(sit);
+    ChargeQuota(sp, -inodes, -bytes);
+    moving->name = dname;
+    moving->parent = dp;
+    moving->mtime = hops::NowMicros();
+    dp->children[dname] = std::move(moving);
+    ChargeQuota(dp, +inodes, +bytes);
+    sp->mtime = dp->mtime = hops::NowMicros();
+  }
+  return LogEdit({EditEntry::Kind::kRename, src, dst, 0, 0, 0});
+}
+
+hops::Status Namesystem::Delete(const std::string& path, bool recursive) {
+  // Large directory deletes are batched: inodes are collected and removed in
+  // chunks, releasing the global lock between chunks so other clients are
+  // not starved (§2.1). A crash mid-way can leave a partial delete -- the
+  // weaker semantics the paper contrasts HopsFS against.
+  bool more = true;
+  bool logged_any = false;
+  while (more) {
+    more = false;
+    {
+      std::unique_lock<std::shared_mutex> lock(lock_);
+      auto [parent, name] = LocateParent(path);
+      if (parent == nullptr) return hops::Status::NotFound(path);
+      auto it = parent->children.find(name);
+      if (it == parent->children.end()) {
+        if (logged_any) break;  // a previous batch removed it all
+        return hops::Status::NotFound(path);
+      }
+      Node* node = it->second.get();
+      if (node->is_dir && !node->children.empty() && !recursive) {
+        return hops::Status::NotEmpty(path);
+      }
+      // Delete up to delete_batch leaf-most inodes this round.
+      int budget = config_.delete_batch;
+      std::vector<Node*> stack{node};
+      std::vector<Node*> postorder;
+      while (!stack.empty() && static_cast<int>(postorder.size()) < budget * 2) {
+        Node* cur = stack.back();
+        stack.pop_back();
+        postorder.push_back(cur);
+        for (auto& [cn, child] : cur->children) stack.push_back(child.get());
+      }
+      // Remove leaves until the budget is exhausted.
+      int removed = 0;
+      for (auto rit = postorder.rbegin(); rit != postorder.rend() && removed < budget;
+           ++rit) {
+        Node* victim = *rit;
+        if (victim->is_dir && !victim->children.empty()) continue;
+        int64_t bytes = victim->is_dir ? 0 : victim->FileBytes() * victim->replication;
+        Node* vp = victim->parent;
+        ChargeQuota(vp, -1, -bytes);
+        vp->children.erase(victim->name);
+        num_inodes_--;
+        removed++;
+      }
+      // More to do if the target still exists.
+      more = parent->children.count(name) > 0;
+      if (more && parent->children[name]->is_dir &&
+          parent->children[name]->children.empty()) {
+        // Next round removes the now-empty root.
+      }
+      parent->mtime = hops::NowMicros();
+    }
+    logged_any = true;
+  }
+  return LogEdit({EditEntry::Kind::kDelete, path, "", recursive ? 1 : 0, 0, 0});
+}
+
+hops::Status Namesystem::SetQuota(const std::string& path, int64_t ns_quota,
+                                  int64_t ss_quota) {
+  {
+    std::unique_lock<std::shared_mutex> lock(lock_);
+    Node* node = Find(path);
+    if (node == nullptr) return hops::Status::NotFound(path);
+    if (!node->is_dir) return hops::Status::NotDirectory(path);
+    if (ns_quota < 0 && ss_quota < 0) {
+      node->has_quota = false;
+      node->ns_quota = node->ss_quota = -1;
+    } else {
+      int64_t inodes = 0, bytes = 0;
+      SubtreeTotals(node, &inodes, &bytes);
+      node->has_quota = true;
+      node->ns_quota = ns_quota;
+      node->ss_quota = ss_quota;
+      node->ns_used = inodes;
+      node->ss_used = bytes;
+    }
+  }
+  return LogEdit({EditEntry::Kind::kSetQuota, path, "", ns_quota, ss_quota, 0});
+}
+
+void Namesystem::ApplyEdit(const EditEntry& entry) {
+  switch (entry.kind) {
+    case EditEntry::Kind::kMkdir:
+      (void)Mkdirs(entry.path);
+      break;
+    case EditEntry::Kind::kCreate:
+      (void)Create(entry.path, entry.extra);
+      break;
+    case EditEntry::Kind::kAddBlock:
+      (void)AddBlock(entry.path, entry.extra, entry.arg1);
+      break;
+    case EditEntry::Kind::kComplete:
+      (void)CompleteFile(entry.path, entry.extra);
+      break;
+    case EditEntry::Kind::kRename:
+      (void)Rename(entry.path, entry.extra);
+      break;
+    case EditEntry::Kind::kDelete:
+      (void)Delete(entry.path, entry.arg1 != 0);
+      break;
+    case EditEntry::Kind::kSetPerm:
+      (void)SetPermission(entry.path, entry.arg1);
+      break;
+    case EditEntry::Kind::kSetOwner: {
+      auto sep = entry.extra.find(':');
+      (void)SetOwner(entry.path, entry.extra.substr(0, sep), entry.extra.substr(sep + 1));
+      break;
+    }
+    case EditEntry::Kind::kSetReplication:
+      (void)SetReplication(entry.path, entry.arg1);
+      break;
+    case EditEntry::Kind::kSetQuota:
+      (void)SetQuota(entry.path, entry.arg1, entry.arg2);
+      break;
+  }
+}
+
+size_t Namesystem::NumInodes() const {
+  std::shared_lock<std::shared_mutex> lock(lock_);
+  return num_inodes_;
+}
+
+size_t Namesystem::EstimatedMemoryBytes() const {
+  std::shared_lock<std::shared_mutex> lock(lock_);
+  // Paper §7.3: a file with two blocks, triple replicated, costs 448 + L
+  // bytes on the JVM heap. We charge every inode the HDFS per-object costs:
+  // directory ~152 + L, file ~168 + L + 112/block (waiting-room estimates
+  // from HADOOP-1687 scaled to the paper's 448 + L for 2 blocks).
+  size_t total = 0;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* cur = stack.back();
+    stack.pop_back();
+    if (cur->is_dir) {
+      total += 152 + cur->name.size();
+      for (const auto& [name, child] : cur->children) stack.push_back(child.get());
+    } else {
+      total += 168 + cur->name.size() + 140 * cur->blocks.size();
+    }
+  }
+  return total;
+}
+
+}  // namespace hops::hdfs

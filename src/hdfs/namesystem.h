@@ -1,0 +1,117 @@
+// The HDFS baseline namesystem (paper §2.1): the entire namespace lives in
+// one process's memory behind a single global readers-writer lock
+// (single-writer / multiple-readers). Mutations additionally write the
+// quorum edit log -- after releasing the global lock, exactly as HDFS does
+// to avoid starving other clients (at the price of potentially losing
+// acknowledged-but-unlogged operations on failover, which the paper calls
+// out). Very large deletes are batched, releasing the lock between batches.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "hdfs/edit_log.h"
+#include "hopsfs/types.h"
+#include "util/status.h"
+
+namespace hops::hdfs {
+
+using hops::fs::ContentSummary;
+using hops::fs::FileStatus;
+using hops::fs::LocatedBlock;
+
+struct HdfsConfig {
+  int64_t default_replication = 3;
+  // Inodes removed per lock acquisition during big deletes (§2.1).
+  int delete_batch = 1024;
+};
+
+class Namesystem {
+ public:
+  // `journal` may be null for a standby instance (replay only, no logging).
+  Namesystem(HdfsConfig config, EditLog* journal);
+  ~Namesystem();
+
+  // Promotion: attach the journal when a standby becomes active.
+  void AttachJournal(EditLog* journal) { journal_ = journal; }
+
+  // --- Client API (mirrors hops::fs::Namenode) ------------------------------
+  hops::Status Mkdirs(const std::string& path);
+  hops::Status Create(const std::string& path, const std::string& holder);
+  hops::Result<LocatedBlock> AddBlock(const std::string& path, const std::string& holder,
+                                      int64_t num_bytes);
+  hops::Status CompleteFile(const std::string& path, const std::string& holder);
+  // Reopens a completed file for appending (takes the lease).
+  hops::Status Append(const std::string& path, const std::string& holder);
+  hops::Result<std::vector<LocatedBlock>> GetBlockLocations(const std::string& path);
+  hops::Result<FileStatus> GetFileInfo(const std::string& path);
+  hops::Result<std::vector<FileStatus>> ListStatus(const std::string& path);
+  hops::Status SetPermission(const std::string& path, int64_t perm);
+  hops::Status SetOwner(const std::string& path, const std::string& owner,
+                        const std::string& group);
+  hops::Status SetReplication(const std::string& path, int64_t replication);
+  hops::Result<ContentSummary> GetContentSummary(const std::string& path);
+  hops::Status Rename(const std::string& src, const std::string& dst);
+  hops::Status Delete(const std::string& path, bool recursive);
+  hops::Status SetQuota(const std::string& path, int64_t ns_quota, int64_t ss_quota);
+
+  // Replays one edit (standby catch-up path); takes the write lock.
+  void ApplyEdit(const EditEntry& entry);
+
+  size_t NumInodes() const;
+  // HDFS-style metadata memory estimate: ~448 bytes for a 2-block file
+  // plus the file name (paper §7.3, HDFS v2.0.4 model).
+  size_t EstimatedMemoryBytes() const;
+
+ private:
+  struct HBlock {
+    hops::fs::BlockId id;
+    int64_t bytes;
+    std::vector<hops::fs::DatanodeId> locations;
+    bool complete = false;
+  };
+  struct Node {
+    std::string name;
+    bool is_dir = false;
+    int64_t perm = 0755;
+    std::string owner = "hdfs";
+    std::string group = "hdfs";
+    int64_t mtime = 0;
+    int64_t replication = 3;
+    bool under_construction = false;
+    std::string lease_holder;
+    std::vector<HBlock> blocks;
+    Node* parent = nullptr;
+    std::map<std::string, std::unique_ptr<Node>> children;
+    // Quota (directories; -1 = unlimited).
+    int64_t ns_quota = -1, ss_quota = -1, ns_used = 1, ss_used = 0;
+    bool has_quota = false;
+
+    int64_t FileBytes() const {
+      int64_t n = 0;
+      for (const auto& b : blocks) n += b.bytes;
+      return n;
+    }
+  };
+
+  // All Locate/mutate helpers require the caller to hold lock_.
+  Node* Find(const std::string& path) const;
+  std::pair<Node*, std::string> LocateParent(const std::string& path) const;
+  static FileStatus StatusFor(const Node* node, std::string path);
+  hops::Status CheckQuota(Node* parent, int64_t ns_delta, int64_t ss_delta) const;
+  void ChargeQuota(Node* node, int64_t ns_delta, int64_t ss_delta);
+  static void SubtreeTotals(const Node* node, int64_t* inodes, int64_t* bytes);
+  hops::Status LogEdit(EditEntry entry);
+
+  const HdfsConfig config_;
+  EditLog* journal_;
+  mutable std::shared_mutex lock_;  // THE global namesystem lock
+  std::unique_ptr<Node> root_;
+  hops::fs::BlockId next_block_id_ = 1;
+  size_t num_inodes_ = 1;
+};
+
+}  // namespace hops::hdfs

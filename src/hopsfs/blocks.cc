@@ -1,0 +1,283 @@
+// Block life-cycle management and the datanode protocol: block receipt
+// (RUC -> Replica), block reports (§7.7), datanode failure handling
+// (Replica -> URB), the replication monitor (URB -> PRB + RUC), and
+// invalidation delivery (Inv). Block-state changes lock the *block* row,
+// which sits below the inode in the metadata hierarchy (§5.2.1), so they
+// serialize against file-level operations without touching the inode row.
+#include <algorithm>
+#include <unordered_set>
+
+#include "hopsfs/namenode.h"
+#include "util/clock.h"
+
+namespace hops::fs {
+
+hops::Status Namenode::BlockReceived(DatanodeId dn, BlockId block_id) {
+  HOPS_RETURN_IF_ERROR(CheckAlive());
+  return RunTx(
+      ndb::TxHint{schema_->block_lookup, static_cast<uint64_t>(block_id)},
+      [&](ndb::Transaction& tx) -> hops::Status {
+        auto lookup = tx.Read(schema_->block_lookup, {block_id}, ndb::LockMode::kReadCommitted);
+        if (!lookup.ok()) {
+          // The file was deleted while the datanode wrote: stale receipt.
+          return lookup.status().code() == hops::StatusCode::kNotFound ? hops::Status::Ok()
+                                                                       : lookup.status();
+        }
+        InodeId inode = (*lookup)[col::kLookupInode].i64();
+        auto block_row = tx.Read(schema_->blocks, {inode, block_id}, ndb::LockMode::kExclusive);
+        if (!block_row.ok()) {
+          return block_row.status().code() == hops::StatusCode::kNotFound
+                     ? hops::Status::Ok()
+                     : block_row.status();
+        }
+        Block b = BlockFromRow(*block_row);
+        hops::Status st = tx.Delete(schema_->ruc, {inode, block_id, dn});
+        if (!st.ok() && st.code() != hops::StatusCode::kNotFound) return st;
+        Replica rep{inode, block_id, dn, ReplicaState::kFinalized};
+        HOPS_RETURN_IF_ERROR(tx.Write(schema_->replicas, ToRow(rep)));
+        st = tx.Delete(schema_->prb, {inode, block_id, dn});
+        if (!st.ok() && st.code() != hops::StatusCode::kNotFound) return st;
+        // Fully replicated again? Clear the under-replication marker.
+        HOPS_ASSIGN_OR_RETURN(reps, tx.Ppis(schema_->replicas, {inode, block_id}));
+        if (static_cast<int64_t>(reps.size()) >= b.replication) {
+          st = tx.Delete(schema_->urb, {inode, block_id, int64_t{0}});
+          if (!st.ok() && st.code() != hops::StatusCode::kNotFound) return st;
+        }
+        return hops::Status::Ok();
+      });
+}
+
+hops::Result<BlockReportResult> Namenode::ProcessBlockReport(
+    DatanodeId dn, const std::vector<BlockId>& report) {
+  HOPS_RETURN_IF_ERROR(CheckAlive());
+  BlockReportResult result;
+  constexpr size_t kChunk = 512;
+
+  // Pass 1: every reported block is validated against the namespace with a
+  // batched primary-key lookup; replicas the metadata is missing are added,
+  // blocks unknown to the namespace are queued for invalidation.
+  for (size_t base = 0; base < report.size(); base += kChunk) {
+    size_t end = std::min(report.size(), base + kChunk);
+    hops::Status st = RunTx(std::nullopt, [&](ndb::Transaction& tx) -> hops::Status {
+      std::vector<ndb::Key> keys;
+      keys.reserve(end - base);
+      for (size_t i = base; i < end; ++i) keys.push_back({report[i]});
+      HOPS_ASSIGN_OR_RETURN(lookups, tx.BatchRead(schema_->block_lookup, keys,
+                                                  ndb::LockMode::kReadCommitted));
+      std::vector<ndb::Key> replica_keys;
+      std::vector<size_t> replica_idx;
+      for (size_t i = 0; i < lookups.size(); ++i) {
+        if (!lookups[i].has_value()) {
+          // Orphaned block on the datanode (e.g. re-created namespace).
+          Replica orphan{kInvalidInode, report[base + i], dn, ReplicaState::kFinalized};
+          HOPS_RETURN_IF_ERROR(tx.Write(schema_->inv, ToRow(orphan)));
+          result.orphans_invalidated++;
+          continue;
+        }
+        InodeId inode = (*lookups[i])[col::kLookupInode].i64();
+        replica_keys.push_back({inode, report[base + i], static_cast<int64_t>(dn)});
+        replica_idx.push_back(i);
+      }
+      HOPS_ASSIGN_OR_RETURN(replica_rows, tx.BatchRead(schema_->replicas, replica_keys,
+                                                       ndb::LockMode::kReadCommitted));
+      for (size_t j = 0; j < replica_rows.size(); ++j) {
+        if (replica_rows[j].has_value()) {
+          result.blocks_matched++;
+        } else {
+          InodeId inode = replica_keys[j][0].i64();
+          BlockId blk = replica_keys[j][1].i64();
+          Replica rep{inode, blk, dn, ReplicaState::kFinalized};
+          HOPS_RETURN_IF_ERROR(tx.Write(schema_->replicas, ToRow(rep)));
+          hops::Status del = tx.Delete(schema_->ruc, {inode, blk, static_cast<int64_t>(dn)});
+          if (!del.ok() && del.code() != hops::StatusCode::kNotFound) return del;
+          result.replicas_added++;
+        }
+      }
+      return hops::Status::Ok();
+    });
+    if (!st.ok()) return st;
+  }
+
+  // Pass 2: replicas the metadata attributes to this datanode that the
+  // report does not confirm are removed (and re-replication queued). This is
+  // the expensive half: an index scan over the replica table.
+  std::unordered_set<BlockId> reported(report.begin(), report.end());
+  std::vector<Replica> stale;
+  {
+    auto tx = db_->Begin();
+    ndb::ScanOptions opts;
+    opts.eq_filter = {{col::kReplicaDatanode, ndb::Value(static_cast<int64_t>(dn))}};
+    auto rows = tx->IndexScan(schema_->replicas, {}, opts);
+    if (!rows.ok()) return rows.status();
+    for (const auto& row : *rows) {
+      Replica rep = ReplicaFromRow(row);
+      if (!reported.count(rep.block_id)) stale.push_back(rep);
+    }
+  }
+  for (const Replica& rep : stale) {
+    hops::Status st = RunTx(
+        ndb::TxHint{schema_->blocks, static_cast<uint64_t>(rep.inode_id)},
+        [&](ndb::Transaction& tx) -> hops::Status {
+          auto block_row =
+              tx.Read(schema_->blocks, {rep.inode_id, rep.block_id}, ndb::LockMode::kExclusive);
+          hops::Status del =
+              tx.Delete(schema_->replicas, {rep.inode_id, rep.block_id, rep.datanode_id});
+          if (!del.ok()) {
+            return del.code() == hops::StatusCode::kNotFound ? hops::Status::Ok() : del;
+          }
+          result.replicas_removed++;
+          if (block_row.ok()) {
+            Block b = BlockFromRow(*block_row);
+            HOPS_ASSIGN_OR_RETURN(reps, tx.Ppis(schema_->replicas, {rep.inode_id, rep.block_id}));
+            if (static_cast<int64_t>(reps.size()) < b.replication) {
+              Replica urb{rep.inode_id, rep.block_id, 0, ReplicaState::kFinalized};
+              HOPS_RETURN_IF_ERROR(tx.Write(schema_->urb, ToRow(urb)));
+            }
+          }
+          return hops::Status::Ok();
+        });
+    if (!st.ok()) return st;
+  }
+  return result;
+}
+
+hops::Result<int64_t> Namenode::HandleDatanodeFailure(DatanodeId dn) {
+  HOPS_RETURN_IF_ERROR(CheckAlive());
+  // Collect the failed datanode's replicas and in-flight writes. The replica
+  // table is partitioned by inode id, so a per-datanode sweep is a full
+  // index scan -- acceptable for rare housekeeping (leader-only).
+  std::vector<Replica> lost;
+  std::vector<Replica> lost_ruc;
+  {
+    auto tx = db_->Begin();
+    ndb::ScanOptions opts;
+    opts.eq_filter = {{col::kReplicaDatanode, ndb::Value(static_cast<int64_t>(dn))}};
+    auto rows = tx->IndexScan(schema_->replicas, {}, opts);
+    if (!rows.ok()) return rows.status();
+    for (const auto& row : *rows) lost.push_back(ReplicaFromRow(row));
+    auto ruc_rows = tx->IndexScan(schema_->ruc, {}, opts);
+    if (!ruc_rows.ok()) return ruc_rows.status();
+    for (const auto& row : *ruc_rows) lost_ruc.push_back(ReplicaFromRow(row));
+  }
+  int64_t affected = 0;
+  for (const Replica& rep : lost) {
+    hops::Status st = RunTx(
+        ndb::TxHint{schema_->blocks, static_cast<uint64_t>(rep.inode_id)},
+        [&](ndb::Transaction& tx) -> hops::Status {
+          auto block_row =
+              tx.Read(schema_->blocks, {rep.inode_id, rep.block_id}, ndb::LockMode::kExclusive);
+          hops::Status del =
+              tx.Delete(schema_->replicas, {rep.inode_id, rep.block_id, rep.datanode_id});
+          if (!del.ok()) {
+            return del.code() == hops::StatusCode::kNotFound ? hops::Status::Ok() : del;
+          }
+          if (block_row.ok()) {
+            Block b = BlockFromRow(*block_row);
+            HOPS_ASSIGN_OR_RETURN(reps,
+                                  tx.Ppis(schema_->replicas, {rep.inode_id, rep.block_id}));
+            if (static_cast<int64_t>(reps.size()) < b.replication) {
+              Replica urb{rep.inode_id, rep.block_id, 0, ReplicaState::kFinalized};
+              HOPS_RETURN_IF_ERROR(tx.Write(schema_->urb, ToRow(urb)));
+            }
+          }
+          return hops::Status::Ok();
+        });
+    if (!st.ok()) return st;
+    affected++;
+  }
+  for (const Replica& rep : lost_ruc) {
+    hops::Status st = RunTx(std::nullopt, [&](ndb::Transaction& tx) -> hops::Status {
+      hops::Status del = tx.Delete(schema_->ruc, {rep.inode_id, rep.block_id, rep.datanode_id});
+      if (!del.ok() && del.code() != hops::StatusCode::kNotFound) return del;
+      return hops::Status::Ok();
+    });
+    if (!st.ok()) return st;
+  }
+  return affected;
+}
+
+hops::Result<int64_t> Namenode::RunReplicationMonitor() {
+  HOPS_RETURN_IF_ERROR(CheckAlive());
+  // URB is small in steady state; the replication manager (leader) sweeps it.
+  std::vector<std::pair<InodeId, BlockId>> queue;
+  {
+    auto tx = db_->Begin();
+    auto rows = tx->FullTableScan(schema_->urb);
+    if (!rows.ok()) return rows.status();
+    for (const auto& row : *rows) {
+      queue.emplace_back(row[col::kReplicaInode].i64(), row[col::kReplicaBlock].i64());
+    }
+  }
+  int64_t scheduled = 0;
+  for (const auto& [inode, blk] : queue) {
+    hops::Status st = RunTx(
+        ndb::TxHint{schema_->blocks, static_cast<uint64_t>(inode)},
+        [&](ndb::Transaction& tx) -> hops::Status {
+          auto block_row = tx.Read(schema_->blocks, {inode, blk}, ndb::LockMode::kExclusive);
+          if (!block_row.ok()) {
+            if (block_row.status().code() == hops::StatusCode::kNotFound) {
+              hops::Status del = tx.Delete(schema_->urb, {inode, blk, int64_t{0}});
+              if (!del.ok() && del.code() != hops::StatusCode::kNotFound) return del;
+              return hops::Status::Ok();
+            }
+            return block_row.status();
+          }
+          Block b = BlockFromRow(*block_row);
+          HOPS_ASSIGN_OR_RETURN(reps, tx.Ppis(schema_->replicas, {inode, blk}));
+          if (static_cast<int64_t>(reps.size()) >= b.replication) {
+            hops::Status del = tx.Delete(schema_->urb, {inode, blk, int64_t{0}});
+            if (!del.ok() && del.code() != hops::StatusCode::kNotFound) return del;
+            return hops::Status::Ok();
+          }
+          // Pick a datanode that does not already hold a replica.
+          std::unordered_set<DatanodeId> holders;
+          for (const auto& row : reps) {
+            holders.insert(row[col::kReplicaDatanode].i64());
+          }
+          std::vector<DatanodeId> candidates;
+          {
+            std::lock_guard<std::mutex> lock(dn_picker_mu_);
+            if (dn_picker_) {
+              candidates = dn_picker_(static_cast<int>(b.replication + holders.size()));
+            }
+          }
+          for (DatanodeId dn : candidates) {
+            if (holders.count(dn)) continue;
+            Replica target{inode, blk, dn, ReplicaState::kFinalized};
+            HOPS_RETURN_IF_ERROR(tx.Write(schema_->ruc, ToRow(target)));
+            HOPS_RETURN_IF_ERROR(tx.Write(schema_->prb, ToRow(target)));
+            scheduled++;
+            return hops::Status::Ok();
+          }
+          return hops::Status::Ok();  // no eligible datanode right now
+        });
+    if (!st.ok()) return st;
+  }
+  return scheduled;
+}
+
+hops::Result<std::vector<BlockId>> Namenode::FetchInvalidations(DatanodeId dn) {
+  HOPS_RETURN_IF_ERROR(CheckAlive());
+  std::vector<Replica> rows;
+  {
+    auto tx = db_->Begin();
+    ndb::ScanOptions opts;
+    opts.eq_filter = {{col::kReplicaDatanode, ndb::Value(static_cast<int64_t>(dn))}};
+    auto scan = tx->IndexScan(schema_->inv, {}, opts);
+    if (!scan.ok()) return scan.status();
+    for (const auto& row : *scan) rows.push_back(ReplicaFromRow(row));
+  }
+  std::vector<BlockId> blocks;
+  for (const Replica& rep : rows) {
+    hops::Status st = RunTx(std::nullopt, [&](ndb::Transaction& tx) -> hops::Status {
+      hops::Status del = tx.Delete(schema_->inv, {rep.inode_id, rep.block_id, rep.datanode_id});
+      if (!del.ok() && del.code() != hops::StatusCode::kNotFound) return del;
+      return hops::Status::Ok();
+    });
+    if (!st.ok()) return st;
+    blocks.push_back(rep.block_id);
+  }
+  return blocks;
+}
+
+}  // namespace hops::fs

@@ -1,0 +1,127 @@
+#include "hopsfs/client.h"
+
+namespace hops::fs {
+
+Namenode* Client::Pick(const std::vector<Namenode*>& nns) {
+  std::vector<Namenode*> alive;
+  alive.reserve(nns.size());
+  for (Namenode* nn : nns) {
+    if (nn != nullptr && nn->alive()) alive.push_back(nn);
+  }
+  if (alive.empty()) return nullptr;
+  switch (policy_) {
+    case NamenodePolicy::kRandom:
+      return alive[rng_.Below(alive.size())];
+    case NamenodePolicy::kRoundRobin:
+      return alive[rr_next_++ % alive.size()];
+    case NamenodePolicy::kSticky: {
+      if (sticky_ != nullptr && sticky_->alive()) {
+        for (Namenode* nn : alive) {
+          if (nn == sticky_) return sticky_;
+        }
+      }
+      if (sticky_ != nullptr) failovers_++;  // our namenode died; switch
+      sticky_ = alive[rng_.Below(alive.size())];
+      return sticky_;
+    }
+  }
+  return nullptr;
+}
+
+template <typename Fn>
+auto Client::WithNamenode(Fn&& op) -> decltype(op(std::declval<Namenode&>())) {
+  // "HopsFS clients transparently re-execute failed file system operations
+  // on one of the remaining namenodes" (§7.6.1).
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    Namenode* nn = Pick(provider_());
+    if (nn == nullptr) {
+      return hops::Status::Unavailable("no alive namenode");
+    }
+    auto result = op(*nn);
+    bool failover = [&] {
+      if constexpr (std::is_same_v<decltype(result), hops::Status>) {
+        return result.code() == hops::StatusCode::kFailover;
+      } else {
+        return result.status().code() == hops::StatusCode::kFailover;
+      }
+    }();
+    if (!failover) return result;
+    failovers_++;
+    sticky_ = nullptr;
+  }
+  return hops::Status::Unavailable("all namenode attempts failed over");
+}
+
+hops::Status Client::Mkdirs(const std::string& path) {
+  return WithNamenode([&](Namenode& nn) { return nn.Mkdirs(path); });
+}
+
+hops::Status Client::CreateFile(const std::string& path) {
+  return WithNamenode([&](Namenode& nn) { return nn.Create(path, client_name_); });
+}
+
+hops::Result<LocatedBlock> Client::AddBlock(const std::string& path, int64_t num_bytes) {
+  return WithNamenode(
+      [&](Namenode& nn) { return nn.AddBlock(path, client_name_, num_bytes); });
+}
+
+hops::Status Client::CompleteFile(const std::string& path) {
+  return WithNamenode([&](Namenode& nn) { return nn.CompleteFile(path, client_name_); });
+}
+
+hops::Status Client::Append(const std::string& path) {
+  return WithNamenode([&](Namenode& nn) { return nn.Append(path, client_name_); });
+}
+
+hops::Result<std::vector<LocatedBlock>> Client::Read(const std::string& path) {
+  return WithNamenode([&](Namenode& nn) { return nn.GetBlockLocations(path); });
+}
+
+hops::Result<FileStatus> Client::Stat(const std::string& path) {
+  return WithNamenode([&](Namenode& nn) { return nn.GetFileInfo(path); });
+}
+
+hops::Result<std::vector<FileStatus>> Client::List(const std::string& path) {
+  return WithNamenode([&](Namenode& nn) { return nn.ListStatus(path); });
+}
+
+hops::Status Client::SetPermission(const std::string& path, int64_t perm) {
+  return WithNamenode([&](Namenode& nn) { return nn.SetPermission(path, perm); });
+}
+
+hops::Status Client::SetOwner(const std::string& path, const std::string& owner,
+                              const std::string& group) {
+  return WithNamenode([&](Namenode& nn) { return nn.SetOwner(path, owner, group); });
+}
+
+hops::Status Client::SetReplication(const std::string& path, int64_t replication) {
+  return WithNamenode([&](Namenode& nn) { return nn.SetReplication(path, replication); });
+}
+
+hops::Result<ContentSummary> Client::ContentSummaryOf(const std::string& path) {
+  return WithNamenode([&](Namenode& nn) { return nn.GetContentSummary(path); });
+}
+
+hops::Status Client::Rename(const std::string& src, const std::string& dst) {
+  return WithNamenode([&](Namenode& nn) { return nn.Rename(src, dst); });
+}
+
+hops::Status Client::Delete(const std::string& path, bool recursive) {
+  return WithNamenode([&](Namenode& nn) { return nn.Delete(path, recursive); });
+}
+
+hops::Status Client::SetQuota(const std::string& path, int64_t ns_quota, int64_t ss_quota) {
+  return WithNamenode([&](Namenode& nn) { return nn.SetQuota(path, ns_quota, ss_quota); });
+}
+
+hops::Status Client::WriteFile(const std::string& path, int num_blocks,
+                               int64_t bytes_per_block) {
+  HOPS_RETURN_IF_ERROR(CreateFile(path));
+  for (int i = 0; i < num_blocks; ++i) {
+    auto blk = AddBlock(path, bytes_per_block);
+    if (!blk.ok()) return blk.status();
+  }
+  return CompleteFile(path);
+}
+
+}  // namespace hops::fs

@@ -1,0 +1,72 @@
+// HopsFS client (paper §3): picks a namenode per the configured policy
+// (random / round-robin / sticky), transparently resubmits operations to
+// another namenode when the chosen one has failed, and periodically
+// refreshes the namenode list through the provider callback.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hopsfs/namenode.h"
+#include "util/rng.h"
+
+namespace hops::fs {
+
+enum class NamenodePolicy { kRandom, kRoundRobin, kSticky };
+
+class Client {
+ public:
+  using NamenodeProvider = std::function<std::vector<Namenode*>()>;
+
+  Client(NamenodeProvider provider, NamenodePolicy policy, std::string client_name,
+         uint64_t seed = 42)
+      : provider_(std::move(provider)),
+        policy_(policy),
+        client_name_(std::move(client_name)),
+        rng_(seed) {}
+
+  const std::string& name() const { return client_name_; }
+
+  // --- File system operations (mirror the namenode API) --------------------
+  hops::Status Mkdirs(const std::string& path);
+  hops::Status CreateFile(const std::string& path);
+  hops::Result<LocatedBlock> AddBlock(const std::string& path, int64_t num_bytes);
+  hops::Status CompleteFile(const std::string& path);
+  hops::Status Append(const std::string& path);
+  hops::Result<std::vector<LocatedBlock>> Read(const std::string& path);
+  hops::Result<FileStatus> Stat(const std::string& path);
+  hops::Result<std::vector<FileStatus>> List(const std::string& path);
+  hops::Status SetPermission(const std::string& path, int64_t perm);
+  hops::Status SetOwner(const std::string& path, const std::string& owner,
+                        const std::string& group);
+  hops::Status SetReplication(const std::string& path, int64_t replication);
+  hops::Result<ContentSummary> ContentSummaryOf(const std::string& path);
+  hops::Status Rename(const std::string& src, const std::string& dst);
+  hops::Status Delete(const std::string& path, bool recursive = false);
+  hops::Status SetQuota(const std::string& path, int64_t ns_quota, int64_t ss_quota);
+
+  // Creates a file end-to-end: create + n blocks + complete.
+  hops::Status WriteFile(const std::string& path, int num_blocks, int64_t bytes_per_block);
+
+  uint64_t failovers() const { return failovers_; }
+
+ private:
+  // Runs `op` against a namenode chosen by the policy; on kFailover (the
+  // namenode died) refreshes the list and retries on another one.
+  template <typename Fn>
+  auto WithNamenode(Fn&& op) -> decltype(op(std::declval<Namenode&>()));
+
+  Namenode* Pick(const std::vector<Namenode*>& nns);
+
+  NamenodeProvider provider_;
+  NamenodePolicy policy_;
+  std::string client_name_;
+  Rng rng_;
+  size_t rr_next_ = 0;
+  Namenode* sticky_ = nullptr;
+  uint64_t failovers_ = 0;
+};
+
+}  // namespace hops::fs

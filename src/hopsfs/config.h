@@ -1,0 +1,46 @@
+// Tunables for the HopsFS metadata service.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace hops::fs {
+
+struct FsConfig {
+  // Depth at or below which inodes are pseudo-randomly partitioned by child
+  // name instead of by parent inode id (paper §4.2.1). Depth counts edges
+  // from the root: root = 0, "/a" = 1, "/a/b" = 2. The default 1 matches the
+  // paper's "first two levels ... the root directory and its immediate
+  // descendants".
+  int random_partition_depth = 1;
+
+  // Retries for transactional inode operations aborted by lock timeouts or
+  // coordinator failover.
+  int max_tx_retries = 12;
+  // Retries (with exponential backoff) when an operation keeps hitting an
+  // active subtree lock.
+  int max_subtree_wait_retries = 20;
+  std::chrono::milliseconds subtree_retry_backoff{2};
+
+  // Inodes ids are allocated in chunks per namenode so the variables table
+  // row is not a hotspot.
+  int64_t id_chunk_size = 1024;
+
+  // Subtree delete: inodes removed per transaction batch (paper §6.1 ph. 3).
+  int subtree_delete_batch = 64;
+  // Threads quiescing/deleting subtree levels in parallel.
+  int subtree_parallelism = 4;
+
+  // Heartbeats a namenode may miss before peers consider it dead.
+  int leader_missed_rounds = 2;
+
+  // Default replication for new files.
+  int64_t default_replication = 3;
+  int64_t block_size = 128LL * 1024 * 1024;
+
+  // Inode hint cache capacity (entries) per namenode; 0 disables the cache
+  // (used by the ablation benchmark).
+  size_t hint_cache_capacity = 1 << 20;
+};
+
+}  // namespace hops::fs

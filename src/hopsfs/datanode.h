@@ -1,0 +1,57 @@
+// Simulated datanode: stores block ids (the paper benchmarks with zero-length
+// files -- only metadata is under test), generates block reports, and drives
+// the write pipeline by acknowledging received blocks to a namenode.
+#pragma once
+
+#include <algorithm>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "hopsfs/types.h"
+
+namespace hops::fs {
+
+class Datanode {
+ public:
+  explicit Datanode(DatanodeId id) : id_(id) {}
+
+  DatanodeId id() const { return id_; }
+  bool alive() const { return alive_; }
+  void Kill() { alive_ = false; }
+  void Restart() { alive_ = true; }
+
+  void StoreBlock(BlockId block) {
+    std::lock_guard<std::mutex> lock(mu_);
+    blocks_.insert(block);
+  }
+
+  void DropBlock(BlockId block) {
+    std::lock_guard<std::mutex> lock(mu_);
+    blocks_.erase(block);
+  }
+
+  bool HasBlock(BlockId block) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return blocks_.count(block) > 0;
+  }
+
+  size_t NumBlocks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return blocks_.size();
+  }
+
+  // Full block report (§7.7): ids of every stored block.
+  std::vector<BlockId> GenerateBlockReport() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::vector<BlockId>(blocks_.begin(), blocks_.end());
+  }
+
+ private:
+  const DatanodeId id_;
+  std::atomic<bool> alive_{true};
+  mutable std::mutex mu_;
+  std::set<BlockId> blocks_;
+};
+
+}  // namespace hops::fs

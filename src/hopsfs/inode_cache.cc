@@ -1,0 +1,91 @@
+#include "hopsfs/inode_cache.h"
+
+namespace hops::fs {
+
+std::string InodeHintCache::PrefixKey(const std::vector<std::string>& components,
+                                      size_t end) {
+  std::string key;
+  for (size_t i = 0; i <= end && i < components.size(); ++i) {
+    key += '/';
+    key += components[i];
+  }
+  return key;
+}
+
+std::vector<InodeHintCache::Hint> InodeHintCache::LookupChain(
+    const std::vector<std::string>& components) const {
+  std::vector<Hint> chain;
+  if (capacity_ == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return chain;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key;
+  for (size_t i = 0; i < components.size(); ++i) {
+    key += '/';
+    key += components[i];
+    auto it = map_.find(key);
+    if (it == map_.end()) break;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // refresh recency
+    chain.push_back(it->second.hint);
+  }
+  if (chain.size() == components.size() && !components.empty()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return chain;
+}
+
+void InodeHintCache::Put(const std::vector<std::string>& components, size_t depth_index,
+                         InodeId parent_id, InodeId inode_id) {
+  if (capacity_ == 0) return;
+  std::string key = PrefixKey(components, depth_index);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second.hint = Hint{parent_id, inode_id};
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  lru_.push_front(key);
+  map_[key] = Entry{Hint{parent_id, inode_id}, lru_.begin()};
+  EvictIfNeeded();
+}
+
+void InodeHintCache::InvalidatePrefix(const std::string& path_prefix) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = map_.begin(); it != map_.end();) {
+    const std::string& key = it->first;
+    bool covered = key.size() >= path_prefix.size() &&
+                   key.compare(0, path_prefix.size(), path_prefix) == 0 &&
+                   (key.size() == path_prefix.size() || key[path_prefix.size()] == '/');
+    if (covered) {
+      lru_.erase(it->second.lru_it);
+      it = map_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void InodeHintCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  lru_.clear();
+}
+
+size_t InodeHintCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+void InodeHintCache::EvictIfNeeded() {
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+}  // namespace hops::fs

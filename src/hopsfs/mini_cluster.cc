@@ -1,0 +1,102 @@
+#include "hopsfs/mini_cluster.h"
+
+namespace hops::fs {
+
+MiniCluster::MiniCluster(MiniClusterOptions options, std::unique_ptr<ndb::Cluster> db,
+                         MetadataSchema schema)
+    : options_(std::move(options)), db_(std::move(db)), schema_(schema) {}
+
+hops::Result<std::unique_ptr<MiniCluster>> MiniCluster::Start(MiniClusterOptions options) {
+  auto db = std::make_unique<ndb::Cluster>(options.db);
+  HOPS_ASSIGN_OR_RETURN(schema, MetadataSchema::Format(*db));
+  std::unique_ptr<MiniCluster> cluster(
+      new MiniCluster(std::move(options), std::move(db), schema));
+  for (int i = 0; i < cluster->options_.num_datanodes; ++i) {
+    cluster->datanodes_.push_back(std::make_unique<Datanode>(i + 1));
+  }
+  for (int i = 0; i < cluster->options_.num_namenodes; ++i) {
+    auto nn = std::make_unique<Namenode>(cluster->db_.get(), &cluster->schema_,
+                                         &cluster->options_.fs,
+                                         "nn-slot-" + std::to_string(i));
+    HOPS_RETURN_IF_ERROR(nn->Start());
+    cluster->InstallDatanodePicker(*nn);
+    cluster->namenodes_.push_back(std::move(nn));
+  }
+  cluster->TickHeartbeats();
+  return cluster;
+}
+
+void MiniCluster::InstallDatanodePicker(Namenode& nn) {
+  nn.SetDatanodePicker([this](int count) {
+    std::vector<DatanodeId> targets;
+    size_t n = datanodes_.size();
+    if (n == 0) return targets;
+    for (size_t tried = 0; tried < n && targets.size() < static_cast<size_t>(count);
+         ++tried) {
+      Datanode& dn = *datanodes_[dn_rr_.fetch_add(1, std::memory_order_relaxed) % n];
+      if (dn.alive()) targets.push_back(dn.id());
+    }
+    return targets;
+  });
+}
+
+std::vector<Namenode*> MiniCluster::AliveNamenodes() {
+  std::vector<Namenode*> alive;
+  for (auto& nn : namenodes_) {
+    if (nn && nn->alive()) alive.push_back(nn.get());
+  }
+  return alive;
+}
+
+Namenode* MiniCluster::leader() {
+  for (auto& nn : namenodes_) {
+    if (nn && nn->alive() && nn->IsLeader()) return nn.get();
+  }
+  return nullptr;
+}
+
+Datanode* MiniCluster::FindDatanode(DatanodeId id) {
+  for (auto& dn : datanodes_) {
+    if (dn->id() == id) return dn.get();
+  }
+  return nullptr;
+}
+
+void MiniCluster::KillNamenode(int i) { namenodes_[static_cast<size_t>(i)]->Kill(); }
+
+hops::Status MiniCluster::RestartNamenode(int i) {
+  // A restarted namenode gets a new id from the election service (§3).
+  auto nn = std::make_unique<Namenode>(db_.get(), &schema_, &options_.fs,
+                                       "nn-slot-" + std::to_string(i));
+  HOPS_RETURN_IF_ERROR(nn->Start());
+  InstallDatanodePicker(*nn);
+  namenodes_[static_cast<size_t>(i)] = std::move(nn);
+  return hops::Status::Ok();
+}
+
+void MiniCluster::TickHeartbeats(int rounds) {
+  for (int r = 0; r < rounds; ++r) {
+    for (auto& nn : namenodes_) {
+      if (nn && nn->alive()) (void)nn->Heartbeat();
+    }
+  }
+}
+
+Client MiniCluster::NewClient(NamenodePolicy policy, const std::string& name,
+                              uint64_t seed) {
+  return Client([this] { return AliveNamenodes(); }, policy, name, seed);
+}
+
+hops::Status MiniCluster::PipelineWrite(const LocatedBlock& block) {
+  for (DatanodeId id : block.locations) {
+    Datanode* dn = FindDatanode(id);
+    if (dn == nullptr || !dn->alive()) continue;
+    dn->StoreBlock(block.block_id);
+    auto alive = AliveNamenodes();
+    if (alive.empty()) return hops::Status::Unavailable("no alive namenode");
+    HOPS_RETURN_IF_ERROR(alive.front()->BlockReceived(id, block.block_id));
+  }
+  return hops::Status::Ok();
+}
+
+}  // namespace hops::fs

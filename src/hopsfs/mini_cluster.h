@@ -1,0 +1,69 @@
+// In-process HopsFS cluster for tests, examples and benchmarks: one NDB
+// cluster, N namenodes, M simulated datanodes, and client factories.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hopsfs/client.h"
+#include "hopsfs/datanode.h"
+#include "hopsfs/namenode.h"
+#include "hopsfs/schema.h"
+#include "ndb/cluster.h"
+
+namespace hops::fs {
+
+struct MiniClusterOptions {
+  ndb::ClusterConfig db;
+  FsConfig fs;
+  int num_namenodes = 2;
+  int num_datanodes = 3;
+};
+
+class MiniCluster {
+ public:
+  // Builds the database, formats the schema, and starts the namenodes.
+  static hops::Result<std::unique_ptr<MiniCluster>> Start(MiniClusterOptions options);
+
+  ndb::Cluster& db() { return *db_; }
+  const MetadataSchema& schema() const { return schema_; }
+  const FsConfig& fs_config() const { return options_.fs; }
+
+  int num_namenodes() const { return static_cast<int>(namenodes_.size()); }
+  Namenode& namenode(int i) { return *namenodes_[static_cast<size_t>(i)]; }
+  std::vector<Namenode*> AliveNamenodes();
+  // The current leader among alive namenodes (by the election's view).
+  Namenode* leader();
+
+  int num_datanodes() const { return static_cast<int>(datanodes_.size()); }
+  Datanode& datanode(int i) { return *datanodes_[static_cast<size_t>(i)]; }
+  Datanode* FindDatanode(DatanodeId id);
+
+  // Kills namenode i (simulated process death; its id is retired).
+  void KillNamenode(int i);
+  // Replaces slot i with a fresh namenode (new id, empty caches).
+  hops::Status RestartNamenode(int i);
+  // One election round on every alive namenode.
+  void TickHeartbeats(int rounds = 1);
+
+  Client NewClient(NamenodePolicy policy, const std::string& name, uint64_t seed = 42);
+
+  // Simulates the write pipeline for a located block: every target datanode
+  // stores the block and acknowledges it to a namenode.
+  hops::Status PipelineWrite(const LocatedBlock& block);
+
+ private:
+  MiniCluster(MiniClusterOptions options, std::unique_ptr<ndb::Cluster> db,
+              MetadataSchema schema);
+  void InstallDatanodePicker(Namenode& nn);
+
+  MiniClusterOptions options_;
+  std::unique_ptr<ndb::Cluster> db_;
+  MetadataSchema schema_;
+  std::vector<std::unique_ptr<Namenode>> namenodes_;
+  std::vector<std::unique_ptr<Datanode>> datanodes_;
+  std::atomic<uint64_t> dn_rr_{0};
+};
+
+}  // namespace hops::fs

@@ -1,0 +1,1175 @@
+// Namenode core: the transactional inode-operation template of Figure 4
+// (partition hints, batched path resolution via the inode hint cache with
+// recursive fallback, total-order locking of the last path components,
+// execute phase against decoded entities, batched update phase), plus the
+// single-transaction file system operations.
+#include "hopsfs/namenode.h"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+#include "hopsfs/partition.h"
+#include "util/clock.h"
+
+namespace hops::fs {
+
+namespace {
+
+// Permission bits wanted by CheckAccess.
+constexpr int kRead = 4, kWrite = 2, kExec = 1;
+
+ndb::Key InodeKey(InodeId parent, const std::string& name) {
+  return ndb::Key{parent, name};
+}
+
+FileStatus StatusFromInode(const Inode& n, std::string path) {
+  FileStatus st;
+  st.path = std::move(path);
+  st.name = n.name;
+  st.inode_id = n.id;
+  st.is_dir = n.is_dir;
+  st.perm = n.perm;
+  st.owner = n.owner;
+  st.group = n.group;
+  st.mtime = n.mtime;
+  st.size = n.size;
+  st.replication = n.replication;
+  return st;
+}
+
+}  // namespace
+
+// --- IdAllocator -------------------------------------------------------------
+
+hops::Result<int64_t> IdAllocator::Next() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (next_ >= limit_) {
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      auto tx = db_->Begin(ndb::TxHint{schema_->variables, static_cast<uint64_t>(var_id_)});
+      auto row = tx->Read(schema_->variables, {var_id_}, ndb::LockMode::kExclusive);
+      if (!row.ok()) {
+        if (row.status().IsRetryableTx()) continue;
+        return row.status();
+      }
+      int64_t base = (*row)[col::kVarValue].i64();
+      hops::Status st = tx->Update(schema_->variables, ndb::Row{var_id_, base + chunk_});
+      if (!st.ok()) continue;
+      st = tx->Commit();
+      if (st.ok()) {
+        next_ = base;
+        limit_ = base + chunk_;
+        break;
+      }
+      if (!st.IsRetryableTx()) return st;
+    }
+    if (next_ >= limit_) return hops::Status::TxAborted("id allocation failed");
+  }
+  return next_++;
+}
+
+// --- Construction ------------------------------------------------------------
+
+Namenode::Namenode(ndb::Cluster* db, const MetadataSchema* schema, const FsConfig* config,
+                   std::string location)
+    : db_(db),
+      schema_(schema),
+      config_(config),
+      election_(db, schema, config, std::move(location)),
+      hint_cache_(config->hint_cache_capacity),
+      inode_ids_(db, schema, kVarNextInodeId, config->id_chunk_size),
+      block_ids_(db, schema, kVarNextBlockId, config->id_chunk_size) {
+  root_.parent_id = kInvalidInode;
+  root_.name = "";
+  root_.id = kRootInode;
+  root_.is_dir = true;
+  root_.owner = "hdfs";
+  root_.group = "hdfs";
+}
+
+Namenode::~Namenode() = default;
+
+hops::Status Namenode::Start() {
+  HOPS_RETURN_IF_ERROR(election_.Register());
+  return election_.Heartbeat();
+}
+
+void Namenode::SetDatanodePicker(std::function<std::vector<DatanodeId>(int)> picker) {
+  std::lock_guard<std::mutex> lock(dn_picker_mu_);
+  dn_picker_ = std::move(picker);
+}
+
+// --- Transaction runner ------------------------------------------------------
+
+hops::Status Namenode::RunTx(std::optional<ndb::TxHint> hint,
+                             const std::function<hops::Status(ndb::Transaction&)>& body) {
+  int subtree_waits = 0;
+  bool want_trace;
+  {
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    want_trace = trace_sink_ != nullptr;
+  }
+  for (int attempt = 0; attempt < config_->max_tx_retries;) {
+    HOPS_RETURN_IF_ERROR(CheckAlive());
+    auto tx = db_->Begin(hint);
+    if (want_trace) tx->EnableTrace();
+    hops::Status st = body(*tx);
+    if (st.ok()) {
+      st = tx->Commit();
+      if (st.ok()) {
+        if (want_trace) {
+          std::lock_guard<std::mutex> lock(trace_mu_);
+          if (trace_sink_) trace_sink_(tx->trace());
+        }
+        return st;
+      }
+    } else if (tx->active()) {
+      tx->Abort();
+    }
+    if (st.code() == hops::StatusCode::kSubtreeLocked) {
+      // An active subtree operation owns part of the path: voluntarily back
+      // off and retry once the lock clears (§6.3).
+      if (++subtree_waits > config_->max_subtree_wait_retries) return st;
+      auto backoff = config_->subtree_retry_backoff * std::min(subtree_waits, 8);
+      std::this_thread::sleep_for(backoff);
+      continue;
+    }
+    if (st.IsRetryableTx()) {
+      ++attempt;
+      continue;
+    }
+    return st;
+  }
+  return hops::Status::TxAborted("operation exhausted its transaction retries");
+}
+
+// --- Path resolution & locking (Figure 4, lines 1-6) -------------------------
+
+uint64_t Namenode::InodePv(int depth, InodeId parent, std::string_view name) const {
+  return InodePartitionValue(depth, parent, name, config_->random_partition_depth);
+}
+
+hops::Result<Namenode::ReadInodeOut> Namenode::ReadInode(ndb::Transaction& tx, InodeId parent,
+                                                         const std::string& name, int depth,
+                                                         ndb::LockMode mode) {
+  uint64_t primary = InodePv(depth, parent, name);
+  auto row = tx.Read(schema_->inodes, InodeKey(parent, name), mode, primary);
+  if (row.ok()) return ReadInodeOut{InodeFromRow(*row), primary};
+  if (row.status().code() != hops::StatusCode::kNotFound) return row.status();
+  // Rows that crossed the random-partition depth boundary in a move keep
+  // their insert-time partition; try the alternate rule before giving up.
+  uint64_t alternate = depth <= config_->random_partition_depth
+                           ? static_cast<uint64_t>(parent)
+                           : HashBytes(name);
+  if (db_->PartitionForValue(alternate) != db_->PartitionForValue(primary)) {
+    auto alt = tx.Read(schema_->inodes, InodeKey(parent, name), mode, alternate);
+    if (alt.ok()) return ReadInodeOut{InodeFromRow(*alt), alternate};
+    if (alt.status().code() != hops::StatusCode::kNotFound) return alt.status();
+  }
+  return hops::Status::NotFound("no inode " + name);
+}
+
+hops::Status Namenode::CheckSubtreeLock(ndb::Transaction& tx, Inode& inode, uint64_t pv) {
+  if (inode.subtree_lock_owner == kNoSubtreeLock) return hops::Status::Ok();
+  if (inode.subtree_lock_owner == id_safe()) {
+    // Our own flag. If the owning subtree operation is still in flight on
+    // this namenode, ordinary inode operations must back off exactly as on
+    // any other namenode; otherwise it is residue of a failed cleanup.
+    if (IsMySubtreeOpActive(inode.id)) {
+      return hops::Status::SubtreeLocked("subtree op in progress on this namenode");
+    }
+  } else if (election_.IsNamenodeAlive(inode.subtree_lock_owner)) {
+    return hops::Status::SubtreeLocked("subtree locked by namenode " +
+                                       std::to_string(inode.subtree_lock_owner));
+  }
+  // Lazy cleanup (§6.2): the owner died (or the stale flag is our own);
+  // clear the flag and carry on.
+  inode.subtree_lock_owner = kNoSubtreeLock;
+  return tx.Update(schema_->inodes, ToRow(inode), pv);
+}
+
+hops::Status Namenode::ResolveSuffix(ndb::Transaction& tx,
+                                     const std::vector<std::string>& components, size_t from,
+                                     std::vector<Inode>& chain) {
+  // chain holds [root, inode(components[0]) .. inode(components[from-1])];
+  // resolves interior components only (the target is read in the lock phase).
+  for (size_t i = from; i + 1 < components.size(); ++i) {
+    InodeId parent = chain.back().id;
+    auto out = ReadInode(tx, parent, components[i], static_cast<int>(i) + 1,
+                         ndb::LockMode::kReadCommitted);
+    if (!out.ok()) return out.status();
+    hint_cache_.Put(components, i, parent, out->inode.id);
+    chain.push_back(std::move(out->inode));
+  }
+  return hops::Status::Ok();
+}
+
+hops::Result<Namenode::Resolved> Namenode::ResolveAndLock(
+    ndb::Transaction& tx, const std::vector<std::string>& components, const LockSpec& spec) {
+  Resolved r;
+  r.components = components;
+  r.chain.push_back(root_);
+  r.chain_pvs.push_back(RootPartitionValue());
+  const size_t n = components.size();
+  if (n == 0) {
+    r.target_exists = true;  // the root itself; immutable and never locked
+    return r;
+  }
+
+  // --- Interior components [0 .. n-2], read-committed -----------------------
+  bool interiors_ok = n == 1;
+  if (!interiors_ok) {
+    auto hints = hint_cache_.LookupChain(components);
+    if (hints.size() >= n - 1) {
+      // Single batched primary-key read for the whole interior (1 round trip
+      // instead of N-1).
+      std::vector<ndb::Key> keys;
+      std::vector<uint64_t> pvs;
+      keys.reserve(n - 1);
+      for (size_t i = 0; i + 1 < n; ++i) {
+        InodeId parent = i == 0 ? kRootInode : hints[i - 1].inode_id;
+        keys.push_back(InodeKey(parent, components[i]));
+        pvs.push_back(InodePv(static_cast<int>(i) + 1, parent, components[i]));
+      }
+      auto batch =
+          tx.BatchRead(schema_->inodes, keys, ndb::LockMode::kReadCommitted, &pvs);
+      if (!batch.ok()) return batch.status();
+      interiors_ok = true;
+      InodeId expect_parent = kRootInode;
+      for (size_t i = 0; i + 1 < n; ++i) {
+        const auto& slot = (*batch)[i];
+        if (!slot.has_value()) {
+          interiors_ok = false;  // stale hint
+          break;
+        }
+        Inode inode = InodeFromRow(*slot);
+        if (inode.parent_id != expect_parent) {
+          interiors_ok = false;  // hint chain broken by a concurrent move
+          break;
+        }
+        expect_parent = inode.id;
+        r.chain.push_back(std::move(inode));
+        r.chain_pvs.push_back(pvs[i]);
+      }
+      if (!interiors_ok) {
+        r.chain.resize(1);
+        r.chain_pvs.resize(1);
+      }
+    }
+    if (!interiors_ok) {
+      // Fall back to recursive resolution, repairing the cache (§5.1.1).
+      hops::Status st = ResolveSuffix(tx, components, 0, r.chain);
+      if (!st.ok()) return st;
+      r.chain_pvs.resize(1);
+      for (size_t i = 0; i + 1 < n; ++i) {
+        r.chain_pvs.push_back(
+            InodePv(static_cast<int>(i) + 1, r.chain[i].id, components[i]));
+      }
+      interiors_ok = true;
+    }
+    // Interior sanity + subtree-lock checks.
+    for (size_t i = 1; i < r.chain.size(); ++i) {
+      if (!r.chain[i].is_dir) return hops::Status::NotDirectory(components[i - 1]);
+      HOPS_RETURN_IF_ERROR(CheckSubtreeLock(tx, r.chain[i], r.chain_pvs[i]));
+    }
+  }
+
+  // --- Lock phase: parent, then target, in path (total) order ---------------
+  if (spec.lock_parent && n >= 2) {
+    // Re-read the parent with an exclusive lock; the RC copy may be stale.
+    Inode& rc_parent = r.chain[n - 1];
+    auto locked = ReadInode(tx, rc_parent.parent_id, rc_parent.name,
+                            static_cast<int>(n) - 1, ndb::LockMode::kExclusive);
+    if (!locked.ok()) {
+      if (locked.status().code() == hops::StatusCode::kNotFound) {
+        return hops::Status::TxAborted("parent vanished during resolution");
+      }
+      return locked.status();
+    }
+    if (locked->inode.id != rc_parent.id) {
+      return hops::Status::TxAborted("parent replaced during resolution");
+    }
+    HOPS_RETURN_IF_ERROR(CheckSubtreeLock(tx, locked->inode, locked->pv));
+    r.chain[n - 1] = std::move(locked->inode);
+    r.chain_pvs[n - 1] = locked->pv;
+  }
+
+  Inode& parent = r.chain[n - 1];
+  if (!parent.is_dir) return hops::Status::NotDirectory(parent.name);
+  auto target = ReadInode(tx, parent.id, components[n - 1], static_cast<int>(n),
+                          spec.target_mode);
+  if (target.ok()) {
+    HOPS_RETURN_IF_ERROR(CheckSubtreeLock(tx, target->inode, target->pv));
+    hint_cache_.Put(components, n - 1, parent.id, target->inode.id);
+    r.chain.push_back(std::move(target->inode));
+    r.chain_pvs.push_back(target->pv);
+    r.target_exists = true;
+  } else if (target.status().code() != hops::StatusCode::kNotFound) {
+    return target.status();
+  } else if (spec.target_must_exist) {
+    return hops::Status::NotFound(JoinPath(components) + " does not exist");
+  } else {
+    // The key lock taken by the failed locked read guards the insert slot.
+    r.target_exists = false;
+  }
+
+  // For mutations, re-validate the ancestor chain *after* the locks are
+  // held: the earlier read-committed copies may predate a subtree
+  // operation's phase-1 flag. Combined with the quiesce scan's
+  // take-and-release locks this closes the window where a mutation could
+  // slip under an in-flight subtree operation unnoticed.
+  if (spec.target_mode == ndb::LockMode::kExclusive && n >= 2) {
+    std::vector<ndb::Key> keys;
+    std::vector<uint64_t> pvs;
+    for (size_t i = 0; i + 1 < n; ++i) {
+      keys.push_back(InodeKey(r.chain[i].id, components[i]));
+      pvs.push_back(r.chain_pvs[i + 1]);
+    }
+    auto fresh = tx.BatchRead(schema_->inodes, keys, ndb::LockMode::kReadCommitted, &pvs);
+    if (!fresh.ok()) return fresh.status();
+    for (size_t i = 0; i + 1 < n; ++i) {
+      const auto& slot = (*fresh)[i];
+      if (!slot.has_value()) {
+        return hops::Status::TxAborted("ancestor vanished during the lock phase");
+      }
+      Inode current = InodeFromRow(*slot);
+      if (current.id != r.chain[i + 1].id) {
+        return hops::Status::TxAborted("ancestor replaced during the lock phase");
+      }
+      HOPS_RETURN_IF_ERROR(CheckSubtreeLock(tx, current, r.chain_pvs[i + 1]));
+    }
+  }
+  return r;
+}
+
+// --- Permissions ---------------------------------------------------------------
+
+hops::Status Namenode::CheckAccess(const Inode& inode, const UserContext& user,
+                                   int want) const {
+  if (user.superuser) return hops::Status::Ok();
+  int bits = user.user == inode.owner ? (inode.perm >> 6) & 7 : inode.perm & 7;
+  if ((bits & want) != want) {
+    return hops::Status::PermissionDenied("user=" + user.user + " inode=" + inode.name);
+  }
+  return hops::Status::Ok();
+}
+
+hops::Status Namenode::CheckPathTraversal(const Resolved& r, const UserContext& user) const {
+  if (user.superuser) return hops::Status::Ok();
+  // Every ancestor directory needs the execute bit.
+  size_t ancestors = r.chain.size() - (r.target_exists ? 1 : 0);
+  for (size_t i = 0; i < ancestors; ++i) {
+    HOPS_RETURN_IF_ERROR(CheckAccess(r.chain[i], user, kExec));
+  }
+  return hops::Status::Ok();
+}
+
+// --- Quota bookkeeping -----------------------------------------------------------
+
+hops::Status Namenode::UpdateQuotaUsage(ndb::Transaction& tx,
+                                        const std::vector<Inode>& ancestors,
+                                        int64_t ns_delta, int64_t ss_delta, bool enforce) {
+  if (ns_delta == 0 && ss_delta == 0) return hops::Status::Ok();
+  for (const Inode& dir : ancestors) {
+    if (!dir.has_quota) continue;
+    auto row = tx.Read(schema_->quotas, {dir.id}, ndb::LockMode::kExclusive);
+    if (!row.ok()) {
+      if (row.status().code() == hops::StatusCode::kNotFound) continue;  // racing clear
+      return row.status();
+    }
+    DirectoryQuota q = QuotaFromRow(*row);
+    q.ns_used += ns_delta;
+    q.ss_used += ss_delta;
+    if (enforce) {
+      if (q.ns_quota >= 0 && q.ns_used > q.ns_quota) {
+        return hops::Status::QuotaExceeded("namespace quota of " + dir.name);
+      }
+      if (q.ss_quota >= 0 && q.ss_used > q.ss_quota) {
+        return hops::Status::QuotaExceeded("storage quota of " + dir.name);
+      }
+    }
+    HOPS_RETURN_IF_ERROR(tx.Update(schema_->quotas, ToRow(q)));
+  }
+  return hops::Status::Ok();
+}
+
+// --- Children listing --------------------------------------------------------
+
+hops::Result<std::vector<ndb::Row>> Namenode::ScanChildren(ndb::Transaction& tx,
+                                                           const Inode& dir, int dir_depth,
+                                                           const ndb::ScanOptions& opts) {
+  if (ChildrenArePruned(dir_depth, config_->random_partition_depth)) {
+    // All children share the parent's shard: one partition-pruned scan.
+    return tx.Ppis(schema_->inodes, {dir.id}, opts, ChildrenPartitionValue(dir.id));
+  }
+  // Top of the tree: children are spread pseudo-randomly; pay an index scan
+  // over all shards (§4.2.1's trade-off).
+  return tx.IndexScan(schema_->inodes, {dir.id}, opts);
+}
+
+// --- Operations ---------------------------------------------------------------
+
+hops::Status Namenode::Mkdirs(const std::string& path, const UserContext& user) {
+  HOPS_RETURN_IF_ERROR(CheckAlive());
+  HOPS_ASSIGN_OR_RETURN(components, SplitPath(path));
+  // Create missing directories top-down, one transaction per level (each
+  // level is an ordinary "mkdir" inode operation).
+  for (size_t depth = 1; depth <= components.size(); ++depth) {
+    std::vector<std::string> prefix(components.begin(), components.begin() + depth);
+    uint64_t hint_pv = InodePv(static_cast<int>(depth), 0, prefix.back());
+    hops::Status st = RunTx(
+        ndb::TxHint{schema_->inodes, hint_pv}, [&](ndb::Transaction& tx) -> hops::Status {
+          LockSpec spec;
+          spec.target_mode = ndb::LockMode::kExclusive;
+          spec.lock_parent = true;
+          spec.target_must_exist = false;
+          HOPS_ASSIGN_OR_RETURN(r, ResolveAndLock(tx, prefix, spec));
+          HOPS_RETURN_IF_ERROR(CheckPathTraversal(r, user));
+          if (r.target_exists) {
+            return r.target().is_dir ? hops::Status::Ok()
+                                     : hops::Status::NotDirectory(r.target().name);
+          }
+          Inode& parent = r.parent_of_target();
+          HOPS_RETURN_IF_ERROR(CheckAccess(parent, user, kWrite));
+          HOPS_ASSIGN_OR_RETURN(id, inode_ids_.Next());
+          Inode dir;
+          dir.parent_id = parent.id;
+          dir.name = prefix.back();
+          dir.id = id;
+          dir.is_dir = true;
+          dir.owner = user.user;
+          dir.group = "hdfs";
+          dir.mtime = NowMicros();
+          std::vector<Inode> ancestors(r.chain.begin(), r.chain.end());
+          HOPS_RETURN_IF_ERROR(UpdateQuotaUsage(tx, ancestors, +1, 0, /*enforce=*/true));
+          HOPS_RETURN_IF_ERROR(tx.Insert(schema_->inodes, ToRow(dir),
+                                         InodePv(static_cast<int>(depth), parent.id,
+                                                 dir.name)));
+          if (parent.id != kRootInode) {
+            parent.mtime = NowMicros();
+            HOPS_RETURN_IF_ERROR(
+                tx.Update(schema_->inodes, ToRow(parent), r.parent_pv()));
+          }
+          hint_cache_.Put(prefix, depth - 1, parent.id, id);
+          return hops::Status::Ok();
+        });
+    if (!st.ok()) return st;
+  }
+  return hops::Status::Ok();
+}
+
+hops::Status Namenode::Create(const std::string& path, const std::string& client_name,
+                              const UserContext& user) {
+  HOPS_RETURN_IF_ERROR(CheckAlive());
+  HOPS_ASSIGN_OR_RETURN(components, SplitPath(path));
+  if (components.empty()) return hops::Status::IsDirectory("/");
+  uint64_t hint_pv = InodePv(static_cast<int>(components.size()), 0, components.back());
+  return RunTx(ndb::TxHint{schema_->inodes, hint_pv},
+               [&](ndb::Transaction& tx) -> hops::Status {
+                 LockSpec spec;
+                 spec.target_mode = ndb::LockMode::kExclusive;
+                 spec.lock_parent = true;
+                 spec.target_must_exist = false;
+                 HOPS_ASSIGN_OR_RETURN(r, ResolveAndLock(tx, components, spec));
+                 HOPS_RETURN_IF_ERROR(CheckPathTraversal(r, user));
+                 if (r.target_exists) {
+                   if (r.target().is_dir) return hops::Status::IsDirectory(path);
+                   return hops::Status::AlreadyExists(path);
+                 }
+                 Inode& parent = r.parent_of_target();
+                 HOPS_RETURN_IF_ERROR(CheckAccess(parent, user, kWrite));
+                 HOPS_ASSIGN_OR_RETURN(id, inode_ids_.Next());
+                 Inode file;
+                 file.parent_id = parent.id;
+                 file.name = components.back();
+                 file.id = id;
+                 file.is_dir = false;
+                 file.owner = user.user;
+                 file.group = "hdfs";
+                 file.mtime = NowMicros();
+                 file.replication = config_->default_replication;
+                 file.under_construction = true;
+                 std::vector<Inode> ancestors(r.chain.begin(), r.chain.end());
+                 HOPS_RETURN_IF_ERROR(
+                     UpdateQuotaUsage(tx, ancestors, +1, 0, /*enforce=*/true));
+                 HOPS_RETURN_IF_ERROR(
+                     tx.Insert(schema_->inodes, ToRow(file),
+                               InodePv(r.target_depth(), parent.id, file.name)));
+                 Lease lease{id, client_name, NowMicros()};
+                 HOPS_RETURN_IF_ERROR(tx.Insert(schema_->leases, ToRow(lease)));
+                 if (parent.id != kRootInode) {
+                   parent.mtime = NowMicros();
+                   HOPS_RETURN_IF_ERROR(
+                       tx.Update(schema_->inodes, ToRow(parent), r.parent_pv()));
+                 }
+                 hint_cache_.Put(components, components.size() - 1, parent.id, id);
+                 return hops::Status::Ok();
+               });
+}
+
+hops::Result<LocatedBlock> Namenode::AddBlock(const std::string& path,
+                                              const std::string& client_name,
+                                              int64_t num_bytes, const UserContext& user) {
+  HOPS_RETURN_IF_ERROR(CheckAlive());
+  HOPS_ASSIGN_OR_RETURN(components, SplitPath(path));
+  if (components.empty()) return hops::Status::IsDirectory("/");
+  LocatedBlock result;
+  uint64_t hint_pv = InodePv(static_cast<int>(components.size()), 0, components.back());
+  hops::Status st = RunTx(
+      ndb::TxHint{schema_->inodes, hint_pv}, [&](ndb::Transaction& tx) -> hops::Status {
+        LockSpec spec;
+        spec.target_mode = ndb::LockMode::kExclusive;
+        HOPS_ASSIGN_OR_RETURN(r, ResolveAndLock(tx, components, spec));
+        HOPS_RETURN_IF_ERROR(CheckPathTraversal(r, user));
+        Inode& file = r.target();
+        if (file.is_dir) return hops::Status::IsDirectory(path);
+        if (!file.under_construction) {
+          return hops::Status::LeaseConflict(path + " is not under construction");
+        }
+        auto lease_row = tx.Read(schema_->leases, {file.id}, ndb::LockMode::kExclusive);
+        if (!lease_row.ok()) return lease_row.status();
+        if (LeaseFromRow(*lease_row).holder != client_name) {
+          return hops::Status::LeaseConflict(path + " is held by another client");
+        }
+        // File-inode-related data lives in the file's shard: pruned scan.
+        HOPS_ASSIGN_OR_RETURN(block_rows, tx.Ppis(schema_->blocks, {file.id}));
+        // Commit the previous block (the client finished writing it).
+        int64_t next_index = 0;
+        for (const auto& row : block_rows) {
+          Block b = BlockFromRow(row);
+          next_index = std::max(next_index, b.block_index + 1);
+          if (b.state == BlockState::kUnderConstruction) {
+            b.state = BlockState::kComplete;
+            HOPS_RETURN_IF_ERROR(tx.Update(schema_->blocks, ToRow(b)));
+          }
+        }
+        HOPS_ASSIGN_OR_RETURN(block_id, block_ids_.Next());
+        Block b;
+        b.inode_id = file.id;
+        b.block_id = block_id;
+        b.block_index = next_index;
+        b.state = BlockState::kUnderConstruction;
+        b.num_bytes = num_bytes;
+        b.replication = file.replication;
+        HOPS_RETURN_IF_ERROR(tx.Insert(schema_->blocks, ToRow(b)));
+        HOPS_RETURN_IF_ERROR(
+            tx.Insert(schema_->block_lookup, ndb::Row{block_id, file.id}));
+        std::vector<DatanodeId> targets;
+        {
+          std::lock_guard<std::mutex> lock(dn_picker_mu_);
+          if (dn_picker_) targets = dn_picker_(static_cast<int>(file.replication));
+        }
+        for (DatanodeId dn : targets) {
+          Replica ruc{file.id, block_id, dn, ReplicaState::kFinalized};
+          HOPS_RETURN_IF_ERROR(tx.Insert(schema_->ruc, ToRow(ruc)));
+        }
+        std::vector<Inode> ancestors(r.chain.begin(), r.chain.end() - 1);
+        HOPS_RETURN_IF_ERROR(UpdateQuotaUsage(tx, ancestors, 0,
+                                              num_bytes * file.replication,
+                                              /*enforce=*/true));
+        file.size += num_bytes;
+        file.mtime = NowMicros();
+        HOPS_RETURN_IF_ERROR(tx.Update(schema_->inodes, ToRow(file), r.target_pv()));
+        result = LocatedBlock{block_id, next_index, num_bytes, std::move(targets)};
+        return hops::Status::Ok();
+      });
+  if (!st.ok()) return st;
+  return result;
+}
+
+hops::Status Namenode::CompleteFile(const std::string& path, const std::string& client_name,
+                                    const UserContext& user) {
+  HOPS_RETURN_IF_ERROR(CheckAlive());
+  HOPS_ASSIGN_OR_RETURN(components, SplitPath(path));
+  if (components.empty()) return hops::Status::IsDirectory("/");
+  uint64_t hint_pv = InodePv(static_cast<int>(components.size()), 0, components.back());
+  return RunTx(
+      ndb::TxHint{schema_->inodes, hint_pv}, [&](ndb::Transaction& tx) -> hops::Status {
+        LockSpec spec;
+        spec.target_mode = ndb::LockMode::kExclusive;
+        HOPS_ASSIGN_OR_RETURN(r, ResolveAndLock(tx, components, spec));
+        HOPS_RETURN_IF_ERROR(CheckPathTraversal(r, user));
+        Inode& file = r.target();
+        if (file.is_dir) return hops::Status::IsDirectory(path);
+        if (!file.under_construction) return hops::Status::Ok();  // idempotent
+        auto lease_row = tx.Read(schema_->leases, {file.id}, ndb::LockMode::kExclusive);
+        if (lease_row.ok() && LeaseFromRow(*lease_row).holder != client_name) {
+          return hops::Status::LeaseConflict(path + " is held by another client");
+        }
+        HOPS_ASSIGN_OR_RETURN(block_rows, tx.Ppis(schema_->blocks, {file.id}));
+        for (const auto& row : block_rows) {
+          Block b = BlockFromRow(row);
+          if (b.state == BlockState::kUnderConstruction) {
+            b.state = BlockState::kComplete;
+            HOPS_RETURN_IF_ERROR(tx.Update(schema_->blocks, ToRow(b)));
+          }
+        }
+        // Any replicas still marked under-construction are finalized now
+        // (datanodes that already called BlockReceived consumed their RUC
+        // rows earlier).
+        HOPS_ASSIGN_OR_RETURN(ruc_rows, tx.Ppis(schema_->ruc, {file.id}));
+        for (const auto& row : ruc_rows) {
+          Replica rep = ReplicaFromRow(row);
+          HOPS_RETURN_IF_ERROR(
+              tx.Delete(schema_->ruc, {rep.inode_id, rep.block_id, rep.datanode_id}));
+          hops::Status st = tx.Insert(schema_->replicas, ToRow(rep));
+          if (!st.ok() && st.code() != hops::StatusCode::kAlreadyExists) return st;
+        }
+        if (lease_row.ok()) {
+          HOPS_RETURN_IF_ERROR(tx.Delete(schema_->leases, {file.id}));
+        }
+        file.under_construction = false;
+        file.mtime = NowMicros();
+        return tx.Update(schema_->inodes, ToRow(file), r.target_pv());
+      });
+}
+
+hops::Status Namenode::Append(const std::string& path, const std::string& client_name,
+                              const UserContext& user) {
+  HOPS_RETURN_IF_ERROR(CheckAlive());
+  HOPS_ASSIGN_OR_RETURN(components, SplitPath(path));
+  if (components.empty()) return hops::Status::IsDirectory("/");
+  uint64_t hint_pv = InodePv(static_cast<int>(components.size()), 0, components.back());
+  return RunTx(ndb::TxHint{schema_->inodes, hint_pv},
+               [&](ndb::Transaction& tx) -> hops::Status {
+                 LockSpec spec;
+                 spec.target_mode = ndb::LockMode::kExclusive;
+                 HOPS_ASSIGN_OR_RETURN(r, ResolveAndLock(tx, components, spec));
+                 HOPS_RETURN_IF_ERROR(CheckPathTraversal(r, user));
+                 Inode& file = r.target();
+                 if (file.is_dir) return hops::Status::IsDirectory(path);
+                 HOPS_RETURN_IF_ERROR(CheckAccess(file, user, kWrite));
+                 if (file.under_construction) {
+                   return hops::Status::LeaseConflict(path + " is already open");
+                 }
+                 file.under_construction = true;
+                 Lease lease{file.id, client_name, NowMicros()};
+                 HOPS_RETURN_IF_ERROR(tx.Insert(schema_->leases, ToRow(lease)));
+                 return tx.Update(schema_->inodes, ToRow(file), r.target_pv());
+               });
+}
+
+hops::Result<std::vector<LocatedBlock>> Namenode::GetBlockLocations(
+    const std::string& path, const UserContext& user) {
+  HOPS_RETURN_IF_ERROR(CheckAlive());
+  HOPS_ASSIGN_OR_RETURN(components, SplitPath(path));
+  if (components.empty()) return hops::Status::IsDirectory("/");
+  std::vector<LocatedBlock> blocks;
+  uint64_t hint_pv = InodePv(static_cast<int>(components.size()), 0, components.back());
+  hops::Status st = RunTx(
+      ndb::TxHint{schema_->inodes, hint_pv}, [&](ndb::Transaction& tx) -> hops::Status {
+        blocks.clear();
+        LockSpec spec;
+        spec.target_mode = ndb::LockMode::kShared;
+        HOPS_ASSIGN_OR_RETURN(r, ResolveAndLock(tx, components, spec));
+        HOPS_RETURN_IF_ERROR(CheckPathTraversal(r, user));
+        Inode& file = r.target();
+        if (file.is_dir) return hops::Status::IsDirectory(path);
+        HOPS_RETURN_IF_ERROR(CheckAccess(file, user, kRead));
+        // Both scans are pruned to the file's shard (Figure 3).
+        HOPS_ASSIGN_OR_RETURN(block_rows, tx.Ppis(schema_->blocks, {file.id}));
+        HOPS_ASSIGN_OR_RETURN(replica_rows, tx.Ppis(schema_->replicas, {file.id}));
+        for (const auto& row : block_rows) {
+          Block b = BlockFromRow(row);
+          LocatedBlock lb{b.block_id, b.block_index, b.num_bytes, {}};
+          for (const auto& rep_row : replica_rows) {
+            Replica rep = ReplicaFromRow(rep_row);
+            if (rep.block_id == b.block_id && rep.state == ReplicaState::kFinalized) {
+              lb.locations.push_back(rep.datanode_id);
+            }
+          }
+          blocks.push_back(std::move(lb));
+        }
+        std::sort(blocks.begin(), blocks.end(),
+                  [](const LocatedBlock& a, const LocatedBlock& b) {
+                    return a.block_index < b.block_index;
+                  });
+        return hops::Status::Ok();
+      });
+  if (!st.ok()) return st;
+  return blocks;
+}
+
+hops::Result<FileStatus> Namenode::GetFileInfo(const std::string& path,
+                                               const UserContext& user) {
+  HOPS_RETURN_IF_ERROR(CheckAlive());
+  HOPS_ASSIGN_OR_RETURN(components, SplitPath(path));
+  if (components.empty()) return StatusFromInode(root_, "/");
+  FileStatus status;
+  uint64_t hint_pv = InodePv(static_cast<int>(components.size()), 0, components.back());
+  hops::Status st =
+      RunTx(ndb::TxHint{schema_->inodes, hint_pv}, [&](ndb::Transaction& tx) -> hops::Status {
+        LockSpec spec;
+        spec.target_mode = ndb::LockMode::kShared;
+        HOPS_ASSIGN_OR_RETURN(r, ResolveAndLock(tx, components, spec));
+        HOPS_RETURN_IF_ERROR(CheckPathTraversal(r, user));
+        status = StatusFromInode(r.target(), JoinPath(components));
+        if (!r.target().is_dir) {
+          HOPS_ASSIGN_OR_RETURN(block_rows, tx.Ppis(schema_->blocks, {r.target().id}));
+          status.num_blocks = static_cast<int64_t>(block_rows.size());
+        }
+        return hops::Status::Ok();
+      });
+  if (!st.ok()) return st;
+  return status;
+}
+
+hops::Result<std::vector<FileStatus>> Namenode::ListStatus(const std::string& path,
+                                                           const UserContext& user) {
+  HOPS_RETURN_IF_ERROR(CheckAlive());
+  HOPS_ASSIGN_OR_RETURN(components, SplitPath(path));
+  std::vector<FileStatus> listing;
+  uint64_t hint_pv = components.empty()
+                         ? RootPartitionValue()
+                         : InodePv(static_cast<int>(components.size()), 0, components.back());
+  hops::Status st = RunTx(
+      ndb::TxHint{schema_->inodes, hint_pv}, [&](ndb::Transaction& tx) -> hops::Status {
+        listing.clear();
+        Inode dir = root_;
+        int dir_depth = 0;
+        if (!components.empty()) {
+          // The directory inode is shared-locked so the listing cannot see
+          // phantom children (paper §5.2.1).
+          LockSpec spec;
+          spec.target_mode = ndb::LockMode::kShared;
+          HOPS_ASSIGN_OR_RETURN(r, ResolveAndLock(tx, components, spec));
+          HOPS_RETURN_IF_ERROR(CheckPathTraversal(r, user));
+          if (!r.target().is_dir) {
+            listing.push_back(StatusFromInode(r.target(), JoinPath(components)));
+            return hops::Status::Ok();
+          }
+          HOPS_RETURN_IF_ERROR(CheckAccess(r.target(), user, kRead));
+          dir = r.target();
+          dir_depth = r.target_depth();
+        }
+        HOPS_ASSIGN_OR_RETURN(children, ScanChildren(tx, dir, dir_depth, {}));
+        std::string base = JoinPath(components);
+        if (base == "/") base.clear();
+        for (const auto& row : children) {
+          Inode child = InodeFromRow(row);
+          listing.push_back(StatusFromInode(child, base + "/" + child.name));
+        }
+        std::sort(listing.begin(), listing.end(),
+                  [](const FileStatus& a, const FileStatus& b) { return a.name < b.name; });
+        return hops::Status::Ok();
+      });
+  if (!st.ok()) return st;
+  return listing;
+}
+
+hops::Status Namenode::SetPermission(const std::string& path, int64_t perm,
+                                     const UserContext& user) {
+  HOPS_RETURN_IF_ERROR(CheckAlive());
+  HOPS_ASSIGN_OR_RETURN(components, SplitPath(path));
+  if (components.empty()) {
+    return hops::Status::PermissionDenied("the root inode is immutable");
+  }
+  // Directories take the subtree path (§5: chmod on non-empty directories may
+  // invalidate operations running below; quiesce first).
+  auto info = GetFileInfo(path, user);
+  if (!info.ok()) return info.status();
+  if (info->is_dir) {
+    return SubtreeSetAttr(components, perm, std::nullopt, user);
+  }
+  uint64_t hint_pv = InodePv(static_cast<int>(components.size()), 0, components.back());
+  return RunTx(ndb::TxHint{schema_->inodes, hint_pv},
+               [&](ndb::Transaction& tx) -> hops::Status {
+                 LockSpec spec;
+                 spec.target_mode = ndb::LockMode::kExclusive;
+                 HOPS_ASSIGN_OR_RETURN(r, ResolveAndLock(tx, components, spec));
+                 HOPS_RETURN_IF_ERROR(CheckPathTraversal(r, user));
+                 Inode& inode = r.target();
+                 if (!user.superuser && user.user != inode.owner) {
+                   return hops::Status::PermissionDenied("only the owner may chmod");
+                 }
+                 inode.perm = perm;
+                 inode.mtime = NowMicros();
+                 return tx.Update(schema_->inodes, ToRow(inode), r.target_pv());
+               });
+}
+
+hops::Status Namenode::SetOwner(const std::string& path, const std::string& owner,
+                                const std::string& group, const UserContext& user) {
+  HOPS_RETURN_IF_ERROR(CheckAlive());
+  HOPS_ASSIGN_OR_RETURN(components, SplitPath(path));
+  if (components.empty()) {
+    return hops::Status::PermissionDenied("the root inode is immutable");
+  }
+  if (!user.superuser) return hops::Status::PermissionDenied("chown requires superuser");
+  auto info = GetFileInfo(path, user);
+  if (!info.ok()) return info.status();
+  if (info->is_dir) {
+    return SubtreeSetAttr(components, std::nullopt, std::make_pair(owner, group), user);
+  }
+  uint64_t hint_pv = InodePv(static_cast<int>(components.size()), 0, components.back());
+  return RunTx(ndb::TxHint{schema_->inodes, hint_pv},
+               [&](ndb::Transaction& tx) -> hops::Status {
+                 LockSpec spec;
+                 spec.target_mode = ndb::LockMode::kExclusive;
+                 HOPS_ASSIGN_OR_RETURN(r, ResolveAndLock(tx, components, spec));
+                 Inode& inode = r.target();
+                 inode.owner = owner;
+                 inode.group = group;
+                 inode.mtime = NowMicros();
+                 return tx.Update(schema_->inodes, ToRow(inode), r.target_pv());
+               });
+}
+
+hops::Status Namenode::SetReplication(const std::string& path, int64_t replication,
+                                      const UserContext& user) {
+  HOPS_RETURN_IF_ERROR(CheckAlive());
+  if (replication < 1) return hops::Status::InvalidArgument("replication must be >= 1");
+  HOPS_ASSIGN_OR_RETURN(components, SplitPath(path));
+  if (components.empty()) return hops::Status::IsDirectory("/");
+  uint64_t hint_pv = InodePv(static_cast<int>(components.size()), 0, components.back());
+  return RunTx(
+      ndb::TxHint{schema_->inodes, hint_pv}, [&](ndb::Transaction& tx) -> hops::Status {
+        LockSpec spec;
+        spec.target_mode = ndb::LockMode::kExclusive;
+        HOPS_ASSIGN_OR_RETURN(r, ResolveAndLock(tx, components, spec));
+        HOPS_RETURN_IF_ERROR(CheckPathTraversal(r, user));
+        Inode& file = r.target();
+        if (file.is_dir) return hops::Status::IsDirectory(path);
+        HOPS_RETURN_IF_ERROR(CheckAccess(file, user, kWrite));
+        int64_t delta = replication - file.replication;
+        if (delta == 0) return hops::Status::Ok();
+        std::vector<Inode> ancestors(r.chain.begin(), r.chain.end() - 1);
+        HOPS_RETURN_IF_ERROR(UpdateQuotaUsage(tx, ancestors, 0, file.size * delta,
+                                              /*enforce=*/delta > 0));
+        HOPS_ASSIGN_OR_RETURN(block_rows, tx.Ppis(schema_->blocks, {file.id}));
+        HOPS_ASSIGN_OR_RETURN(replica_rows, tx.Ppis(schema_->replicas, {file.id}));
+        for (const auto& row : block_rows) {
+          Block b = BlockFromRow(row);
+          b.replication = replication;
+          HOPS_RETURN_IF_ERROR(tx.Update(schema_->blocks, ToRow(b)));
+          // Re-evaluate the block's replica population.
+          std::vector<Replica> reps;
+          for (const auto& rep_row : replica_rows) {
+            Replica rep = ReplicaFromRow(rep_row);
+            if (rep.block_id == b.block_id) reps.push_back(rep);
+          }
+          int64_t have = static_cast<int64_t>(reps.size());
+          if (have < replication) {
+            Replica urb{file.id, b.block_id, 0, ReplicaState::kFinalized};
+            hops::Status st = tx.Insert(schema_->urb, ToRow(urb));
+            if (!st.ok() && st.code() != hops::StatusCode::kAlreadyExists) return st;
+          }
+          // Excess replicas are *moved* to the ER table and queued for
+          // datanode-side invalidation (§4.1).
+          for (int64_t i = replication; i < have; ++i) {
+            Replica extra = reps[static_cast<size_t>(i)];
+            HOPS_RETURN_IF_ERROR(tx.Delete(
+                schema_->replicas, {extra.inode_id, extra.block_id, extra.datanode_id}));
+            HOPS_RETURN_IF_ERROR(tx.Write(schema_->er, ToRow(extra)));
+            HOPS_RETURN_IF_ERROR(tx.Write(schema_->inv, ToRow(extra)));
+          }
+        }
+        file.replication = replication;
+        file.mtime = NowMicros();
+        return tx.Update(schema_->inodes, ToRow(file), r.target_pv());
+      });
+}
+
+hops::Result<ContentSummary> Namenode::GetContentSummary(const std::string& path,
+                                                         const UserContext& user) {
+  HOPS_RETURN_IF_ERROR(CheckAlive());
+  HOPS_ASSIGN_OR_RETURN(components, SplitPath(path));
+  ContentSummary summary;
+  // Read-only BFS with read-committed scans; like HDFS, the summary is not
+  // atomic with respect to concurrent mutations.
+  struct DirRef {
+    InodeId id;
+    int depth;
+  };
+  std::vector<DirRef> frontier;
+  {
+    auto info = GetFileInfo(path, user);
+    if (!info.ok()) return info.status();
+    if (!info->is_dir) {
+      return ContentSummary{1, 0, info->size * info->replication};
+    }
+    summary.dir_count = 1;
+    frontier.push_back({info->inode_id, static_cast<int>(components.size())});
+  }
+  while (!frontier.empty()) {
+    std::vector<DirRef> next;
+    for (const DirRef& dir : frontier) {
+      hops::Status st = RunTx(
+          ndb::TxHint{schema_->inodes, ChildrenPartitionValue(dir.id)},
+          [&](ndb::Transaction& tx) -> hops::Status {
+            Inode fake;
+            fake.id = dir.id;
+            fake.is_dir = true;
+            HOPS_ASSIGN_OR_RETURN(children, ScanChildren(tx, fake, dir.depth, {}));
+            for (const auto& row : children) {
+              Inode child = InodeFromRow(row);
+              if (child.is_dir) {
+                summary.dir_count++;
+                next.push_back({child.id, dir.depth + 1});
+              } else {
+                summary.file_count++;
+                summary.total_bytes += child.size * child.replication;
+              }
+            }
+            return hops::Status::Ok();
+          });
+      if (!st.ok()) return st;
+    }
+    frontier = std::move(next);
+  }
+  return summary;
+}
+
+hops::Status Namenode::Rename(const std::string& src, const std::string& dst,
+                              const UserContext& user) {
+  HOPS_RETURN_IF_ERROR(CheckAlive());
+  HOPS_ASSIGN_OR_RETURN(src_parts, SplitPath(src));
+  HOPS_ASSIGN_OR_RETURN(dst_parts, SplitPath(dst));
+  if (src_parts.empty()) return hops::Status::PermissionDenied("the root inode is immutable");
+  if (dst_parts.empty()) return hops::Status::AlreadyExists("/");
+  if (IsPrefixPath(JoinPath(src_parts), JoinPath(dst_parts))) {
+    return hops::Status::InvalidArgument("cannot move a directory into its own subtree");
+  }
+  hops::Status st = RenameInTx(src_parts, dst_parts, user);
+  if (st.code() == hops::StatusCode::kNotEmpty) {
+    // Non-empty directory: go through the subtree operations protocol (§6).
+    st = SubtreeRename(src_parts, dst_parts, user);
+  }
+  if (st.ok()) hint_cache_.InvalidatePrefix(JoinPath(src_parts));
+  return st;
+}
+
+hops::Status Namenode::RenameInTx(const std::vector<std::string>& src,
+                                  const std::vector<std::string>& dst,
+                                  const UserContext& user) {
+  return RunTx(std::nullopt, [&](ndb::Transaction& tx) -> hops::Status {
+    // Resolve both paths' interiors read-committed (no locks yet).
+    LockSpec rc_only;
+    rc_only.target_mode = ndb::LockMode::kReadCommitted;
+    rc_only.target_must_exist = true;
+    HOPS_ASSIGN_OR_RETURN(src_r, ResolveAndLock(tx, src, rc_only));
+    LockSpec rc_dst;
+    rc_dst.target_mode = ndb::LockMode::kReadCommitted;
+    rc_dst.target_must_exist = false;
+    HOPS_ASSIGN_OR_RETURN(dst_r, ResolveAndLock(tx, dst, rc_dst));
+    HOPS_RETURN_IF_ERROR(CheckPathTraversal(src_r, user));
+    HOPS_RETURN_IF_ERROR(CheckPathTraversal(dst_r, user));
+    if (dst_r.target_exists) return hops::Status::AlreadyExists(JoinPath(dst));
+    Inode& src_parent_rc = src_r.parent_of_target();
+    Inode& dst_parent_rc = dst_r.parent_of_target();
+    HOPS_RETURN_IF_ERROR(CheckAccess(src_parent_rc, user, kWrite));
+    HOPS_RETURN_IF_ERROR(CheckAccess(dst_parent_rc, user, kWrite));
+
+    // Take exclusive locks in the left-ordered depth-first total order (§5).
+    struct LockItem {
+      std::vector<std::string> path;
+      InodeId parent;
+      std::string name;
+      int depth;
+      bool expect_exists;
+      InodeId expect_id;  // 0 = don't care
+      Inode out;
+      uint64_t out_pv = 0;
+      bool found = false;
+    };
+    std::vector<LockItem> items;
+    auto parent_path = [](const std::vector<std::string>& p) {
+      return std::vector<std::string>(p.begin(), p.end() - 1);
+    };
+    if (src.size() >= 2) {
+      items.push_back({parent_path(src), src_parent_rc.parent_id, src_parent_rc.name,
+                       static_cast<int>(src.size()) - 1, true, src_parent_rc.id, {}, 0,
+                       false});
+    }
+    items.push_back({src, src_parent_rc.id, src.back(), static_cast<int>(src.size()), true,
+                     src_r.target().id, {}, 0, false});
+    if (dst.size() >= 2 && dst_parent_rc.id != src_parent_rc.id) {
+      items.push_back({parent_path(dst), dst_parent_rc.parent_id, dst_parent_rc.name,
+                       static_cast<int>(dst.size()) - 1, true, dst_parent_rc.id, {}, 0,
+                       false});
+    }
+    items.push_back(
+        {dst, dst_parent_rc.id, dst.back(), static_cast<int>(dst.size()), false, 0, {}, 0,
+         false});
+    std::sort(items.begin(), items.end(),
+              [](const LockItem& a, const LockItem& b) { return LockOrderLess(a.path, b.path); });
+    for (auto& item : items) {
+      auto out = ReadInode(tx, item.parent, item.name, item.depth,
+                           ndb::LockMode::kExclusive);
+      if (out.ok()) {
+        item.found = true;
+        item.out = std::move(out->inode);
+        item.out_pv = out->pv;
+        if (item.expect_id != 0 && item.out.id != item.expect_id) {
+          return hops::Status::TxAborted("path changed during rename resolution");
+        }
+        HOPS_RETURN_IF_ERROR(CheckSubtreeLock(tx, item.out, item.out_pv));
+      } else if (out.status().code() == hops::StatusCode::kNotFound) {
+        if (item.expect_exists) {
+          return hops::Status::TxAborted("path changed during rename resolution");
+        }
+      } else {
+        return out.status();
+      }
+    }
+    auto find_item = [&](const std::vector<std::string>& p) -> LockItem* {
+      for (auto& item : items) {
+        if (item.path == p) return &item;
+      }
+      return nullptr;
+    };
+    LockItem* src_item = find_item(src);
+    LockItem* dst_item = find_item(dst);
+    if (dst_item->found) return hops::Status::AlreadyExists(JoinPath(dst));
+    Inode moving = src_item->out;
+
+    // A directory with children cannot move in one transaction; signal the
+    // caller to use the subtree protocol.
+    if (moving.is_dir) {
+      ndb::ScanOptions probe;
+      HOPS_ASSIGN_OR_RETURN(children,
+                            ScanChildren(tx, moving, static_cast<int>(src.size()), probe));
+      if (!children.empty()) return hops::Status::NotEmpty(JoinPath(src));
+    }
+
+    // Execute: the move rewrites only the moved inode's row (its primary key
+    // and partition change); all satellite data keys on the inode id.
+    HOPS_RETURN_IF_ERROR(
+        tx.Delete(schema_->inodes, InodeKey(moving.parent_id, moving.name), src_item->out_pv));
+    Inode moved = moving;
+    moved.parent_id = dst_item->parent;
+    moved.name = dst.back();
+    moved.mtime = NowMicros();
+    HOPS_RETURN_IF_ERROR(tx.Insert(schema_->inodes, ToRow(moved),
+                                   InodePv(static_cast<int>(dst.size()), dst_item->parent,
+                                           moved.name)));
+
+    // Parent mtimes (the immutable root is never rewritten).
+    int64_t now = NowMicros();
+    LockItem* src_parent_item = src.size() >= 2 ? find_item(parent_path(src)) : nullptr;
+    LockItem* dst_parent_item = dst.size() >= 2 ? find_item(parent_path(dst)) : nullptr;
+    if (dst_parent_item == nullptr && dst.size() >= 2) {
+      dst_parent_item = src_parent_item;  // same parent, deduplicated above
+    }
+    if (src_parent_item != nullptr) {
+      src_parent_item->out.mtime = now;
+      HOPS_RETURN_IF_ERROR(tx.Update(schema_->inodes, ToRow(src_parent_item->out),
+                                     src_parent_item->out_pv));
+    }
+    if (dst_parent_item != nullptr && dst_parent_item != src_parent_item) {
+      dst_parent_item->out.mtime = now;
+      HOPS_RETURN_IF_ERROR(tx.Update(schema_->inodes, ToRow(dst_parent_item->out),
+                                     dst_parent_item->out_pv));
+    }
+
+    // Quota usage moves from the source chain to the destination chain.
+    int64_t ns = 1;
+    int64_t ss = moving.is_dir ? 0 : moving.size * moving.replication;
+    std::vector<Inode> src_ancestors(src_r.chain.begin(),
+                                     src_r.chain.begin() + static_cast<long>(src.size()));
+    // dst did not exist, so its chain is exactly [root .. dst parent].
+    std::vector<Inode> dst_ancestors(dst_r.chain.begin(), dst_r.chain.end());
+    HOPS_RETURN_IF_ERROR(UpdateQuotaUsage(tx, src_ancestors, -ns, -ss, /*enforce=*/false));
+    HOPS_RETURN_IF_ERROR(UpdateQuotaUsage(tx, dst_ancestors, +ns, +ss, /*enforce=*/true));
+    return hops::Status::Ok();
+  });
+}
+
+hops::Status Namenode::DeleteFileArtifacts(ndb::Transaction& tx, const Inode& file) {
+  // All satellite tables are partitioned by the inode id: pruned scans.
+  HOPS_ASSIGN_OR_RETURN(block_rows, tx.Ppis(schema_->blocks, {file.id}));
+  for (const auto& row : block_rows) {
+    Block b = BlockFromRow(row);
+    HOPS_RETURN_IF_ERROR(tx.Delete(schema_->blocks, {b.inode_id, b.block_id}));
+    hops::Status st = tx.Delete(schema_->block_lookup, {b.block_id});
+    if (!st.ok() && st.code() != hops::StatusCode::kNotFound) return st;
+  }
+  HOPS_ASSIGN_OR_RETURN(replica_rows, tx.Ppis(schema_->replicas, {file.id}));
+  for (const auto& row : replica_rows) {
+    Replica rep = ReplicaFromRow(row);
+    HOPS_RETURN_IF_ERROR(
+        tx.Delete(schema_->replicas, {rep.inode_id, rep.block_id, rep.datanode_id}));
+    // Invalidation command for the datanode holding the replica.
+    hops::Status st = tx.Insert(schema_->inv, ToRow(rep));
+    if (!st.ok() && st.code() != hops::StatusCode::kAlreadyExists) return st;
+  }
+  for (ndb::TableId t : {schema_->urb, schema_->prb, schema_->ruc, schema_->cr, schema_->er}) {
+    HOPS_ASSIGN_OR_RETURN(rows, tx.Ppis(t, {file.id}));
+    for (const auto& row : rows) {
+      HOPS_RETURN_IF_ERROR(tx.Delete(
+          t, {row[col::kReplicaInode].i64(), row[col::kReplicaBlock].i64(),
+              row[col::kReplicaDatanode].i64()}));
+    }
+  }
+  hops::Status st = tx.Delete(schema_->leases, {file.id});
+  if (!st.ok() && st.code() != hops::StatusCode::kNotFound) return st;
+  return hops::Status::Ok();
+}
+
+hops::Status Namenode::Delete(const std::string& path, bool recursive,
+                              const UserContext& user) {
+  HOPS_RETURN_IF_ERROR(CheckAlive());
+  HOPS_ASSIGN_OR_RETURN(components, SplitPath(path));
+  if (components.empty()) return hops::Status::PermissionDenied("the root inode is immutable");
+  uint64_t hint_pv = InodePv(static_cast<int>(components.size()), 0, components.back());
+  hops::Status st = RunTx(
+      ndb::TxHint{schema_->inodes, hint_pv}, [&](ndb::Transaction& tx) -> hops::Status {
+        LockSpec spec;
+        spec.target_mode = ndb::LockMode::kExclusive;
+        spec.lock_parent = true;
+        HOPS_ASSIGN_OR_RETURN(r, ResolveAndLock(tx, components, spec));
+        HOPS_RETURN_IF_ERROR(CheckPathTraversal(r, user));
+        Inode& target = r.target();
+        Inode& parent = r.parent_of_target();
+        HOPS_RETURN_IF_ERROR(CheckAccess(parent, user, kWrite));
+        if (target.is_dir) {
+          HOPS_ASSIGN_OR_RETURN(children,
+                                ScanChildren(tx, target, r.target_depth(), {}));
+          if (!children.empty()) {
+            return recursive ? hops::Status::NotEmpty(path)
+                             : hops::Status::NotEmpty(path + " is not empty");
+          }
+          if (target.has_quota) {
+            hops::Status qst = tx.Delete(schema_->quotas, {target.id});
+            if (!qst.ok() && qst.code() != hops::StatusCode::kNotFound) return qst;
+          }
+        } else {
+          HOPS_RETURN_IF_ERROR(DeleteFileArtifacts(tx, target));
+        }
+        HOPS_RETURN_IF_ERROR(tx.Delete(schema_->inodes,
+                                       InodeKey(target.parent_id, target.name),
+                                       r.target_pv()));
+        int64_t ss = target.is_dir ? 0 : target.size * target.replication;
+        std::vector<Inode> ancestors(r.chain.begin(), r.chain.end() - 1);
+        HOPS_RETURN_IF_ERROR(UpdateQuotaUsage(tx, ancestors, -1, -ss, /*enforce=*/false));
+        if (parent.id != kRootInode) {
+          parent.mtime = NowMicros();
+          HOPS_RETURN_IF_ERROR(tx.Update(schema_->inodes, ToRow(parent), r.parent_pv()));
+        }
+        return hops::Status::Ok();
+      });
+  if (st.code() == hops::StatusCode::kNotEmpty && recursive) {
+    st = SubtreeDelete(components, user);
+  }
+  if (st.ok()) hint_cache_.InvalidatePrefix(JoinPath(components));
+  return st;
+}
+
+hops::Status Namenode::SetQuota(const std::string& path, int64_t ns_quota, int64_t ss_quota,
+                                const UserContext& user) {
+  HOPS_RETURN_IF_ERROR(CheckAlive());
+  if (!user.superuser) return hops::Status::PermissionDenied("setQuota requires superuser");
+  HOPS_ASSIGN_OR_RETURN(components, SplitPath(path));
+  if (components.empty()) {
+    return hops::Status::PermissionDenied("quotas on the root are not supported");
+  }
+  auto info = GetFileInfo(path, user);
+  if (!info.ok()) return info.status();
+  if (!info->is_dir) return hops::Status::NotDirectory(path);
+  return SubtreeSetQuota(components, ns_quota, ss_quota, user);
+}
+
+// id_safe(): election id (0 before Start()).
+NamenodeId Namenode::id_safe() const { return election_.id(); }
+
+}  // namespace hops::fs

@@ -1,0 +1,310 @@
+// A stateless HopsFS namenode (paper §3, §5, §6).
+//
+// Namenodes keep no authoritative state: every file system operation is a
+// distributed transaction against the NDB-stored metadata, built from the
+// three-phase template of Figure 4 (lock / execute / update). Per-namenode
+// soft state is limited to the inode hint cache, chunked id allocators, and
+// the leader-election membership view. Any number of Namenode instances can
+// serve the same metadata concurrently; clients spread operations across
+// them and retry on failure.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hopsfs/config.h"
+#include "hopsfs/inode_cache.h"
+#include "hopsfs/leader.h"
+#include "hopsfs/path.h"
+#include "hopsfs/schema.h"
+#include "hopsfs/types.h"
+#include "ndb/cluster.h"
+
+namespace hops::fs {
+
+// Chunked allocator over a variables-table counter; namenodes grab id ranges
+// in bulk so the counter row never becomes a write hotspot.
+class IdAllocator {
+ public:
+  IdAllocator(ndb::Cluster* db, const MetadataSchema* schema, int64_t var_id,
+              int64_t chunk_size)
+      : db_(db), schema_(schema), var_id_(var_id), chunk_(chunk_size) {}
+
+  hops::Result<int64_t> Next();
+
+ private:
+  ndb::Cluster* const db_;
+  const MetadataSchema* const schema_;
+  const int64_t var_id_;
+  const int64_t chunk_;
+  std::mutex mu_;
+  int64_t next_ = 0;
+  int64_t limit_ = 0;
+};
+
+// Caller identity for permission enforcement.
+struct UserContext {
+  std::string user = "hdfs";
+  bool superuser = true;
+};
+
+// Result of processing one datanode block report (§7.7).
+struct BlockReportResult {
+  int64_t blocks_matched = 0;
+  int64_t replicas_added = 0;    // on-datanode blocks missing from metadata
+  int64_t orphans_invalidated = 0;  // blocks unknown to the namespace
+  int64_t replicas_removed = 0;  // metadata said present, report disagreed
+};
+
+class Namenode {
+ public:
+  // Fault-injection hook: invoked at named protocol points; returning true
+  // simulates the namenode process dying at that point (the operation stops
+  // without any cleanup, exactly like a crash).
+  using DieAt = std::function<bool(std::string_view point)>;
+
+  Namenode(ndb::Cluster* db, const MetadataSchema* schema, const FsConfig* config,
+           std::string location = "nn");
+  ~Namenode();
+
+  // Joins the cluster: allocates the namenode id via leader election.
+  hops::Status Start();
+  // One leader-election round; drives failure detection.
+  hops::Status Heartbeat() { return election_.Heartbeat(); }
+
+  NamenodeId id() const { return election_.id(); }
+  bool alive() const { return alive_; }
+  bool IsLeader() const { return election_.IsLeader(); }
+  // Simulates a crash: subsequent calls fail with kFailover, heartbeats stop,
+  // and any subtree locks this namenode held are left behind for lazy
+  // cleanup by the surviving namenodes.
+  void Kill() { alive_ = false; }
+
+  LeaderElection& election() { return election_; }
+  InodeHintCache& hint_cache() { return hint_cache_; }
+  const FsConfig& config() const { return *config_; }
+
+  // Datanode pool used to place new block replicas.
+  void SetDatanodePicker(std::function<std::vector<DatanodeId>(int)> picker);
+  void set_die_at(DieAt hook) { die_at_ = std::move(hook); }
+
+  // When set, every committed transaction's database-access trace is
+  // delivered to the sink (used by the benchmark calibration pipeline).
+  using TraceSink = std::function<void(const ndb::CostTrace&)>;
+  void SetTraceSink(TraceSink sink) {
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    trace_sink_ = std::move(sink);
+  }
+
+  // --- Client API (HDFS-compatible set; Table 1's operations) --------------
+  hops::Status Mkdirs(const std::string& path, const UserContext& user = {});
+  hops::Status Create(const std::string& path, const std::string& client_name,
+                      const UserContext& user = {});
+  hops::Result<LocatedBlock> AddBlock(const std::string& path,
+                                      const std::string& client_name, int64_t num_bytes,
+                                      const UserContext& user = {});
+  hops::Status CompleteFile(const std::string& path, const std::string& client_name,
+                            const UserContext& user = {});
+  hops::Status Append(const std::string& path, const std::string& client_name,
+                      const UserContext& user = {});
+  hops::Result<std::vector<LocatedBlock>> GetBlockLocations(const std::string& path,
+                                                            const UserContext& user = {});
+  hops::Result<FileStatus> GetFileInfo(const std::string& path,
+                                       const UserContext& user = {});
+  hops::Result<std::vector<FileStatus>> ListStatus(const std::string& path,
+                                                   const UserContext& user = {});
+  hops::Status SetPermission(const std::string& path, int64_t perm,
+                             const UserContext& user = {});
+  hops::Status SetOwner(const std::string& path, const std::string& owner,
+                        const std::string& group, const UserContext& user = {});
+  hops::Status SetReplication(const std::string& path, int64_t replication,
+                              const UserContext& user = {});
+  hops::Result<ContentSummary> GetContentSummary(const std::string& path,
+                                                 const UserContext& user = {});
+  hops::Status Rename(const std::string& src, const std::string& dst,
+                      const UserContext& user = {});
+  hops::Status Delete(const std::string& path, bool recursive,
+                      const UserContext& user = {});
+  // ns_quota / ss_quota of -1 = unlimited; both -1 clears the quota.
+  hops::Status SetQuota(const std::string& path, int64_t ns_quota, int64_t ss_quota,
+                        const UserContext& user = {});
+
+  // --- Datanode protocol -----------------------------------------------------
+  // A datanode finished writing a replica of `block_id`.
+  hops::Status BlockReceived(DatanodeId dn, BlockId block_id);
+  hops::Result<BlockReportResult> ProcessBlockReport(DatanodeId dn,
+                                                     const std::vector<BlockId>& report);
+  // Leader housekeeping: drop the failed datanode's replicas, queueing
+  // under-replicated blocks.
+  hops::Result<int64_t> HandleDatanodeFailure(DatanodeId dn);
+  // Leader housekeeping: schedule re-replication for under-replicated blocks
+  // (URB -> PRB + RUC on a fresh datanode). Returns blocks scheduled.
+  hops::Result<int64_t> RunReplicationMonitor();
+  // Drains the invalidation queue for a datanode (blocks it must delete).
+  hops::Result<std::vector<BlockId>> FetchInvalidations(DatanodeId dn);
+
+ private:
+  friend class SubtreeOperation;
+
+  // One resolved + locked path, the output of the Figure-4 lock phase.
+  struct Resolved {
+    std::vector<std::string> components;
+    // chain[0] is the root inode; chain[i] is components[i-1]'s inode.
+    // Contains entries only for components that exist.
+    std::vector<Inode> chain;
+    // Partition value each chain inode's row was found at (mutations must
+    // reuse it).
+    std::vector<uint64_t> chain_pvs;
+    bool target_exists = false;
+    Inode& target() { return chain.back(); }
+    uint64_t target_pv() const { return chain_pvs.back(); }
+    Inode& parent_of_target() { return chain[chain.size() - (target_exists ? 2 : 1)]; }
+    uint64_t parent_pv() const { return chain_pvs[chain_pvs.size() - (target_exists ? 2 : 1)]; }
+    int target_depth() const { return static_cast<int>(components.size()); }
+  };
+
+  struct LockSpec {
+    ndb::LockMode target_mode = ndb::LockMode::kShared;
+    bool lock_parent = false;               // X-lock the parent (mutations)
+    bool target_must_exist = true;
+  };
+
+  // Runs `body` inside a transaction with retries for lock timeouts, aborted
+  // transactions and subtree-lock waits (exponential backoff).
+  hops::Status RunTx(std::optional<ndb::TxHint> hint,
+                     const std::function<hops::Status(ndb::Transaction&)>& body);
+
+  // Figure 4 lines 1-6: resolve the path (hint cache + batched read, with
+  // recursive fallback), then lock the last component(s) in total order.
+  hops::Result<Resolved> ResolveAndLock(ndb::Transaction& tx,
+                                        const std::vector<std::string>& components,
+                                        const LockSpec& spec);
+  // Recursive (uncached) resolution of components [from..to); read-committed.
+  hops::Status ResolveSuffix(ndb::Transaction& tx, const std::vector<std::string>& components,
+                             size_t from, std::vector<Inode>& chain);
+  // Reads one inode by (parent, name) at `depth`, trying the alternate
+  // partition rule if the primary one misses (post-move top-level rows).
+  struct ReadInodeOut {
+    Inode inode;
+    uint64_t pv;  // partition value the row was found at
+  };
+  hops::Result<ReadInodeOut> ReadInode(ndb::Transaction& tx, InodeId parent,
+                                       const std::string& name, int depth,
+                                       ndb::LockMode mode);
+  // Checks an inode's subtree lock: kSubtreeLocked while an alive namenode
+  // owns it; lazily clears locks owned by dead namenodes (§6.2).
+  hops::Status CheckSubtreeLock(ndb::Transaction& tx, Inode& inode, uint64_t pv);
+
+  uint64_t InodePv(int depth, InodeId parent, std::string_view name) const;
+  // Children listing that respects the partition scheme: partition-pruned
+  // scan below the random-partition depth, index scan at/above it.
+  hops::Result<std::vector<ndb::Row>> ScanChildren(ndb::Transaction& tx, const Inode& dir,
+                                                   int dir_depth, const ndb::ScanOptions& opts);
+
+  hops::Status CheckAccess(const Inode& inode, const UserContext& user, int want) const;
+  hops::Status CheckPathTraversal(const Resolved& r, const UserContext& user) const;
+
+  // Quota bookkeeping along the resolved ancestor chain (X-locks quota rows
+  // in root->leaf order; call within the operation's transaction).
+  hops::Status UpdateQuotaUsage(ndb::Transaction& tx, const std::vector<Inode>& ancestors,
+                                int64_t ns_delta, int64_t ss_delta, bool enforce);
+
+  // Deletes a file inode's satellite rows (blocks, replicas, life-cycle
+  // rows, lease, lookup) and stages datanode-side invalidation.
+  hops::Status DeleteFileArtifacts(ndb::Transaction& tx, const Inode& file);
+
+  // Subtree operations (§6); defined in subtree.cc.
+  enum class SubtreeOp : int64_t { kDelete = 1, kMove = 2, kSetAttr = 3, kSetQuota = 4 };
+  struct SubtreeNode {
+    InodeId id;
+    InodeId parent_id;
+    std::string name;
+    bool is_dir;
+    int64_t size;
+    int64_t replication;
+    bool has_quota;
+    int depth;  // absolute path depth
+  };
+  struct SubtreeSnapshot {
+    Inode root;
+    std::vector<std::string> root_components;
+    std::vector<Inode> ancestors;  // resolved chain above the subtree root
+    // Level order: levels[0] = {root}, levels[i+1] = children of levels[i].
+    std::vector<std::vector<SubtreeNode>> levels;
+    int64_t inode_count = 0;
+    int64_t byte_count = 0;  // sum of file size * replication
+  };
+  hops::Status SubtreeDelete(const std::vector<std::string>& components,
+                             const UserContext& user);
+  hops::Status SubtreeRename(const std::vector<std::string>& src,
+                             const std::vector<std::string>& dst, const UserContext& user);
+  hops::Status SubtreeSetAttr(const std::vector<std::string>& components,
+                              std::optional<int64_t> perm,
+                              std::optional<std::pair<std::string, std::string>> owner,
+                              const UserContext& user);
+  hops::Status SubtreeSetQuota(const std::vector<std::string>& components, int64_t ns_quota,
+                               int64_t ss_quota, const UserContext& user);
+  hops::Result<SubtreeSnapshot> SubtreeLockAndQuiesce(
+      const std::vector<std::string>& components, SubtreeOp op, const UserContext& user);
+  hops::Status SubtreeAbort(const SubtreeSnapshot& snapshot);
+  // Phase-3 helper for delete: removes one batch of inodes in a transaction.
+  hops::Status DeleteBatch(const std::vector<SubtreeNode>& batch,
+                           const std::vector<Inode>& quota_ancestors);
+
+  hops::Status CheckAlive() const {
+    return alive_ ? hops::Status::Ok() : hops::Status::Failover("namenode is down");
+  }
+  NamenodeId id_safe() const;
+  // Deletes an inode row trying both partition rules (rows that crossed the
+  // random-partition boundary in a move keep their insert-time partition).
+  hops::Status DeleteInodeRow(ndb::Transaction& tx, InodeId parent, const std::string& name,
+                              int depth, bool* existed);
+
+  // Single-transaction rename used for files and empty directories; directory
+  // renames with children go through SubtreeRename.
+  hops::Status RenameInTx(const std::vector<std::string>& src,
+                          const std::vector<std::string>& dst, const UserContext& user);
+
+  ndb::Cluster* const db_;
+  const MetadataSchema* const schema_;
+  const FsConfig* const config_;
+  LeaderElection election_;
+  InodeHintCache hint_cache_;
+  IdAllocator inode_ids_;
+  IdAllocator block_ids_;
+  Inode root_;  // immutable, cached at every namenode (§4.2.1)
+  std::atomic<bool> alive_{true};
+  DieAt die_at_;
+  std::function<std::vector<DatanodeId>(int)> dn_picker_;
+  std::mutex dn_picker_mu_;
+  TraceSink trace_sink_;
+  std::mutex trace_mu_;
+
+  // Subtree operations currently executing on THIS namenode, keyed by the
+  // locked subtree root. A subtree-lock flag carrying our own id exempts the
+  // owning operation's transactions, but ordinary inode operations on this
+  // same namenode must respect it like everyone else -- this registry tells
+  // the two apart (and flags owned by us but absent here are stale residue
+  // of a failed cleanup, cleared lazily like dead-owner flags).
+  bool IsMySubtreeOpActive(InodeId root) const {
+    std::lock_guard<std::mutex> lock(active_subtree_mu_);
+    return my_active_subtrees_.count(root) > 0;
+  }
+  void RegisterMySubtreeOp(InodeId root) {
+    std::lock_guard<std::mutex> lock(active_subtree_mu_);
+    my_active_subtrees_.insert(root);
+  }
+  void UnregisterMySubtreeOp(InodeId root) {
+    std::lock_guard<std::mutex> lock(active_subtree_mu_);
+    my_active_subtrees_.erase(root);
+  }
+  mutable std::mutex active_subtree_mu_;
+  std::set<InodeId> my_active_subtrees_;
+};
+
+}  // namespace hops::fs

@@ -1,0 +1,40 @@
+// Inode partition placement (paper §4.2, §4.2.1).
+//
+// Inodes are partitioned by their parent inode id so a directory's children
+// share a shard (efficient `ls` via a partition-pruned index scan). Near the
+// root that rule creates hotspots -- every path resolution touches the root's
+// shard -- so inodes at depth <= random_partition_depth are instead spread
+// pseudo-randomly by hashing their own name. Listing such a directory
+// degrades to an index scan across all shards, the trade-off §4.2.1 accepts.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "hopsfs/types.h"
+#include "util/hash.h"
+
+namespace hops::fs {
+
+// Partition value for an inode located at `depth` (root = 0) with the given
+// parent and name.
+inline uint64_t InodePartitionValue(int depth, InodeId parent_id, std::string_view name,
+                                    int random_partition_depth) {
+  if (depth <= random_partition_depth) return HashBytes(name);
+  return static_cast<uint64_t>(parent_id);
+}
+
+inline uint64_t RootPartitionValue() { return HashBytes(""); }
+
+// Partition value for listing the children of directory `dir` at `dir_depth`.
+// Children live at dir_depth + 1; returns false when the children are
+// pseudo-randomly scattered (the caller must fall back to an index scan).
+inline bool ChildrenArePruned(int dir_depth, int random_partition_depth) {
+  return dir_depth + 1 > random_partition_depth;
+}
+
+inline uint64_t ChildrenPartitionValue(InodeId dir_id) {
+  return static_cast<uint64_t>(dir_id);
+}
+
+}  // namespace hops::fs

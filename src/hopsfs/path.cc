@@ -1,0 +1,53 @@
+#include "hopsfs/path.h"
+
+namespace hops::fs {
+
+hops::Result<std::vector<std::string>> SplitPath(std::string_view path) {
+  if (path.empty() || path[0] != '/') {
+    return hops::Status::InvalidArgument("path must be absolute");
+  }
+  std::vector<std::string> components;
+  size_t i = 1;
+  while (i < path.size()) {
+    size_t j = path.find('/', i);
+    if (j == std::string_view::npos) j = path.size();
+    std::string_view part = path.substr(i, j - i);
+    if (part.empty()) {
+      // Tolerate a single trailing slash; reject interior empty components.
+      if (j == path.size()) break;
+      return hops::Status::InvalidArgument("empty path component");
+    }
+    if (part == "." || part == "..") {
+      return hops::Status::InvalidArgument("'.' and '..' are not supported");
+    }
+    components.emplace_back(part);
+    i = j + 1;
+  }
+  return components;
+}
+
+std::string JoinPath(const std::vector<std::string>& components) {
+  if (components.empty()) return "/";
+  std::string out;
+  for (const auto& c : components) {
+    out += '/';
+    out += c;
+  }
+  return out;
+}
+
+bool IsPrefixPath(std::string_view ancestor, std::string_view descendant) {
+  if (ancestor == "/") return !descendant.empty() && descendant[0] == '/';
+  if (descendant.substr(0, ancestor.size()) != ancestor) return false;
+  return descendant.size() == ancestor.size() || descendant[ancestor.size()] == '/';
+}
+
+bool LockOrderLess(const std::vector<std::string>& a, const std::vector<std::string>& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return a[i] < b[i];
+  }
+  return a.size() < b.size();  // the ancestor (shorter path) locks first
+}
+
+}  // namespace hops::fs

@@ -1,0 +1,27 @@
+// Path parsing and the global lock-ordering comparator.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hops::fs {
+
+// Splits "/a/b/c" into {"a","b","c"}; "/" yields {}. Rejects empty paths,
+// relative paths, empty components, and "." / "..".
+hops::Result<std::vector<std::string>> SplitPath(std::string_view path);
+
+std::string JoinPath(const std::vector<std::string>& components);
+
+// True if `ancestor` is a path prefix of `descendant` on component
+// boundaries ("/a/b" covers "/a/b/c" but not "/a/bc"). A path covers itself.
+bool IsPrefixPath(std::string_view ancestor, std::string_view descendant);
+
+// Left-ordered depth-first total order over paths (paper §5): a directory
+// precedes its descendants, and siblings order lexicographically. Locking
+// multiple paths in this order prevents cyclic deadlocks.
+bool LockOrderLess(const std::vector<std::string>& a, const std::vector<std::string>& b);
+
+}  // namespace hops::fs

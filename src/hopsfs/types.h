@@ -1,0 +1,109 @@
+// HopsFS metadata entities (paper §4.1, Figure 3).
+//
+// Files and directories are rows of the inode table; file inodes own blocks,
+// block replicas, and per-life-cycle-state replica rows (URB, PRB, CR, RUC,
+// ER, Inv), all partitioned by the file's inode id so file operations touch
+// one shard. Inodes themselves are partitioned by parent inode id (with the
+// top-of-tree exception handled in partition.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hops::fs {
+
+using InodeId = int64_t;
+using BlockId = int64_t;
+using NamenodeId = int64_t;
+using DatanodeId = int64_t;
+
+inline constexpr InodeId kInvalidInode = 0;
+inline constexpr InodeId kRootInode = 1;
+inline constexpr int64_t kNoSubtreeLock = 0;
+
+struct Inode {
+  InodeId parent_id = kInvalidInode;
+  std::string name;
+  InodeId id = kInvalidInode;
+  bool is_dir = false;
+  int64_t perm = 0755;
+  std::string owner;
+  std::string group;
+  int64_t mtime = 0;
+  int64_t atime = 0;
+  int64_t size = 0;           // files: total bytes over all blocks
+  int64_t replication = 3;    // files: target replica count
+  NamenodeId subtree_lock_owner = kNoSubtreeLock;
+  bool under_construction = false;
+  bool has_quota = false;     // directories: quota row exists for this inode
+};
+
+enum class BlockState : int64_t { kUnderConstruction = 0, kComplete = 1 };
+
+struct Block {
+  InodeId inode_id = kInvalidInode;
+  BlockId block_id = 0;
+  int64_t block_index = 0;
+  BlockState state = BlockState::kUnderConstruction;
+  int64_t gen_stamp = 0;
+  int64_t num_bytes = 0;
+  // Target replica count, denormalized from the file inode so block-state
+  // operations (which lock the block row, not the inode row) can evaluate
+  // under/over-replication locally.
+  int64_t replication = 3;
+};
+
+enum class ReplicaState : int64_t { kFinalized = 0, kCorrupt = 1 };
+
+struct Replica {
+  InodeId inode_id = kInvalidInode;
+  BlockId block_id = 0;
+  DatanodeId datanode_id = 0;
+  ReplicaState state = ReplicaState::kFinalized;
+};
+
+struct Lease {
+  InodeId inode_id = kInvalidInode;
+  std::string holder;
+  int64_t last_renewed = 0;
+};
+
+struct DirectoryQuota {
+  InodeId inode_id = kInvalidInode;
+  int64_t ns_quota = -1;   // max namespace items in subtree; -1 = unlimited
+  int64_t ss_quota = -1;   // max storage bytes (x replication); -1 = unlimited
+  int64_t ns_used = 0;
+  int64_t ss_used = 0;
+};
+
+// --- Results returned to clients -------------------------------------------
+
+struct FileStatus {
+  std::string path;
+  std::string name;
+  InodeId inode_id = kInvalidInode;
+  bool is_dir = false;
+  int64_t perm = 0;
+  std::string owner;
+  std::string group;
+  int64_t mtime = 0;
+  int64_t size = 0;
+  int64_t replication = 0;
+  int64_t num_blocks = 0;
+};
+
+struct LocatedBlock {
+  BlockId block_id = 0;
+  int64_t block_index = 0;
+  int64_t num_bytes = 0;
+  std::vector<DatanodeId> locations;
+};
+
+struct ContentSummary {
+  int64_t file_count = 0;
+  int64_t dir_count = 0;
+  int64_t total_bytes = 0;
+};
+
+}  // namespace hops::fs

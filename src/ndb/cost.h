@@ -1,0 +1,85 @@
+// Cost accounting for database accesses.
+//
+// The engine performs no artificial sleeps; instead every transaction can
+// record a trace of its database accesses (kind, partitions and datanodes
+// touched, rows moved, round trips, locality). Benchmarks convert traces to
+// virtual time, and the discrete-event simulator (src/sim) replays them with
+// queueing to reproduce the paper's cluster-scale results. The cost ordering
+// of Figure 2 -- PK < batched PK < PPIS < IS < FTS -- emerges from the
+// round-trip and fan-out accounting here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hops::ndb {
+
+enum class AccessKind : uint8_t {
+  kPkRead,         // single-row primary key read
+  kPkWrite,        // eager lock acquisition for a staged write
+  kBatchRead,      // batched primary key reads (one round trip)
+  kPpis,           // partition-pruned index scan (single partition)
+  kIndexScan,      // ordered index scan over all partitions
+  kFullTableScan,  // unindexed scan over all partitions
+  kCommit,         // 2PC flush of the write set
+};
+
+std::string_view AccessKindName(AccessKind kind);
+
+// One partition's share of a logical database access.
+struct PartTouch {
+  uint32_t partition = 0;
+  uint32_t node = 0;      // primary NDB datanode serving the partition
+  uint32_t rows = 0;      // rows examined/written on this partition
+  bool local = false;     // true if `node` is the transaction coordinator
+};
+
+// One logical database access (one client->TC round trip; the TC fans out to
+// the touched partitions in parallel).
+struct Access {
+  AccessKind kind{};
+  uint32_t table = 0;
+  uint32_t round_trips = 1;
+  std::vector<PartTouch> parts;
+
+  uint32_t TotalRows() const {
+    uint32_t n = 0;
+    for (const auto& p : parts) n += p.rows;
+    return n;
+  }
+};
+
+struct CostTrace {
+  std::vector<Access> accesses;
+  uint32_t coordinator_node = 0;
+
+  void Clear() { accesses.clear(); }
+
+  uint32_t TotalRoundTrips() const {
+    uint32_t n = 0;
+    for (const auto& a : accesses) n += a.round_trips;
+    return n;
+  }
+  uint32_t TotalRows() const {
+    uint32_t n = 0;
+    for (const auto& a : accesses) n += a.TotalRows();
+    return n;
+  }
+};
+
+// Running totals kept by the cluster (always on; lock-free counters).
+struct ClusterStats {
+  uint64_t pk_reads = 0;
+  uint64_t batch_reads = 0;
+  uint64_t ppis_scans = 0;
+  uint64_t index_scans = 0;
+  uint64_t full_table_scans = 0;
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t rows_read = 0;
+  uint64_t rows_written = 0;
+  uint64_t lock_timeouts = 0;
+};
+
+}  // namespace hops::ndb

@@ -1,0 +1,38 @@
+#include "ndb/schema.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hops::ndb {
+
+bool Schema::Validate(std::string* error) const {
+  auto fail = [&](const char* msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  if (table_name.empty()) return fail("table name empty");
+  if (columns.empty()) return fail("no columns");
+  if (primary_key.empty()) return fail("no primary key");
+  for (size_t idx : primary_key) {
+    if (idx >= columns.size()) return fail("pk column out of range");
+  }
+  for (size_t idx : partition_key) {
+    if (std::find(primary_key.begin(), primary_key.end(), idx) == primary_key.end()) {
+      return fail("partition key must be a subset of the primary key");
+    }
+  }
+  if (partition_key.empty() && !requires_explicit_partition) {
+    return fail("table needs a partition key or explicit partitioning");
+  }
+  return true;
+}
+
+size_t Schema::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == name) return i;
+  }
+  assert(false && "unknown column");
+  return static_cast<size_t>(-1);
+}
+
+}  // namespace hops::ndb

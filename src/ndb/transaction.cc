@@ -1,0 +1,424 @@
+// Transaction execution: row locks acquired eagerly, writes staged in the
+// transaction and applied atomically per partition at commit (2PC), scans
+// that merge the transaction's own staged writes (read-your-writes), and
+// take-and-release lock scans used by the subtree quiesce protocol.
+#include <algorithm>
+#include <cassert>
+
+#include "ndb/cluster.h"
+
+namespace hops::ndb {
+
+namespace {
+
+Key ExtractPk(const Schema& schema, const Row& row) {
+  Key key;
+  key.reserve(schema.primary_key.size());
+  for (size_t idx : schema.primary_key) {
+    assert(idx < row.size());
+    key.push_back(row[idx]);
+  }
+  return key;
+}
+
+bool RowMatches(const Row& row, const Transaction::ScanOptions& opts) {
+  if (opts.eq_filter) {
+    const auto& [col, value] = *opts.eq_filter;
+    if (col >= row.size() || !(row[col] == value)) return false;
+  }
+  if (opts.predicate && !opts.predicate(row)) return false;
+  return true;
+}
+
+}  // namespace
+
+Transaction::Transaction(Cluster* cluster, TxId id, uint32_t coordinator)
+    : cluster_(cluster), id_(id), coordinator_(coordinator) {
+  trace_.coordinator_node = coordinator;
+}
+
+Transaction::~Transaction() {
+  if (state_ == State::kActive) Abort();
+}
+
+hops::Status Transaction::CheckUsable(uint32_t partition) {
+  if (state_ != State::kActive) {
+    return hops::Status::TxAborted("transaction is not active");
+  }
+  if (!cluster_->IsAlive(coordinator_)) {
+    // Coordinator failover: NDB hands transactions of a failed TC to another
+    // coordinator by aborting them; the namenode retries (paper §7.6.2).
+    Abort();
+    return hops::Status::TxAborted("transaction coordinator failed");
+  }
+  if (!cluster_->PartitionAvailable(partition)) {
+    Abort();
+    return hops::Status::Unavailable("entire node group for partition is down");
+  }
+  return hops::Status::Ok();
+}
+
+hops::Status Transaction::AcquireRowLock(TableId table, uint32_t partition,
+                                         const std::string& ekey, LockMode mode) {
+  if (mode == LockMode::kReadCommitted) return hops::Status::Ok();
+  auto key = std::make_tuple(table, partition, ekey);
+  auto it = held_locks_.find(key);
+  if (it != held_locks_.end() &&
+      (it->second == LockMode::kExclusive || it->second == mode)) {
+    return hops::Status::Ok();  // already hold a lock at least this strong
+  }
+  auto deadline = std::chrono::steady_clock::now() + cluster_->config().lock_wait_timeout;
+  Partition& p = *cluster_->table(table).partitions[partition];
+  hops::Status st = p.AcquireLock(id_, ekey, mode, deadline);
+  if (!st.ok()) {
+    cluster_->stats_.lock_timeouts.fetch_add(1, std::memory_order_relaxed);
+    Abort();  // NDB aborts the transaction whose lock wait times out
+    return st;
+  }
+  held_locks_[key] = mode;
+  return hops::Status::Ok();
+}
+
+void Transaction::RecordAccess(AccessKind kind, TableId table,
+                               std::initializer_list<PartTouch> parts, uint32_t round_trips) {
+  RecordAccess(kind, table, std::vector<PartTouch>(parts), round_trips);
+}
+
+void Transaction::RecordAccess(AccessKind kind, TableId table, std::vector<PartTouch> parts,
+                               uint32_t round_trips) {
+  uint64_t rows = 0;
+  for (const auto& p : parts) rows += p.rows;
+  auto& s = cluster_->stats_;
+  switch (kind) {
+    case AccessKind::kPkRead:
+      s.pk_reads.fetch_add(1, std::memory_order_relaxed);
+      s.rows_read.fetch_add(rows, std::memory_order_relaxed);
+      break;
+    case AccessKind::kPkWrite:
+      break;  // rows counted at commit
+    case AccessKind::kBatchRead:
+      s.batch_reads.fetch_add(1, std::memory_order_relaxed);
+      s.rows_read.fetch_add(rows, std::memory_order_relaxed);
+      break;
+    case AccessKind::kPpis:
+      s.ppis_scans.fetch_add(1, std::memory_order_relaxed);
+      s.rows_read.fetch_add(rows, std::memory_order_relaxed);
+      break;
+    case AccessKind::kIndexScan:
+      s.index_scans.fetch_add(1, std::memory_order_relaxed);
+      s.rows_read.fetch_add(rows, std::memory_order_relaxed);
+      break;
+    case AccessKind::kFullTableScan:
+      s.full_table_scans.fetch_add(1, std::memory_order_relaxed);
+      s.rows_read.fetch_add(rows, std::memory_order_relaxed);
+      break;
+    case AccessKind::kCommit:
+      s.rows_written.fetch_add(rows, std::memory_order_relaxed);
+      break;
+  }
+  if (!trace_enabled_) return;
+  Access a;
+  a.kind = kind;
+  a.table = table;
+  a.round_trips = round_trips;
+  a.parts = std::move(parts);
+  trace_.accesses.push_back(std::move(a));
+}
+
+hops::Result<Row> Transaction::Read(TableId table, const Key& key, LockMode mode,
+                                    std::optional<uint64_t> pv) {
+  const Cluster::Table& t = cluster_->table(table);
+  HOPS_ASSIGN_OR_RETURN(partition, cluster_->Route(t, key, pv));
+  HOPS_RETURN_IF_ERROR(CheckUsable(partition));
+  std::string ekey = EncodeKey(key);
+  HOPS_RETURN_IF_ERROR(AcquireRowLock(table, partition, ekey, mode));
+
+  uint32_t node = cluster_->PrimaryNode(partition).value_or(coordinator_);
+  RecordAccess(AccessKind::kPkRead, table,
+               {PartTouch{partition, node, 1, node == coordinator_}});
+
+  auto staged = write_set_.find({table, ekey});
+  if (staged != write_set_.end()) {
+    if (staged->second.is_delete) return hops::Status::NotFound();
+    return staged->second.row;
+  }
+  auto committed = t.partitions[partition]->Get(ekey);
+  if (!committed) return hops::Status::NotFound();
+  return *std::move(committed);
+}
+
+hops::Result<std::vector<std::optional<Row>>> Transaction::BatchRead(
+    TableId table, const std::vector<Key>& keys, LockMode mode,
+    const std::vector<uint64_t>* pvs) {
+  assert(pvs == nullptr || pvs->size() == keys.size());
+  const Cluster::Table& t = cluster_->table(table);
+  std::vector<std::optional<Row>> results(keys.size());
+  std::vector<PartTouch> touches;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    std::optional<uint64_t> pv = pvs ? std::optional<uint64_t>((*pvs)[i]) : std::nullopt;
+    HOPS_ASSIGN_OR_RETURN(partition, cluster_->Route(t, keys[i], pv));
+    HOPS_RETURN_IF_ERROR(CheckUsable(partition));
+    std::string ekey = EncodeKey(keys[i]);
+    HOPS_RETURN_IF_ERROR(AcquireRowLock(table, partition, ekey, mode));
+    auto staged = write_set_.find({table, ekey});
+    if (staged != write_set_.end()) {
+      if (!staged->second.is_delete) results[i] = staged->second.row;
+    } else if (auto committed = t.partitions[partition]->Get(ekey)) {
+      results[i] = *std::move(committed);
+    }
+    uint32_t node = cluster_->PrimaryNode(partition).value_or(coordinator_);
+    bool merged = false;
+    for (auto& pt : touches) {
+      if (pt.partition == partition) {
+        pt.rows++;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) touches.push_back(PartTouch{partition, node, 1, node == coordinator_});
+  }
+  RecordAccess(AccessKind::kBatchRead, table, std::move(touches), /*round_trips=*/1);
+  return results;
+}
+
+hops::Status Transaction::Insert(TableId table, Row row, std::optional<uint64_t> pv) {
+  const Cluster::Table& t = cluster_->table(table);
+  assert(row.size() == t.schema.columns.size());
+  Key key = ExtractPk(t.schema, row);
+  HOPS_ASSIGN_OR_RETURN(partition, cluster_->Route(t, key, pv));
+  HOPS_RETURN_IF_ERROR(CheckUsable(partition));
+  std::string ekey = EncodeKey(key);
+  bool fresh_lock = !held_locks_.count({table, partition, ekey});
+  HOPS_RETURN_IF_ERROR(AcquireRowLock(table, partition, ekey, LockMode::kExclusive));
+
+  auto staged = write_set_.find({table, ekey});
+  bool exists = staged != write_set_.end() ? !staged->second.is_delete
+                                           : t.partitions[partition]->Contains(ekey);
+  if (exists) return hops::Status::AlreadyExists(t.schema.table_name);
+  write_set_[{table, ekey}] = StagedWrite{false, std::move(row), partition};
+  uint32_t node = cluster_->PrimaryNode(partition).value_or(coordinator_);
+  RecordAccess(AccessKind::kPkWrite, table,
+               {PartTouch{partition, node, 1, node == coordinator_}}, fresh_lock ? 1 : 0);
+  return hops::Status::Ok();
+}
+
+hops::Status Transaction::Update(TableId table, Row row, std::optional<uint64_t> pv) {
+  const Cluster::Table& t = cluster_->table(table);
+  assert(row.size() == t.schema.columns.size());
+  Key key = ExtractPk(t.schema, row);
+  HOPS_ASSIGN_OR_RETURN(partition, cluster_->Route(t, key, pv));
+  HOPS_RETURN_IF_ERROR(CheckUsable(partition));
+  std::string ekey = EncodeKey(key);
+  bool fresh_lock = !held_locks_.count({table, partition, ekey});
+  HOPS_RETURN_IF_ERROR(AcquireRowLock(table, partition, ekey, LockMode::kExclusive));
+
+  auto staged = write_set_.find({table, ekey});
+  bool exists = staged != write_set_.end() ? !staged->second.is_delete
+                                           : t.partitions[partition]->Contains(ekey);
+  if (!exists) return hops::Status::NotFound(t.schema.table_name);
+  write_set_[{table, ekey}] = StagedWrite{false, std::move(row), partition};
+  uint32_t node = cluster_->PrimaryNode(partition).value_or(coordinator_);
+  RecordAccess(AccessKind::kPkWrite, table,
+               {PartTouch{partition, node, 1, node == coordinator_}}, fresh_lock ? 1 : 0);
+  return hops::Status::Ok();
+}
+
+hops::Status Transaction::Write(TableId table, Row row, std::optional<uint64_t> pv) {
+  const Cluster::Table& t = cluster_->table(table);
+  assert(row.size() == t.schema.columns.size());
+  Key key = ExtractPk(t.schema, row);
+  HOPS_ASSIGN_OR_RETURN(partition, cluster_->Route(t, key, pv));
+  HOPS_RETURN_IF_ERROR(CheckUsable(partition));
+  std::string ekey = EncodeKey(key);
+  bool fresh_lock = !held_locks_.count({table, partition, ekey});
+  HOPS_RETURN_IF_ERROR(AcquireRowLock(table, partition, ekey, LockMode::kExclusive));
+  write_set_[{table, ekey}] = StagedWrite{false, std::move(row), partition};
+  uint32_t node = cluster_->PrimaryNode(partition).value_or(coordinator_);
+  RecordAccess(AccessKind::kPkWrite, table,
+               {PartTouch{partition, node, 1, node == coordinator_}}, fresh_lock ? 1 : 0);
+  return hops::Status::Ok();
+}
+
+hops::Status Transaction::Delete(TableId table, const Key& key, std::optional<uint64_t> pv) {
+  const Cluster::Table& t = cluster_->table(table);
+  HOPS_ASSIGN_OR_RETURN(partition, cluster_->Route(t, key, pv));
+  HOPS_RETURN_IF_ERROR(CheckUsable(partition));
+  std::string ekey = EncodeKey(key);
+  bool fresh_lock = !held_locks_.count({table, partition, ekey});
+  HOPS_RETURN_IF_ERROR(AcquireRowLock(table, partition, ekey, LockMode::kExclusive));
+
+  auto staged = write_set_.find({table, ekey});
+  bool exists = staged != write_set_.end() ? !staged->second.is_delete
+                                           : t.partitions[partition]->Contains(ekey);
+  if (!exists) return hops::Status::NotFound(t.schema.table_name);
+  write_set_[{table, ekey}] = StagedWrite{true, {}, partition};
+  uint32_t node = cluster_->PrimaryNode(partition).value_or(coordinator_);
+  RecordAccess(AccessKind::kPkWrite, table,
+               {PartTouch{partition, node, 1, node == coordinator_}}, fresh_lock ? 1 : 0);
+  return hops::Status::Ok();
+}
+
+hops::Result<std::vector<Row>> Transaction::ScanPartitions(
+    TableId table, const std::vector<uint32_t>& partitions, const Key& prefix,
+    const ScanOptions& opts, AccessKind kind, bool full_scan) {
+  const Cluster::Table& t = cluster_->table(table);
+  const std::string eprefix = full_scan ? std::string() : EncodeKey(prefix);
+
+  std::vector<Row> results;
+  std::vector<PartTouch> touches;
+  touches.reserve(partitions.size());
+
+  for (uint32_t partition : partitions) {
+    HOPS_RETURN_IF_ERROR(CheckUsable(partition));
+    Partition& p = *t.partitions[partition];
+
+    // Snapshot the committed candidates, then overlay this transaction's
+    // staged writes so the scan observes read-your-writes semantics.
+    auto snapshot = p.SnapshotPrefix(eprefix);
+    std::map<std::string, Row> merged;
+    for (auto& [ekey, row] : snapshot) merged.emplace(std::move(ekey), std::move(row));
+    for (const auto& [tk, staged] : write_set_) {
+      const auto& [wt, wekey] = tk;
+      if (wt != table || staged.partition != partition) continue;
+      if (!eprefix.empty() && wekey.compare(0, eprefix.size(), eprefix) != 0) continue;
+      if (staged.is_delete) {
+        merged.erase(wekey);
+      } else {
+        merged[wekey] = staged.row;
+      }
+    }
+
+    uint32_t examined = 0;
+    for (auto& [ekey, row] : merged) {
+      examined++;
+      if (!RowMatches(row, opts)) continue;
+      if (opts.lock != LockMode::kReadCommitted) {
+        if (opts.take_and_release) {
+          // Quiesce primitive: wait for any in-flight writer, then let go.
+          auto deadline =
+              std::chrono::steady_clock::now() + cluster_->config().lock_wait_timeout;
+          bool already_held = held_locks_.count({table, partition, ekey}) > 0;
+          hops::Status st = p.AcquireLock(id_, ekey, opts.lock, deadline);
+          if (!st.ok()) {
+            cluster_->stats_.lock_timeouts.fetch_add(1, std::memory_order_relaxed);
+            Abort();
+            return st;
+          }
+          if (!already_held) p.ReleaseLock(id_, ekey);
+        } else {
+          HOPS_RETURN_IF_ERROR(AcquireRowLock(table, partition, ekey, opts.lock));
+        }
+        // The row may have changed while we waited for the lock; re-read the
+        // committed value (our own staged writes cannot have changed).
+        if (!write_set_.count({table, ekey})) {
+          auto fresh = p.Get(ekey);
+          if (!fresh) continue;  // deleted while waiting
+          row = *std::move(fresh);
+          if (!RowMatches(row, opts)) continue;
+        }
+      }
+      results.push_back(std::move(row));
+    }
+    uint32_t node = cluster_->PrimaryNode(partition).value_or(coordinator_);
+    touches.push_back(PartTouch{partition, node, examined, node == coordinator_});
+  }
+  RecordAccess(kind, table, std::move(touches), /*round_trips=*/1);
+  return results;
+}
+
+hops::Result<std::vector<Row>> Transaction::Ppis(TableId table, const Key& prefix,
+                                                 const ScanOptions& opts,
+                                                 std::optional<uint64_t> pv) {
+  const Cluster::Table& t = cluster_->table(table);
+  HOPS_ASSIGN_OR_RETURN(partition, cluster_->Route(t, prefix, pv));
+  return ScanPartitions(table, {partition}, prefix, opts, AccessKind::kPpis,
+                        /*full_scan=*/false);
+}
+
+hops::Result<std::vector<Row>> Transaction::IndexScan(TableId table, const Key& prefix,
+                                                      const ScanOptions& opts) {
+  std::vector<uint32_t> all(cluster_->num_partitions());
+  for (uint32_t p = 0; p < all.size(); ++p) all[p] = p;
+  return ScanPartitions(table, all, prefix, opts, AccessKind::kIndexScan,
+                        /*full_scan=*/prefix.empty());
+}
+
+hops::Result<std::vector<Row>> Transaction::FullTableScan(TableId table,
+                                                          const ScanOptions& opts) {
+  std::vector<uint32_t> all(cluster_->num_partitions());
+  for (uint32_t p = 0; p < all.size(); ++p) all[p] = p;
+  return ScanPartitions(table, all, {}, opts, AccessKind::kFullTableScan,
+                        /*full_scan=*/true);
+}
+
+hops::Status Transaction::Commit() {
+  if (state_ != State::kActive) return hops::Status::TxAborted("transaction is not active");
+  if (!cluster_->IsAlive(coordinator_)) {
+    Abort();
+    return hops::Status::TxAborted("transaction coordinator failed");
+  }
+
+  // Prepare: every participating partition must be available.
+  for (const auto& [tk, staged] : write_set_) {
+    if (!cluster_->PartitionAvailable(staged.partition)) {
+      Abort();
+      return hops::Status::Unavailable("participant node group is down");
+    }
+  }
+
+  // Commit: apply staged writes partition-atomically, in deterministic key
+  // order. Cross-partition visibility during application is permitted by
+  // read-committed isolation; locked readers still wait for our row locks.
+  std::vector<PartTouch> touches;
+  for (const auto& [tk, staged] : write_set_) {
+    const auto& [table_id, ekey] = tk;
+    Partition& p = *cluster_->table(table_id).partitions[staged.partition];
+    if (staged.is_delete) {
+      p.ApplyDelete(ekey);
+    } else {
+      p.ApplyPut(ekey, staged.row);
+    }
+    bool merged = false;
+    for (auto& pt : touches) {
+      if (pt.partition == staged.partition) {
+        pt.rows++;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      uint32_t node = cluster_->PrimaryNode(staged.partition).value_or(coordinator_);
+      touches.push_back(PartTouch{staged.partition, node, 1, node == coordinator_});
+    }
+  }
+  RecordAccess(AccessKind::kCommit, 0, std::move(touches), /*round_trips=*/2);
+
+  // Release all row locks.
+  for (const auto& [lk, mode] : held_locks_) {
+    const auto& [table_id, partition, ekey] = lk;
+    cluster_->table(table_id).partitions[partition]->ReleaseLock(id_, ekey);
+  }
+  held_locks_.clear();
+  write_set_.clear();
+  state_ = State::kCommitted;
+
+  uint64_t commits = cluster_->stats_.commits.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (commits % Cluster::kGlobalCheckpointCommits == 0) {
+    cluster_->gcp_epoch_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return hops::Status::Ok();
+}
+
+void Transaction::Abort() {
+  if (state_ != State::kActive) return;
+  for (const auto& [lk, mode] : held_locks_) {
+    const auto& [table_id, partition, ekey] = lk;
+    cluster_->table(table_id).partitions[partition]->ReleaseLock(id_, ekey);
+  }
+  held_locks_.clear();
+  write_set_.clear();
+  state_ = State::kAborted;
+  cluster_->stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace hops::ndb

@@ -1,0 +1,47 @@
+#include "ndb/value.h"
+
+namespace hops::ndb {
+
+void EncodeValue(const Value& v, std::string& out) {
+  if (v.is_int()) {
+    // Flip the sign bit and store big-endian so byte order == numeric order.
+    uint64_t u = static_cast<uint64_t>(v.i64()) ^ 0x8000000000000000ULL;
+    for (int shift = 56; shift >= 0; shift -= 8) {
+      out.push_back(static_cast<char>((u >> shift) & 0xff));
+    }
+  } else {
+    // Escape embedded NUL (0x00 -> 0x00 0xff) and terminate with 0x00 0x00,
+    // which sorts before any continuation byte, preserving prefix order.
+    for (char c : v.str()) {
+      out.push_back(c);
+      if (c == '\0') out.push_back(static_cast<char>(0xff));
+    }
+    out.push_back('\0');
+    out.push_back('\0');
+  }
+}
+
+std::string EncodeKey(const Key& key) {
+  std::string out;
+  out.reserve(key.size() * 12);
+  for (const auto& v : key) EncodeValue(v, out);
+  return out;
+}
+
+std::string ToDebugString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i) out += ", ";
+    if (row[i].is_int()) {
+      out += std::to_string(row[i].i64());
+    } else {
+      out += '"';
+      out += row[i].str();
+      out += '"';
+    }
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace hops::ndb

@@ -1,0 +1,66 @@
+// Typed values, rows and order-preserving key encoding for the NDB engine.
+//
+// Keys are tuples of column values encoded into byte strings whose
+// lexicographic order equals the tuple order, and where the encoding of a
+// tuple prefix is a byte-prefix of the full tuple's encoding. This gives the
+// per-partition ordered primary index "prefix scan" capability that HopsFS
+// partition-pruned index scans rely on (e.g. all children of a directory
+// share the (parent_id) key prefix).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace hops::ndb {
+
+enum class ColumnType { kInt64, kString };
+
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  Value(int64_t x) : v_(x) {}                    // NOLINT: implicit by design
+  Value(std::string s) : v_(std::move(s)) {}     // NOLINT: implicit by design
+  Value(const char* s) : v_(std::string(s)) {}   // NOLINT: implicit by design
+
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+
+  int64_t i64() const {
+    assert(is_int());
+    return std::get<int64_t>(v_);
+  }
+  const std::string& str() const {
+    assert(is_string());
+    return std::get<std::string>(v_);
+  }
+
+  ColumnType type() const { return is_int() ? ColumnType::kInt64 : ColumnType::kString; }
+
+  // Approximate in-memory footprint of this value inside a stored row,
+  // modelling NDB's layout (fixed 8-byte ints, varchars stored inline with
+  // a length prefix) rather than this process's std::string containers.
+  size_t FootprintBytes() const { return is_int() ? 8 : str().size() + 2; }
+
+  friend bool operator==(const Value& a, const Value& b) { return a.v_ == b.v_; }
+
+ private:
+  std::variant<int64_t, std::string> v_;
+};
+
+using Row = std::vector<Value>;
+using Key = std::vector<Value>;  // values of the PK columns, in PK order
+
+// Appends the order-preserving encoding of `v` to `out`.
+void EncodeValue(const Value& v, std::string& out);
+
+// Encodes a full key or a key prefix.
+std::string EncodeKey(const Key& key);
+
+// Human-readable rendering for diagnostics.
+std::string ToDebugString(const Row& row);
+
+}  // namespace hops::ndb

@@ -1,0 +1,54 @@
+// Calibration constants for the cluster models.
+//
+// Sources and derivations (see also EXPERIMENTS.md):
+//  * Topology mirrors §7.1: NDB datanodes run 22 threads each; namenode
+//    hosts are dual E5-2620v3 (24 hardware threads).
+//  * hdfs_write_lock_hold_us: the active namenode's exclusive section per
+//    mutation (namespace update + edit buffering). 200us reproduces the
+//    paper's write-scaling: at 20% file writes HDFS serializes ~45us of
+//    exclusive work per op => ~20K ops/s (Table 2 row 4 reports 19.9K).
+//  * hdfs_dispatch_us: serial RPC dispatch/queueing; 8.5us caps the
+//    read-mostly workload near 80K ops/s (§7.2 reports 78.9K).
+//  * nn_cpu_per_op_us: HopsFS namenode-side cost per operation (RPC,
+//    transaction template, entity (de)serialization). 24 threads / 900us
+//    = ~27K ops/s per namenode, anchoring the equivalent-hardware point
+//    (3 namenodes + 2 NDB nodes ~ HDFS's 5-server throughput, §7.2) while
+//    the 60-namenode x 12-NDB point lands near 1M ops/s (paper: 1.25M),
+//    bounded by measured partition skew in the database tier.
+//  * db_row_cpu_us / db_access_base_us: NDB datanode CPU per row touched /
+//    per partition share of an access. With the Spotify mix's measured
+//    access/row counts this yields ~120-140us of DB CPU per operation,
+//    which caps a 2-node NDB cluster (44 threads) near 330-370K ops/s --
+//    the plateau of Figure 6's 2-node curve -- while 12 nodes (264
+//    threads) stay unsaturated at 60 namenodes, also as in Figure 6.
+//  * Network RTTs: 10 GbE + kernel stack, ~120-150us per request round
+//    trip at the paper's load levels.
+//  * hdfs_failover_s: §7.6.1 measures 8-10s of downtime in the benchmark
+//    setting (minimal metadata); 9s splits the difference.
+#pragma once
+
+namespace hops::sim {
+
+struct Calibration {
+  // --- shared network -------------------------------------------------------
+  double client_nn_rtt_us = 150;
+  double nn_db_rtt_us = 120;
+
+  // --- HopsFS ---------------------------------------------------------------
+  int nn_servers = 24;             // handler threads per namenode host
+  int db_servers_per_node = 22;    // NDB threads per datanode (§7.1)
+  double nn_cpu_per_op_us = 900;   // namenode CPU per operation
+  double db_access_base_us = 10;   // per partition share of an access
+  double db_row_cpu_us = 14;       // per row examined/written
+  double client_failover_penalty_us = 3000;  // detect dead NN + reconnect
+
+  // --- HDFS -----------------------------------------------------------------
+  double hdfs_dispatch_us = 8.5;        // serial RPC dispatch (c = 1)
+  double hdfs_read_lock_hold_us = 10;   // shared-lock section per read
+  double hdfs_write_lock_hold_us = 200; // exclusive section per mutation
+  double hdfs_journal_delay_us = 350;   // quorum sync latency
+  double hdfs_journal_service_us = 20;  // journal serialization (c = 1)
+  double hdfs_failover_s = 9.0;         // §7.6.1: 8-10s observed
+};
+
+}  // namespace hops::sim

@@ -1,0 +1,108 @@
+#include "sim/des.h"
+
+#include <cassert>
+
+namespace hops::sim {
+
+void Simulator::At(VirtualTime t, Task task) {
+  assert(t >= now_ && "cannot schedule into the past");
+  queue_.push(Event{t, next_seq_++, std::move(task)});
+}
+
+void Simulator::Run(VirtualTime until) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.t > until) break;
+    // Move out before popping; the task may schedule new events.
+    Task task = std::move(const_cast<Event&>(top).task);
+    now_ = top.t;
+    queue_.pop();
+    task();
+  }
+  if (now_ < until) now_ = until;
+}
+
+Station::Station(Simulator* sim, int servers, std::string name)
+    : sim_(sim), servers_(servers), name_(std::move(name)) {
+  assert(servers_ > 0);
+}
+
+void Station::Submit(double service_us, Simulator::Task done) {
+  if (busy_servers_ < servers_) {
+    StartService(service_us, std::move(done));
+  } else {
+    queue_.emplace_back(service_us, std::move(done));
+  }
+}
+
+void Station::StartService(double service_us, Simulator::Task done) {
+  busy_servers_++;
+  busy_us_ += service_us;
+  sim_->After(service_us, [this, done = std::move(done)] {
+    busy_servers_--;
+    completed_++;
+    if (!queue_.empty()) {
+      auto [svc, next] = std::move(queue_.front());
+      queue_.pop_front();
+      StartService(svc, std::move(next));
+    }
+    done();
+  });
+}
+
+double Station::Utilization() const {
+  double elapsed = sim_->now();
+  if (elapsed <= 0) return 0;
+  return busy_us_ / (elapsed * servers_);
+}
+
+void RwLockRes::AcquireShared(Simulator::Task granted) {
+  if (!writer_active_ && waiters_.empty()) {
+    active_readers_++;
+    granted();
+    return;
+  }
+  waiters_.emplace_back(false, std::move(granted));
+}
+
+void RwLockRes::AcquireExclusive(Simulator::Task granted) {
+  if (!writer_active_ && active_readers_ == 0 && waiters_.empty()) {
+    writer_active_ = true;
+    granted();
+    return;
+  }
+  waiters_.emplace_back(true, std::move(granted));
+}
+
+void RwLockRes::ReleaseShared() {
+  assert(active_readers_ > 0);
+  active_readers_--;
+  GrantWaiters();
+}
+
+void RwLockRes::ReleaseExclusive() {
+  assert(writer_active_);
+  writer_active_ = false;
+  GrantWaiters();
+}
+
+void RwLockRes::GrantWaiters() {
+  while (!waiters_.empty()) {
+    auto& [exclusive, task] = waiters_.front();
+    if (exclusive) {
+      if (writer_active_ || active_readers_ > 0) break;
+      writer_active_ = true;
+      Simulator::Task granted = std::move(task);
+      waiters_.pop_front();
+      granted();
+      break;
+    }
+    if (writer_active_) break;
+    active_readers_++;
+    Simulator::Task granted = std::move(task);
+    waiters_.pop_front();
+    granted();
+  }
+}
+
+}  // namespace hops::sim

@@ -1,0 +1,97 @@
+// A small discrete-event simulation core (virtual time in microseconds).
+//
+// Why it exists: the paper's evaluation runs 60 namenodes, 12 NDB nodes and
+// thousands of clients on a 72-machine testbed. This repository reproduces
+// those cluster-scale results deterministically by replaying *measured*
+// database-access traces (workload/trace.h) through a queueing model built
+// from these primitives: multi-server FCFS stations (namenode handler pools,
+// NDB datanode thread pools, journal nodes) and a virtual-time
+// readers-writer lock (the HDFS global namesystem lock).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace hops::sim {
+
+using VirtualTime = double;  // microseconds since simulation start
+
+class Simulator {
+ public:
+  using Task = std::function<void()>;
+
+  VirtualTime now() const { return now_; }
+
+  void At(VirtualTime t, Task task);
+  void After(double delay_us, Task task) { At(now_ + delay_us, std::move(task)); }
+
+  // Runs events until the queue empties or virtual time passes `until`.
+  void Run(VirtualTime until);
+  bool empty() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    VirtualTime t;
+    uint64_t seq;
+    Task task;
+    bool operator>(const Event& other) const {
+      return t != other.t ? t > other.t : seq > other.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  VirtualTime now_ = 0;
+  uint64_t next_seq_ = 0;
+};
+
+// `servers` identical servers with one FCFS queue (an M/G/c-style station).
+class Station {
+ public:
+  Station(Simulator* sim, int servers, std::string name);
+
+  // Runs `service_us` of work when a server frees up, then calls `done`.
+  void Submit(double service_us, Simulator::Task done);
+
+  uint64_t completed() const { return completed_; }
+  double busy_us() const { return busy_us_; }
+  // Mean utilization over [0, now].
+  double Utilization() const;
+  size_t queue_length() const { return queue_.size(); }
+  const std::string& name() const { return name_; }
+
+ private:
+  void StartService(double service_us, Simulator::Task done);
+
+  Simulator* const sim_;
+  const int servers_;
+  const std::string name_;
+  int busy_servers_ = 0;
+  std::deque<std::pair<double, Simulator::Task>> queue_;
+  uint64_t completed_ = 0;
+  double busy_us_ = 0;
+};
+
+// FIFO readers-writer lock in virtual time: compatible readers are granted
+// together; a queued writer blocks later readers (no starvation).
+class RwLockRes {
+ public:
+  void AcquireShared(Simulator::Task granted);
+  void AcquireExclusive(Simulator::Task granted);
+  void ReleaseShared();
+  void ReleaseExclusive();
+
+  int active_readers() const { return active_readers_; }
+  bool writer_active() const { return writer_active_; }
+
+ private:
+  void GrantWaiters();
+
+  int active_readers_ = 0;
+  bool writer_active_ = false;
+  std::deque<std::pair<bool /*exclusive*/, Simulator::Task>> waiters_;
+};
+
+}  // namespace hops::sim

@@ -1,0 +1,21 @@
+// Wall-clock helpers (timestamps stored in metadata rows).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace hops {
+
+inline int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+inline int64_t MonotonicMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace hops

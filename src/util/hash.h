@@ -1,0 +1,33 @@
+// Stable 64-bit hashing. Partition routing must be identical across
+// namenodes and across process restarts, so we never use std::hash here.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace hops {
+
+inline uint64_t HashU64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// FNV-1a, then finalized with the 64-bit mixer above.
+inline uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return HashU64(h);
+}
+
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return HashU64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace hops

@@ -1,0 +1,80 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace hops {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {
+  min_ = std::numeric_limits<double>::infinity();
+}
+
+int Histogram::BucketFor(double value_us) {
+  if (value_us < 1.0) return 0;
+  double logv = std::log10(value_us);
+  int b = 1 + static_cast<int>(logv * kBucketsPerDecade);
+  return std::min(b, kNumBuckets - 1);
+}
+
+double Histogram::BucketMid(int bucket) {
+  if (bucket <= 0) return 0.5;
+  double lo = std::pow(10.0, static_cast<double>(bucket - 1) / kBucketsPerDecade);
+  double hi = std::pow(10.0, static_cast<double>(bucket) / kBucketsPerDecade);
+  return (lo + hi) / 2;
+}
+
+void Histogram::Record(double value_us) {
+  buckets_[BucketFor(value_us)]++;
+  count_++;
+  sum_ += value_us;
+  min_ = std::min(min_, value_us);
+  max_ = std::max(max_, value_us);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = 0;
+}
+
+double Histogram::min() const { return count_ == 0 ? 0 : min_; }
+
+double Histogram::Mean() const { return count_ == 0 ? 0 : sum_ / static_cast<double>(count_); }
+
+double Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      // Clamp the interpolated mid to the observed extremes for stability.
+      return std::clamp(BucketMid(i), min(), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.1fus p50=%.1fus p99=%.1fus max=%.1fus",
+                static_cast<unsigned long long>(count_), Mean(), Percentile(0.50),
+                Percentile(0.99), max_);
+  return buf;
+}
+
+}  // namespace hops

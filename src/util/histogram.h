@@ -1,0 +1,43 @@
+// Log-bucketed latency histogram (HDR-style), thread-compatible via external
+// locking or per-thread instances + Merge(). Values are in microseconds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hops {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(double value_us);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double min() const;
+  double max() const { return max_; }
+  double Mean() const;
+  // q in [0, 1]; returns an interpolated bucket value.
+  double Percentile(double q) const;
+
+  std::string Summary() const;  // "n=... mean=... p50=... p99=... max=..."
+
+ private:
+  static constexpr int kBucketsPerDecade = 32;
+  static constexpr int kDecades = 10;  // 1us .. ~10^10 us (hours)
+  static constexpr int kNumBuckets = kBucketsPerDecade * kDecades + 2;
+
+  static int BucketFor(double value_us);
+  static double BucketMid(int bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace hops

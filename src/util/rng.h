@@ -1,0 +1,122 @@
+// Deterministic random number generation for workloads and tests.
+//
+// Every experiment seeds its own Rng so runs are reproducible; nothing in the
+// repo consumes global random state.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hops {
+
+// splitmix64: tiny, high-quality 64-bit mixer. Used both as the core PRNG
+// step and as the stable hash for partition routing (see hash.h).
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eedULL) : state_(seed) {}
+
+  uint64_t Next() { return SplitMix64(state_); }
+
+  // Uniform in [0, n).
+  uint64_t Below(uint64_t n) {
+    assert(n > 0);
+    return Next() % n;
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  double NextDouble() {  // [0, 1)
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool Chance(double p) { return NextDouble() < p; }
+
+  // Exponential with the given mean (used for think times / service noise).
+  double Exponential(double mean) {
+    double u = NextDouble();
+    if (u >= 1.0) u = 0.9999999999;
+    return -mean * std::log1p(-u);
+  }
+
+  std::string RandomName(size_t length) {
+    static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+    std::string s(length, 'a');
+    for (auto& c : s) c = kAlphabet[Below(sizeof(kAlphabet) - 1)];
+    return s;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Zipf(s) sampler over ranks [0, n). File access popularity is heavy-tailed
+// (the paper cites Yahoo: 3% of files get 80% of accesses); the workload
+// generator uses this to pick operation targets.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double exponent) : cdf_(n) {
+    assert(n > 0);
+    double sum = 0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+      cdf_[i] = sum;
+    }
+    for (auto& v : cdf_) v /= sum;
+  }
+
+  size_t Sample(Rng& rng) const {
+    double u = rng.NextDouble();
+    // Binary search the CDF.
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) lo = mid + 1; else hi = mid;
+    }
+    return lo;
+  }
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+// Sample an index from a discrete distribution given by non-negative weights.
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(std::vector<double> weights) : cdf_(std::move(weights)) {
+    double sum = 0;
+    for (auto& w : cdf_) { assert(w >= 0); sum += w; w = sum; }
+    assert(sum > 0);
+    for (auto& w : cdf_) w /= sum;
+  }
+
+  size_t Sample(Rng& rng) const {
+    double u = rng.NextDouble();
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) lo = mid + 1; else hi = mid;
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace hops

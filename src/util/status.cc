@@ -1,0 +1,36 @@
+#include "util/status.h"
+
+namespace hops {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kLockTimeout: return "LOCK_TIMEOUT";
+    case StatusCode::kTxAborted: return "TX_ABORTED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case StatusCode::kQuotaExceeded: return "QUOTA_EXCEEDED";
+    case StatusCode::kSubtreeLocked: return "SUBTREE_LOCKED";
+    case StatusCode::kLeaseConflict: return "LEASE_CONFLICT";
+    case StatusCode::kNotEmpty: return "NOT_EMPTY";
+    case StatusCode::kNotDirectory: return "NOT_DIRECTORY";
+    case StatusCode::kIsDirectory: return "IS_DIRECTORY";
+    case StatusCode::kFailover: return "FAILOVER";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace hops

@@ -1,0 +1,123 @@
+// Status / Result error-handling primitives used across the code base.
+//
+// The storage layers report recoverable conditions (lock timeouts, aborted
+// transactions, missing rows, unavailable partitions) through Status values
+// rather than exceptions, so callers are forced to consider retry logic at
+// every call site -- the paper's namenodes retry aborted transactions and
+// clients retry failed namenodes.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace hops {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,          // row / path component does not exist
+  kAlreadyExists,     // insert over an existing primary key / path
+  kLockTimeout,       // row-lock wait exceeded the configured timeout
+  kTxAborted,         // transaction aborted (conflict, coordinator failure)
+  kUnavailable,       // partition / node group / cluster not available
+  kInvalidArgument,
+  kPermissionDenied,
+  kQuotaExceeded,
+  kSubtreeLocked,     // an inode op encountered an active subtree lock
+  kLeaseConflict,     // file already under construction by another client
+  kNotEmpty,          // non-recursive delete of a non-empty directory
+  kNotDirectory,
+  kIsDirectory,
+  kFailover,          // namenode failed; client should retry elsewhere
+  kInternal,
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+// Value-semantic error descriptor. Successful Status is cheap (no allocation).
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string m = {}) { return {StatusCode::kNotFound, std::move(m)}; }
+  static Status AlreadyExists(std::string m = {}) { return {StatusCode::kAlreadyExists, std::move(m)}; }
+  static Status LockTimeout(std::string m = {}) { return {StatusCode::kLockTimeout, std::move(m)}; }
+  static Status TxAborted(std::string m = {}) { return {StatusCode::kTxAborted, std::move(m)}; }
+  static Status Unavailable(std::string m = {}) { return {StatusCode::kUnavailable, std::move(m)}; }
+  static Status InvalidArgument(std::string m = {}) { return {StatusCode::kInvalidArgument, std::move(m)}; }
+  static Status PermissionDenied(std::string m = {}) { return {StatusCode::kPermissionDenied, std::move(m)}; }
+  static Status QuotaExceeded(std::string m = {}) { return {StatusCode::kQuotaExceeded, std::move(m)}; }
+  static Status SubtreeLocked(std::string m = {}) { return {StatusCode::kSubtreeLocked, std::move(m)}; }
+  static Status LeaseConflict(std::string m = {}) { return {StatusCode::kLeaseConflict, std::move(m)}; }
+  static Status NotEmpty(std::string m = {}) { return {StatusCode::kNotEmpty, std::move(m)}; }
+  static Status NotDirectory(std::string m = {}) { return {StatusCode::kNotDirectory, std::move(m)}; }
+  static Status IsDirectory(std::string m = {}) { return {StatusCode::kIsDirectory, std::move(m)}; }
+  static Status Failover(std::string m = {}) { return {StatusCode::kFailover, std::move(m)}; }
+  static Status Internal(std::string m = {}) { return {StatusCode::kInternal, std::move(m)}; }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // True for conditions a namenode resolves by re-running the transaction.
+  bool IsRetryableTx() const {
+    return code_ == StatusCode::kLockTimeout || code_ == StatusCode::kTxAborted;
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Minimal expected<T, Status>; gcc 12 predates std::expected.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}                 // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {          // NOLINT: implicit by design
+    assert(!status_.ok() && "Result from OK status carries no value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { assert(ok()); return *value_; }
+  const T& value() const& { assert(ok()); return *value_; }
+  T&& value() && { assert(ok()); return *std::move(value_); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(value()); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+#define HOPS_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::hops::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+#define HOPS_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto lhs##_result = (expr);                 \
+  if (!lhs##_result.ok()) return lhs##_result.status(); \
+  auto lhs = std::move(lhs##_result).value()
+
+}  // namespace hops

@@ -1,0 +1,266 @@
+#include "workload/driver.h"
+
+#include <thread>
+
+#include "util/clock.h"
+
+namespace hops::wl {
+
+namespace {
+
+class HopsAdapter : public FsApi {
+ public:
+  explicit HopsAdapter(hops::fs::Client client) : client_(std::move(client)) {}
+
+  hops::Status Mkdirs(const std::string& path) override { return client_.Mkdirs(path); }
+  hops::Status CreateFile(const std::string& path, int64_t bytes) override {
+    HOPS_RETURN_IF_ERROR(client_.CreateFile(path));
+    if (bytes > 0) {
+      auto blk = client_.AddBlock(path, bytes);
+      if (!blk.ok()) return blk.status();
+    }
+    return client_.CompleteFile(path);
+  }
+  hops::Status AppendBlock(const std::string& path, int64_t bytes) override {
+    HOPS_RETURN_IF_ERROR(client_.Append(path));
+    auto blk = client_.AddBlock(path, bytes);
+    if (!blk.ok()) return blk.status();
+    return client_.CompleteFile(path);
+  }
+  hops::Status Read(const std::string& path) override { return client_.Read(path).status(); }
+  hops::Status Stat(const std::string& path) override { return client_.Stat(path).status(); }
+  hops::Status List(const std::string& path) override { return client_.List(path).status(); }
+  hops::Status SetPermission(const std::string& path, int64_t perm) override {
+    return client_.SetPermission(path, perm);
+  }
+  hops::Status SetOwner(const std::string& path, const std::string& owner) override {
+    return client_.SetOwner(path, owner, "users");
+  }
+  hops::Status SetReplication(const std::string& path, int64_t repl) override {
+    return client_.SetReplication(path, repl);
+  }
+  hops::Status Rename(const std::string& src, const std::string& dst) override {
+    return client_.Rename(src, dst);
+  }
+  hops::Status Delete(const std::string& path) override { return client_.Delete(path, true); }
+  hops::Status ContentSummary(const std::string& path) override {
+    return client_.ContentSummaryOf(path).status();
+  }
+
+ private:
+  hops::fs::Client client_;
+};
+
+class HdfsAdapter : public FsApi {
+ public:
+  HdfsAdapter(hops::hdfs::Namesystem* fs, std::string holder)
+      : fs_(fs), holder_(std::move(holder)) {}
+
+  hops::Status Mkdirs(const std::string& path) override { return fs_->Mkdirs(path); }
+  hops::Status CreateFile(const std::string& path, int64_t bytes) override {
+    HOPS_RETURN_IF_ERROR(fs_->Create(path, holder_));
+    if (bytes > 0) {
+      auto blk = fs_->AddBlock(path, holder_, bytes);
+      if (!blk.ok()) return blk.status();
+    }
+    return fs_->CompleteFile(path, holder_);
+  }
+  hops::Status AppendBlock(const std::string& path, int64_t bytes) override {
+    HOPS_RETURN_IF_ERROR(fs_->Append(path, holder_));
+    auto blk = fs_->AddBlock(path, holder_, bytes);
+    if (!blk.ok()) return blk.status();
+    return fs_->CompleteFile(path, holder_);
+  }
+  hops::Status Read(const std::string& path) override {
+    return fs_->GetBlockLocations(path).status();
+  }
+  hops::Status Stat(const std::string& path) override {
+    return fs_->GetFileInfo(path).status();
+  }
+  hops::Status List(const std::string& path) override {
+    return fs_->ListStatus(path).status();
+  }
+  hops::Status SetPermission(const std::string& path, int64_t perm) override {
+    return fs_->SetPermission(path, perm);
+  }
+  hops::Status SetOwner(const std::string& path, const std::string& owner) override {
+    return fs_->SetOwner(path, owner, "users");
+  }
+  hops::Status SetReplication(const std::string& path, int64_t repl) override {
+    return fs_->SetReplication(path, repl);
+  }
+  hops::Status Rename(const std::string& src, const std::string& dst) override {
+    return fs_->Rename(src, dst);
+  }
+  hops::Status Delete(const std::string& path) override { return fs_->Delete(path, true); }
+  hops::Status ContentSummary(const std::string& path) override {
+    return fs_->GetContentSummary(path).status();
+  }
+
+ private:
+  hops::hdfs::Namesystem* const fs_;
+  const std::string holder_;
+};
+
+// Per-thread closed-loop worker.
+class Worker {
+ public:
+  Worker(int id, FsApi* fs, const GeneratedNamespace& ns, const OpMix& mix,
+         const DriverOptions& options)
+      : id_(id),
+        fs_(fs),
+        ns_(ns),
+        sampler_(mix),
+        rng_(options.seed * 1000003 + static_cast<uint64_t>(id)),
+        file_zipf_(std::max<size_t>(ns.files.size(), 1), options.zipf_exponent),
+        dir_zipf_(std::max<size_t>(ns.dirs.size(), 1), options.zipf_exponent) {}
+
+  void RunOps(int64_t count, std::atomic<bool>* stop) {
+    for (int64_t i = 0; (count < 0 || i < count); ++i) {
+      if (stop != nullptr && stop->load(std::memory_order_relaxed)) break;
+      Step();
+    }
+  }
+
+  uint64_t ops() const { return ops_; }
+  uint64_t failures() const { return failures_; }
+  const std::map<OpType, hops::Histogram>& latency() const { return latency_; }
+  const std::map<OpType, uint64_t>& counts() const { return counts_; }
+
+ private:
+  const std::string& GlobalFile() { return ns_.files[file_zipf_.Sample(rng_)]; }
+  const std::string& GlobalDir() { return ns_.dirs[dir_zipf_.Sample(rng_)]; }
+  // Leaf-heavy directory choice for content summary (keeps subtrees small).
+  const std::string& LeafDir() {
+    size_t half = ns_.dirs.size() / 2;
+    return ns_.dirs[half + rng_.Below(ns_.dirs.size() - half)];
+  }
+  std::string FreshName() {
+    return "w" + std::to_string(id_) + "_" + std::to_string(counter_++);
+  }
+
+  void Step() {
+    auto [op, on_dir] = sampler_.Sample(rng_);
+    int64_t t0 = hops::MonotonicMicros();
+    hops::Status st = Execute(op, on_dir);
+    int64_t dt = hops::MonotonicMicros() - t0;
+    ops_++;
+    counts_[op]++;
+    latency_[op].Record(static_cast<double>(dt));
+    if (!st.ok()) failures_++;
+  }
+
+  hops::Status Execute(OpType op, bool on_dir) {
+    switch (op) {
+      case OpType::kRead:
+        return fs_->Read(GlobalFile());
+      case OpType::kStat:
+        return fs_->Stat(on_dir ? GlobalDir() : GlobalFile());
+      case OpType::kList:
+        return fs_->List(on_dir ? GlobalDir() : GlobalFile());
+      case OpType::kCreateFile: {
+        std::string path = GlobalDir() + "/" + FreshName();
+        hops::Status st = fs_->CreateFile(path, 1024);
+        if (st.ok() && own_files_.size() < 4096) own_files_.push_back(path);
+        return st;
+      }
+      case OpType::kAddBlock:
+      case OpType::kAppendFile: {
+        if (own_files_.empty()) return fs_->Stat(GlobalFile());
+        return fs_->AppendBlock(own_files_[rng_.Below(own_files_.size())], 1024);
+      }
+      case OpType::kDelete: {
+        if (own_files_.empty()) return fs_->Stat(GlobalFile());
+        size_t idx = rng_.Below(own_files_.size());
+        std::string path = own_files_[idx];
+        own_files_.erase(own_files_.begin() + static_cast<long>(idx));
+        return fs_->Delete(path);
+      }
+      case OpType::kMove: {
+        if (own_files_.empty()) return fs_->Stat(GlobalFile());
+        size_t idx = rng_.Below(own_files_.size());
+        std::string src = own_files_[idx];
+        std::string dst = src.substr(0, src.rfind('/') + 1) + FreshName();
+        hops::Status st = fs_->Rename(src, dst);
+        if (st.ok()) own_files_[idx] = dst;
+        return st;
+      }
+      case OpType::kMkdirs:
+        return fs_->Mkdirs(GlobalDir() + "/" + FreshName());
+      case OpType::kSetPermission:
+        return fs_->SetPermission(on_dir ? LeafDir() : GlobalFile(), 0750);
+      case OpType::kSetOwner:
+        return fs_->SetOwner(on_dir ? LeafDir() : GlobalFile(), "owner" + std::to_string(id_));
+      case OpType::kSetReplication:
+        return fs_->SetReplication(GlobalFile(), static_cast<int64_t>(2 + rng_.Below(3)));
+      case OpType::kContentSummary:
+        return fs_->ContentSummary(LeafDir());
+    }
+    return hops::Status::InvalidArgument("unknown op");
+  }
+
+  const int id_;
+  FsApi* const fs_;
+  const GeneratedNamespace& ns_;
+  OpSampler sampler_;
+  hops::Rng rng_;
+  hops::ZipfSampler file_zipf_;
+  hops::ZipfSampler dir_zipf_;
+  std::vector<std::string> own_files_;
+  uint64_t counter_ = 0;
+  uint64_t ops_ = 0;
+  uint64_t failures_ = 0;
+  std::map<OpType, hops::Histogram> latency_;
+  std::map<OpType, uint64_t> counts_;
+};
+
+}  // namespace
+
+std::unique_ptr<FsApi> MakeHopsAdapter(hops::fs::Client client) {
+  return std::make_unique<HopsAdapter>(std::move(client));
+}
+
+std::unique_ptr<FsApi> MakeHdfsAdapter(hops::hdfs::Namesystem* fs, std::string holder) {
+  return std::make_unique<HdfsAdapter>(fs, std::move(holder));
+}
+
+DriverReport RunDriver(const std::function<std::unique_ptr<FsApi>(int thread)>& make_api,
+                       const GeneratedNamespace& ns, const OpMix& mix,
+                       const DriverOptions& options) {
+  std::vector<std::unique_ptr<FsApi>> apis;
+  std::vector<std::unique_ptr<Worker>> workers;
+  for (int t = 0; t < options.num_threads; ++t) {
+    apis.push_back(make_api(t));
+    workers.push_back(std::make_unique<Worker>(t, apis.back().get(), ns, mix, options));
+  }
+
+  std::atomic<bool> stop{false};
+  int64_t start = hops::MonotonicMicros();
+  std::vector<std::thread> threads;
+  bool timed = options.duration.count() > 0;
+  for (int t = 0; t < options.num_threads; ++t) {
+    Worker* w = workers[static_cast<size_t>(t)].get();
+    threads.emplace_back(
+        [&, w] { w->RunOps(timed ? -1 : options.ops_per_thread, &stop); });
+  }
+  if (timed) {
+    std::this_thread::sleep_for(options.duration);
+    stop.store(true);
+  }
+  for (auto& t : threads) t.join();
+  int64_t elapsed = hops::MonotonicMicros() - start;
+
+  DriverReport report;
+  report.wall_seconds = static_cast<double>(elapsed) / 1e6;
+  for (const auto& w : workers) {
+    report.ops += w->ops();
+    report.failures += w->failures();
+    for (const auto& [op, hist] : w->latency()) report.latency[op].Merge(hist);
+    for (const auto& [op, n] : w->counts()) report.counts[op] += n;
+  }
+  report.ops_per_second =
+      report.wall_seconds > 0 ? static_cast<double>(report.ops) / report.wall_seconds : 0;
+  return report;
+}
+
+}  // namespace hops::wl

@@ -1,0 +1,69 @@
+// Closed-loop workload driver: N client threads sample operations from an
+// OpMix and execute them against a file system (HopsFS or the HDFS
+// baseline) over a pre-generated namespace, recording per-operation latency
+// histograms and aggregate throughput. Target popularity is Zipf-distributed
+// (heavy-tailed access, §5.1.1).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+
+#include "hdfs/namesystem.h"
+#include "hopsfs/mini_cluster.h"
+#include "util/histogram.h"
+#include "workload/namespace_gen.h"
+#include "workload/spec.h"
+
+namespace hops::wl {
+
+// Minimal uniform facade over the two systems under test.
+class FsApi {
+ public:
+  virtual ~FsApi() = default;
+  virtual hops::Status Mkdirs(const std::string& path) = 0;
+  virtual hops::Status CreateFile(const std::string& path, int64_t bytes) = 0;
+  virtual hops::Status AppendBlock(const std::string& path, int64_t bytes) = 0;
+  virtual hops::Status Read(const std::string& path) = 0;
+  virtual hops::Status Stat(const std::string& path) = 0;
+  virtual hops::Status List(const std::string& path) = 0;
+  virtual hops::Status SetPermission(const std::string& path, int64_t perm) = 0;
+  virtual hops::Status SetOwner(const std::string& path, const std::string& owner) = 0;
+  virtual hops::Status SetReplication(const std::string& path, int64_t repl) = 0;
+  virtual hops::Status Rename(const std::string& src, const std::string& dst) = 0;
+  virtual hops::Status Delete(const std::string& path) = 0;
+  virtual hops::Status ContentSummary(const std::string& path) = 0;
+};
+
+std::unique_ptr<FsApi> MakeHopsAdapter(hops::fs::Client client);
+std::unique_ptr<FsApi> MakeHdfsAdapter(hops::hdfs::Namesystem* fs, std::string holder);
+
+struct DriverOptions {
+  int num_threads = 2;
+  int64_t ops_per_thread = 500;  // ignored when duration > 0
+  std::chrono::milliseconds duration{0};
+  uint64_t seed = 1;
+  double zipf_exponent = 1.05;
+};
+
+struct DriverReport {
+  uint64_t ops = 0;
+  uint64_t failures = 0;
+  double wall_seconds = 0;
+  double ops_per_second = 0;
+  std::map<OpType, hops::Histogram> latency;
+  std::map<OpType, uint64_t> counts;
+
+  const hops::Histogram* LatencyOf(OpType op) const {
+    auto it = latency.find(op);
+    return it == latency.end() ? nullptr : &it->second;
+  }
+};
+
+// Runs the closed loop. `make_api` is called once per thread.
+DriverReport RunDriver(const std::function<std::unique_ptr<FsApi>(int thread)>& make_api,
+                       const GeneratedNamespace& ns, const OpMix& mix,
+                       const DriverOptions& options);
+
+}  // namespace hops::wl

@@ -1,0 +1,229 @@
+#include "workload/namespace_gen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "hopsfs/partition.h"
+#include "hopsfs/path.h"
+#include "hopsfs/schema.h"
+#include "util/clock.h"
+
+namespace hops::wl {
+
+namespace {
+
+GeneratedNamespace PlanImpl(const std::string& base, const NamespaceShape& shape,
+                            int64_t target_files, uint64_t seed) {
+  GeneratedNamespace ns;
+  hops::Rng rng(seed);
+  int64_t dirs_needed =
+      std::max<int64_t>(1, (target_files + shape.files_per_dir - 1) / shape.files_per_dir);
+
+  std::deque<std::string> frontier;
+  for (int i = 0; i < shape.top_level_dirs && static_cast<int64_t>(ns.dirs.size()) < dirs_needed;
+       ++i) {
+    std::string dir = base + "/" + rng.RandomName(shape.name_length);
+    ns.dirs.push_back(dir);
+    frontier.push_back(dir);
+  }
+  // Breadth-first expansion keeps the tree balanced, approximating the
+  // paper's average path depth.
+  while (static_cast<int64_t>(ns.dirs.size()) < dirs_needed && !frontier.empty()) {
+    std::string parent = frontier.front();
+    frontier.pop_front();
+    for (int i = 0;
+         i < shape.subdirs_per_dir && static_cast<int64_t>(ns.dirs.size()) < dirs_needed;
+         ++i) {
+      std::string dir = parent + "/" + rng.RandomName(shape.name_length);
+      ns.dirs.push_back(dir);
+      frontier.push_back(dir);
+    }
+  }
+  int64_t remaining = target_files;
+  for (const std::string& dir : ns.dirs) {
+    for (int i = 0; i < shape.files_per_dir && remaining > 0; ++i, --remaining) {
+      ns.files.push_back(dir + "/" + rng.RandomName(shape.name_length));
+    }
+  }
+  return ns;
+}
+
+}  // namespace
+
+GeneratedNamespace PlanNamespace(const NamespaceShape& shape, int64_t target_files,
+                                 uint64_t seed) {
+  return PlanImpl("", shape, target_files, seed);
+}
+
+GeneratedNamespace PlanNamespaceUnder(const std::string& base, const NamespaceShape& shape,
+                                      int64_t target_files, uint64_t seed) {
+  return PlanImpl(base, shape, target_files, seed);
+}
+
+hops::Status Materialize(hops::fs::Client& client, const GeneratedNamespace& ns,
+                         const NamespaceShape& shape, uint64_t seed) {
+  hops::Rng rng(seed);
+  for (const auto& dir : ns.dirs) {
+    HOPS_RETURN_IF_ERROR(client.Mkdirs(dir));
+  }
+  double extra = shape.blocks_per_file - 1.0;
+  for (const auto& file : ns.files) {
+    int blocks = 1 + (rng.Chance(extra) ? 1 : 0);
+    HOPS_RETURN_IF_ERROR(client.WriteFile(file, blocks, shape.bytes_per_block));
+  }
+  return hops::Status::Ok();
+}
+
+BulkLoader::BulkLoader(ndb::Cluster* db, const hops::fs::MetadataSchema* schema,
+                       const hops::fs::FsConfig* config)
+    : db_(db), schema_(schema), config_(config) {}
+
+hops::Result<int64_t> BulkLoader::Load(const GeneratedNamespace& ns, double blocks_per_file,
+                                       int replicas_per_block, uint64_t seed) {
+  namespace fs = hops::fs;
+  hops::Rng rng(seed);
+
+  // Reserve id ranges up front (one transaction on the variables rows).
+  int64_t inode_count = static_cast<int64_t>(ns.dirs.size() + ns.files.size());
+  int64_t max_blocks =
+      static_cast<int64_t>(static_cast<double>(ns.files.size()) * (blocks_per_file + 1)) + 16;
+  int64_t first_inode = 0, first_block = 0;
+  {
+    auto tx = db_->Begin(ndb::TxHint{schema_->variables, 0});
+    auto inode_row =
+        tx->Read(schema_->variables, {fs::kVarNextInodeId}, ndb::LockMode::kExclusive);
+    if (!inode_row.ok()) return inode_row.status();
+    first_inode = (*inode_row)[fs::col::kVarValue].i64();
+    auto block_row =
+        tx->Read(schema_->variables, {fs::kVarNextBlockId}, ndb::LockMode::kExclusive);
+    if (!block_row.ok()) return block_row.status();
+    first_block = (*block_row)[fs::col::kVarValue].i64();
+    HOPS_RETURN_IF_ERROR(tx->Update(
+        schema_->variables, ndb::Row{fs::kVarNextInodeId, first_inode + inode_count}));
+    HOPS_RETURN_IF_ERROR(tx->Update(
+        schema_->variables, ndb::Row{fs::kVarNextBlockId, first_block + max_blocks}));
+    HOPS_RETURN_IF_ERROR(tx->Commit());
+  }
+
+  // path -> (inode id, depth); the root is known.
+  std::unordered_map<std::string, std::pair<fs::InodeId, int>> ids;
+  int64_t next_inode = first_inode;
+  int64_t next_block = first_block;
+  int rdepth = config_->random_partition_depth;
+
+  constexpr size_t kBatch = 256;
+  std::unique_ptr<ndb::Transaction> tx = db_->Begin();
+  size_t in_batch = 0;
+  auto flush = [&]() -> hops::Status {
+    HOPS_RETURN_IF_ERROR(tx->Commit());
+    tx = db_->Begin();
+    in_batch = 0;
+    return hops::Status::Ok();
+  };
+  auto maybe_flush = [&]() -> hops::Status {
+    return ++in_batch >= kBatch ? flush() : hops::Status::Ok();
+  };
+
+  // Resolves a directory that exists in the database but was not created by
+  // this loader (e.g. a pre-made "/shared-dir" base), caching the result.
+  auto resolve_from_db = [&](const std::string& path)
+      -> hops::Result<std::pair<fs::InodeId, int>> {  // (inode id, depth)
+    auto parts = fs::SplitPath(path);
+    if (!parts.ok()) return parts.status();
+    fs::InodeId cur = fs::kRootInode;
+    int depth = 0;
+    auto rtx = db_->Begin();
+    for (const auto& name : *parts) {
+      depth++;
+      uint64_t pv = fs::InodePartitionValue(depth, cur, name, rdepth);
+      auto row = rtx->Read(schema_->inodes, ndb::Key{cur, name},
+                           ndb::LockMode::kReadCommitted, pv);
+      if (!row.ok()) {
+        uint64_t alt = depth <= rdepth ? static_cast<uint64_t>(cur) : HashBytes(name);
+        row = rtx->Read(schema_->inodes, ndb::Key{cur, name},
+                        ndb::LockMode::kReadCommitted, alt);
+        if (!row.ok()) {
+          return hops::Status::NotFound("bulk load base " + path + " is missing " + name);
+        }
+      }
+      cur = (*row)[fs::col::kInodeId].i64();
+    }
+    ids[path] = {cur, depth};
+    return std::make_pair(cur, depth);
+  };
+
+  auto lookup_parent = [&](const std::string& path)
+      -> hops::Result<std::pair<fs::InodeId, int>> {  // (parent id, own depth)
+    auto slash = path.rfind('/');
+    std::string parent = path.substr(0, slash);
+    if (parent.empty()) return std::make_pair(fs::kRootInode, 1);
+    auto it = ids.find(parent);
+    if (it == ids.end()) {
+      HOPS_ASSIGN_OR_RETURN(resolved, resolve_from_db(parent));
+      return std::make_pair(resolved.first, resolved.second + 1);
+    }
+    return std::make_pair(it->second.first, it->second.second + 1);
+  };
+
+  for (const auto& dir : ns.dirs) {
+    HOPS_ASSIGN_OR_RETURN(parent_info, lookup_parent(dir));
+    auto [parent_id, depth] = parent_info;
+    fs::Inode inode;
+    inode.parent_id = parent_id;
+    inode.name = dir.substr(dir.rfind('/') + 1);
+    inode.id = next_inode++;
+    inode.is_dir = true;
+    inode.owner = "hdfs";
+    inode.group = "hdfs";
+    inode.mtime = hops::NowMicros();
+    HOPS_RETURN_IF_ERROR(
+        tx->Insert(schema_->inodes, fs::ToRow(inode),
+                   fs::InodePartitionValue(depth, parent_id, inode.name, rdepth)));
+    ids[dir] = {inode.id, depth};
+    HOPS_RETURN_IF_ERROR(maybe_flush());
+  }
+
+  double extra = blocks_per_file - 1.0;
+  for (const auto& file : ns.files) {
+    HOPS_ASSIGN_OR_RETURN(file_parent_info, lookup_parent(file));
+    auto [parent_id, depth] = file_parent_info;
+    fs::Inode inode;
+    inode.parent_id = parent_id;
+    inode.name = file.substr(file.rfind('/') + 1);
+    inode.id = next_inode++;
+    inode.is_dir = false;
+    inode.owner = "hdfs";
+    inode.group = "hdfs";
+    inode.mtime = hops::NowMicros();
+    inode.replication = 3;
+    int blocks = 1 + (rng.Chance(extra) ? 1 : 0);
+    inode.size = blocks * 1024;
+    HOPS_RETURN_IF_ERROR(
+        tx->Insert(schema_->inodes, fs::ToRow(inode),
+                   fs::InodePartitionValue(depth, parent_id, inode.name, rdepth)));
+    for (int b = 0; b < blocks; ++b) {
+      fs::Block blk;
+      blk.inode_id = inode.id;
+      blk.block_id = next_block++;
+      blk.block_index = b;
+      blk.state = fs::BlockState::kComplete;
+      blk.num_bytes = 1024;
+      blk.replication = 3;
+      HOPS_RETURN_IF_ERROR(tx->Insert(schema_->blocks, fs::ToRow(blk)));
+      HOPS_RETURN_IF_ERROR(
+          tx->Insert(schema_->block_lookup, ndb::Row{blk.block_id, inode.id}));
+      for (int r = 0; r < replicas_per_block; ++r) {
+        fs::Replica rep{inode.id, blk.block_id, r + 1, fs::ReplicaState::kFinalized};
+        HOPS_RETURN_IF_ERROR(tx->Insert(schema_->replicas, fs::ToRow(rep)));
+      }
+    }
+    HOPS_RETURN_IF_ERROR(maybe_flush());
+  }
+  HOPS_RETURN_IF_ERROR(tx->Commit());
+  return inode_count;
+}
+
+}  // namespace hops::wl

@@ -1,0 +1,58 @@
+// Synthetic namespace generation matching the paper's shape statistics
+// (§7.2), plus a direct-to-database bulk loader for experiments that need
+// millions of inodes (Table 4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hopsfs/client.h"
+#include "hopsfs/mini_cluster.h"
+#include "workload/spec.h"
+
+namespace hops::wl {
+
+struct GeneratedNamespace {
+  // Directories in creation order (parents before children); files last.
+  std::vector<std::string> dirs;
+  std::vector<std::string> files;
+};
+
+// Plans a deterministic directory tree: `top_level_dirs` children of the
+// root, each expanding breadth-first with `subdirs_per_dir` subdirectories
+// until enough directories exist to hold `target_files` at
+// `files_per_dir` files each. Names are `name_length` random characters.
+GeneratedNamespace PlanNamespace(const NamespaceShape& shape, int64_t target_files,
+                                 uint64_t seed);
+
+// Variant rooted under a common ancestor (the §7.2.1 hotspot experiment:
+// "/shared-dir/...").
+GeneratedNamespace PlanNamespaceUnder(const std::string& base, const NamespaceShape& shape,
+                                      int64_t target_files, uint64_t seed);
+
+// Builds the namespace through the public client API (files get 1-2 blocks
+// matching blocks_per_file on average).
+hops::Status Materialize(hops::fs::Client& client, const GeneratedNamespace& ns,
+                         const NamespaceShape& shape, uint64_t seed);
+
+// Fast path for very large namespaces: writes inode/block/lookup rows
+// directly into the database in batched transactions, reserving id ranges
+// from the variables table. Equivalent to Materialize for metadata layout;
+// skips the per-operation transaction machinery.
+class BulkLoader {
+ public:
+  BulkLoader(ndb::Cluster* db, const hops::fs::MetadataSchema* schema,
+             const hops::fs::FsConfig* config);
+
+  // Loads the namespace; files get `blocks_per_file` blocks (rounded
+  // per-file to average out) and `replicas_per_block` replica rows.
+  hops::Result<int64_t> Load(const GeneratedNamespace& ns, double blocks_per_file,
+                             int replicas_per_block, uint64_t seed);
+
+ private:
+  ndb::Cluster* const db_;
+  const hops::fs::MetadataSchema* const schema_;
+  const hops::fs::FsConfig* const config_;
+};
+
+}  // namespace hops::wl

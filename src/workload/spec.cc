@@ -1,0 +1,123 @@
+#include "workload/spec.h"
+
+#include <cassert>
+
+namespace hops::wl {
+
+std::string_view OpTypeName(OpType op) {
+  switch (op) {
+    case OpType::kAppendFile: return "append file";
+    case OpType::kMkdirs: return "mkdirs";
+    case OpType::kSetPermission: return "set permissions";
+    case OpType::kSetReplication: return "set replication";
+    case OpType::kSetOwner: return "set owner";
+    case OpType::kDelete: return "delete";
+    case OpType::kCreateFile: return "create file";
+    case OpType::kMove: return "move";
+    case OpType::kAddBlock: return "add blocks";
+    case OpType::kList: return "list";
+    case OpType::kStat: return "stat";
+    case OpType::kRead: return "read";
+    case OpType::kContentSummary: return "content summary";
+  }
+  return "?";
+}
+
+OpMix OpMix::Spotify() {
+  // Table 1 verbatim. Bracketed dir-fractions where the paper reports them.
+  OpMix mix;
+  mix.name = "spotify";
+  mix.entries = {
+      {OpType::kAppendFile, 0.0, 0.0},
+      {OpType::kContentSummary, 0.01, 1.0},
+      {OpType::kMkdirs, 0.02, 1.0},
+      {OpType::kSetPermission, 0.03, 0.263},
+      {OpType::kSetReplication, 0.14, 0.0},
+      {OpType::kSetOwner, 0.32, 1.0},
+      {OpType::kDelete, 0.75, 0.035},
+      {OpType::kCreateFile, 1.2, 0.0},
+      {OpType::kMove, 1.3, 0.0003},
+      {OpType::kAddBlock, 1.5, 0.0},
+      {OpType::kList, 9.0, 0.945},
+      {OpType::kStat, 17.0, 0.233},
+      {OpType::kRead, 68.73, 0.0},
+  };
+  return mix;
+}
+
+OpMix OpMix::WriteIntensive(double file_write_pct) {
+  // Table 2 (§7.2): "derived from the previously described workload, but
+  // here we increase the relative percentage of file create operations and
+  // reduce the percentage of file read operations". The paper's "file
+  // writes" percentage counts create + append + add-block operations
+  // (Spotify: 1.2 + 0.0 + 1.5 = 2.7%).
+  OpMix mix = Spotify();
+  mix.name = "write-" + std::to_string(file_write_pct);
+  double other_writes = 0.0;
+  for (const auto& e : mix.entries) {
+    if (e.op == OpType::kAppendFile || e.op == OpType::kAddBlock) other_writes += e.pct;
+  }
+  double target_create = file_write_pct - other_writes;
+  assert(target_create > 0);
+  for (auto& e : mix.entries) {
+    if (e.op == OpType::kCreateFile) {
+      double delta = target_create - e.pct;
+      e.pct = target_create;
+      for (auto& r : mix.entries) {
+        if (r.op == OpType::kRead) r.pct -= delta;
+      }
+      break;
+    }
+  }
+  return mix;
+}
+
+OpMix OpMix::Single(OpType op, double dir_fraction) {
+  OpMix mix;
+  mix.name = std::string(OpTypeName(op));
+  mix.entries = {{op, 100.0, dir_fraction}};
+  return mix;
+}
+
+double OpMix::TotalPct() const {
+  double total = 0;
+  for (const auto& e : entries) total += e.pct;
+  return total;
+}
+
+double OpMix::WritePct() const {
+  double writes = 0;
+  for (const auto& e : entries) {
+    switch (e.op) {
+      case OpType::kAppendFile:
+      case OpType::kMkdirs:
+      case OpType::kSetPermission:
+      case OpType::kSetReplication:
+      case OpType::kSetOwner:
+      case OpType::kDelete:
+      case OpType::kCreateFile:
+      case OpType::kMove:
+      case OpType::kAddBlock:
+        writes += e.pct;
+        break;
+      default:
+        break;
+    }
+  }
+  return writes * 100.0 / TotalPct();
+}
+
+OpSampler::OpSampler(const OpMix& mix)
+    : entries_(mix.entries), sampler_([&] {
+        std::vector<double> weights;
+        weights.reserve(mix.entries.size());
+        for (const auto& e : mix.entries) weights.push_back(e.pct);
+        return weights;
+      }()) {}
+
+std::pair<OpType, bool> OpSampler::Sample(hops::Rng& rng) const {
+  const MixEntry& e = entries_[sampler_.Sample(rng)];
+  return {e.op, rng.Chance(e.dir_fraction)};
+}
+
+}  // namespace hops::wl

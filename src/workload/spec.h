@@ -1,0 +1,83 @@
+// Workload specifications (paper Table 1 + §7.2).
+//
+// The Spotify mix gives each metadata operation's relative frequency and,
+// where the paper reports it, the fraction of targets that are directories
+// (the bracketed percentages of Table 1). The write-intensive variants of
+// Table 2 raise the file-create share while shrinking reads.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hops::wl {
+
+enum class OpType {
+  kAppendFile,
+  kMkdirs,
+  kSetPermission,
+  kSetReplication,
+  kSetOwner,
+  kDelete,
+  kCreateFile,
+  kMove,
+  kAddBlock,
+  kList,
+  kStat,
+  kRead,
+  kContentSummary,
+};
+
+std::string_view OpTypeName(OpType op);
+
+struct MixEntry {
+  OpType op;
+  double pct;           // relative frequency, percent
+  double dir_fraction;  // fraction of targets that are directories
+};
+
+struct OpMix {
+  std::string name;
+  std::vector<MixEntry> entries;
+
+  // Table 1: Spotify's production trace (94.74% reads, 2.7% file writes
+  // counting create+append+addBlock-ish mutations).
+  static OpMix Spotify();
+  // Table 2: the Spotify mix with the create-file share raised to
+  // `create_pct` percent, reads scaled down to make room.
+  static OpMix WriteIntensive(double create_pct);
+  // A flood of one operation (Figure 7).
+  static OpMix Single(OpType op, double dir_fraction = 0.0);
+
+  double TotalPct() const;
+  // Percentage of operations that mutate the namespace.
+  double WritePct() const;
+};
+
+// Samples operations from a mix.
+class OpSampler {
+ public:
+  explicit OpSampler(const OpMix& mix);
+  // Returns the op plus whether the target should be a directory.
+  std::pair<OpType, bool> Sample(hops::Rng& rng) const;
+
+ private:
+  std::vector<MixEntry> entries_;
+  hops::DiscreteSampler sampler_;
+};
+
+// Namespace shape statistics from §7.2: "the average file path depth is 7
+// and average inode name length is 34 characters. On average each directory
+// contains 16 files and 2 sub-directories", 1.3 blocks per file.
+struct NamespaceShape {
+  int files_per_dir = 16;
+  int subdirs_per_dir = 2;
+  int dir_depth = 5;          // depth of the directory tree below the top level
+  int top_level_dirs = 4;     // direct children of the root
+  size_t name_length = 34;
+  double blocks_per_file = 1.3;
+  int64_t bytes_per_block = 1024;  // metadata-only: sizes are bookkeeping
+};
+
+}  // namespace hops::wl

@@ -1,0 +1,128 @@
+#include "workload/trace.h"
+
+#include <cassert>
+
+namespace hops::wl {
+
+const std::vector<OpTrace>& TracePools::PoolFor(OpType op) const {
+  auto it = pools.find(op);
+  if (it != pools.end() && !it->second.empty()) return it->second;
+  // Fall back to stat (the cheapest read) for ops without samples.
+  static const std::vector<OpTrace> kEmpty;
+  auto stat = pools.find(OpType::kStat);
+  return stat != pools.end() ? stat->second : kEmpty;
+}
+
+TracePools CollectTraces(hops::fs::MiniCluster& cluster, const GeneratedNamespace& ns,
+                         const OpMix& mix, int samples_per_op, uint64_t seed) {
+  namespace fs = hops::fs;
+  TracePools pools;
+  pools.num_partitions = cluster.db().num_partitions();
+  assert(!ns.files.empty() && !ns.dirs.empty());
+
+  fs::Namenode& nn = cluster.namenode(0);
+  hops::Rng rng(seed);
+  hops::ZipfSampler file_zipf(ns.files.size(), 1.05);
+  hops::ZipfSampler dir_zipf(ns.dirs.size(), 1.05);
+  uint64_t counter = 0;
+
+  OpTrace current;
+  bool tracing = false;
+  nn.SetTraceSink([&](const ndb::CostTrace& trace) {
+    if (!tracing) return;
+    current.accesses.insert(current.accesses.end(), trace.accesses.begin(),
+                            trace.accesses.end());
+  });
+  auto traced = [&](const std::function<void()>& op) {
+    current.accesses.clear();
+    tracing = true;
+    op();
+    tracing = false;
+  };
+
+  auto global_file = [&]() -> const std::string& { return ns.files[file_zipf.Sample(rng)]; };
+  auto global_dir = [&]() -> const std::string& { return ns.dirs[dir_zipf.Sample(rng)]; };
+  auto leaf_dir = [&]() -> const std::string& {
+    size_t half = ns.dirs.size() / 2;
+    return ns.dirs[half + rng.Below(ns.dirs.size() - half)];
+  };
+  auto fresh = [&] { return "trace_" + std::to_string(counter++); };
+
+  for (const auto& entry : mix.entries) {
+    if (entry.pct <= 0) continue;
+    std::vector<OpTrace>& pool = pools.pools[entry.op];
+    for (int i = 0; i < samples_per_op; ++i) {
+      bool on_dir = rng.Chance(entry.dir_fraction);
+      switch (entry.op) {
+        case OpType::kRead:
+          traced([&] { (void)nn.GetBlockLocations(global_file()); });
+          break;
+        case OpType::kStat:
+          traced([&] { (void)nn.GetFileInfo(on_dir ? global_dir() : global_file()); });
+          break;
+        case OpType::kList:
+          traced([&] { (void)nn.ListStatus(on_dir ? global_dir() : global_file()); });
+          break;
+        case OpType::kCreateFile: {
+          std::string path = global_dir() + "/" + fresh();
+          traced([&] {
+            (void)nn.Create(path, "trace");
+            (void)nn.AddBlock(path, "trace", 1024);
+            (void)nn.CompleteFile(path, "trace");
+          });
+          break;
+        }
+        case OpType::kAppendFile:
+        case OpType::kAddBlock: {
+          std::string path = global_dir() + "/" + fresh();
+          (void)nn.Create(path, "trace");
+          (void)nn.CompleteFile(path, "trace");
+          traced([&] {
+            (void)nn.Append(path, "trace");
+            (void)nn.AddBlock(path, "trace", 1024);
+            (void)nn.CompleteFile(path, "trace");
+          });
+          break;
+        }
+        case OpType::kDelete: {
+          std::string path = global_dir() + "/" + fresh();
+          (void)nn.Create(path, "trace");
+          (void)nn.CompleteFile(path, "trace");
+          traced([&] { (void)nn.Delete(path, false); });
+          break;
+        }
+        case OpType::kMove: {
+          std::string path = global_dir() + "/" + fresh();
+          (void)nn.Create(path, "trace");
+          (void)nn.CompleteFile(path, "trace");
+          traced([&] { (void)nn.Rename(path, path + "_mv"); });
+          break;
+        }
+        case OpType::kMkdirs: {
+          std::string path = global_dir() + "/" + fresh();
+          traced([&] { (void)nn.Mkdirs(path); });
+          break;
+        }
+        case OpType::kSetPermission:
+          traced([&] { (void)nn.SetPermission(on_dir ? leaf_dir() : global_file(), 0750); });
+          break;
+        case OpType::kSetOwner:
+          traced([&] { (void)nn.SetOwner(leaf_dir(), "owner", "users"); });
+          break;
+        case OpType::kSetReplication:
+          traced([&] {
+            (void)nn.SetReplication(global_file(), static_cast<int64_t>(2 + rng.Below(3)));
+          });
+          break;
+        case OpType::kContentSummary:
+          traced([&] { (void)nn.GetContentSummary(leaf_dir()); });
+          break;
+      }
+      if (!current.accesses.empty()) pool.push_back(current);
+    }
+  }
+  nn.SetTraceSink(nullptr);
+  return pools;
+}
+
+}  // namespace hops::wl

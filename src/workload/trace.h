@@ -1,0 +1,48 @@
+// Trace capture: runs each operation type of a mix against a real HopsFS
+// namenode with database-access tracing enabled and pools the per-operation
+// traces. The discrete-event simulator (src/sim) replays these pools, so its
+// service demands -- round trips, rows touched, partition skew, cache hit
+// rates -- are measured rather than assumed.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "hopsfs/mini_cluster.h"
+#include "ndb/cost.h"
+#include "workload/namespace_gen.h"
+#include "workload/spec.h"
+
+namespace hops::wl {
+
+// All database accesses of one client-visible file system operation
+// (possibly several transactions, e.g. a multi-level mkdirs).
+struct OpTrace {
+  std::vector<ndb::Access> accesses;
+  uint32_t RoundTrips() const {
+    uint32_t n = 0;
+    for (const auto& a : accesses) n += a.round_trips;
+    return n;
+  }
+  uint32_t Rows() const {
+    uint32_t n = 0;
+    for (const auto& a : accesses) n += a.TotalRows();
+    return n;
+  }
+};
+
+struct TracePools {
+  std::map<OpType, std::vector<OpTrace>> pools;
+  // Partition count of the capture cluster (the simulator remaps partitions
+  // onto its own topology).
+  uint32_t num_partitions = 0;
+
+  const std::vector<OpTrace>& PoolFor(OpType op) const;
+};
+
+// Runs `samples_per_op` operations of every op type in `mix` (weight > 0)
+// through namenode 0 of `cluster` over namespace `ns`, collecting traces.
+TracePools CollectTraces(hops::fs::MiniCluster& cluster, const GeneratedNamespace& ns,
+                         const OpMix& mix, int samples_per_op, uint64_t seed);
+
+}  // namespace hops::wl

@@ -1,0 +1,228 @@
+// The HDFS baseline: namesystem semantics under the global lock, quorum
+// journal behaviour, batched big deletes, standby replay and HA failover.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "hdfs/ha_cluster.h"
+#include "util/thread_pool.h"
+
+namespace hops::hdfs {
+namespace {
+
+class HdfsTest : public ::testing::Test {
+ protected:
+  HdfsTest() : journal_(3), fs_(HdfsConfig{}, &journal_) {}
+  EditLog journal_;
+  Namesystem fs_;
+};
+
+TEST_F(HdfsTest, MkdirsCreateList) {
+  ASSERT_TRUE(fs_.Mkdirs("/a/b").ok());
+  ASSERT_TRUE(fs_.Create("/a/b/f", "c1").ok());
+  ASSERT_TRUE(fs_.CompleteFile("/a/b/f", "c1").ok());
+  auto listing = fs_.ListStatus("/a/b");
+  ASSERT_TRUE(listing.ok());
+  ASSERT_EQ(listing->size(), 1u);
+  EXPECT_EQ((*listing)[0].name, "f");
+}
+
+TEST_F(HdfsTest, WriteAndReadBlocks) {
+  ASSERT_TRUE(fs_.Mkdirs("/d").ok());
+  ASSERT_TRUE(fs_.Create("/d/f", "c1").ok());
+  auto b1 = fs_.AddBlock("/d/f", "c1", 100);
+  auto b2 = fs_.AddBlock("/d/f", "c1", 200);
+  ASSERT_TRUE(b1.ok());
+  ASSERT_TRUE(b2.ok());
+  ASSERT_TRUE(fs_.CompleteFile("/d/f", "c1").ok());
+  auto blocks = fs_.GetBlockLocations("/d/f");
+  ASSERT_TRUE(blocks.ok());
+  ASSERT_EQ(blocks->size(), 2u);
+  EXPECT_EQ(fs_.GetFileInfo("/d/f")->size, 300);
+}
+
+TEST_F(HdfsTest, ErrorPathsMatchHopsFsSemantics) {
+  ASSERT_TRUE(fs_.Mkdirs("/a").ok());
+  ASSERT_TRUE(fs_.Create("/a/f", "c1").ok());
+  EXPECT_EQ(fs_.Create("/a/f", "c2").code(), hops::StatusCode::kAlreadyExists);
+  EXPECT_EQ(fs_.AddBlock("/a/f", "c2", 10).status().code(),
+            hops::StatusCode::kLeaseConflict);
+  EXPECT_EQ(fs_.Create("/missing/f", "c1").code(), hops::StatusCode::kNotFound);
+  EXPECT_EQ(fs_.Delete("/a", false).code(), hops::StatusCode::kNotEmpty);
+  EXPECT_EQ(fs_.Rename("/a", "/a/sub").code(), hops::StatusCode::kInvalidArgument);
+}
+
+TEST_F(HdfsTest, RenameMovesSubtree) {
+  ASSERT_TRUE(fs_.Mkdirs("/x/y").ok());
+  ASSERT_TRUE(fs_.Create("/x/y/f", "c1").ok());
+  ASSERT_TRUE(fs_.CompleteFile("/x/y/f", "c1").ok());
+  ASSERT_TRUE(fs_.Rename("/x", "/z").ok());
+  EXPECT_TRUE(fs_.GetFileInfo("/z/y/f").ok());
+  EXPECT_FALSE(fs_.GetFileInfo("/x/y/f").ok());
+}
+
+TEST_F(HdfsTest, BatchedBigDelete) {
+  HdfsConfig cfg;
+  cfg.delete_batch = 16;  // force many batches
+  EditLog journal(3);
+  Namesystem fs(cfg, &journal);
+  ASSERT_TRUE(fs.Mkdirs("/big").ok());
+  for (int d = 0; d < 4; ++d) {
+    std::string dir = "/big/d" + std::to_string(d);
+    ASSERT_TRUE(fs.Mkdirs(dir).ok());
+    for (int f = 0; f < 40; ++f) {
+      ASSERT_TRUE(fs.Create(dir + "/f" + std::to_string(f), "c").ok());
+    }
+  }
+  size_t before = fs.NumInodes();
+  ASSERT_GT(before, 160u);
+  ASSERT_TRUE(fs.Delete("/big", true).ok());
+  EXPECT_EQ(fs.NumInodes(), 1u);
+}
+
+TEST_F(HdfsTest, QuotaEnforcement) {
+  ASSERT_TRUE(fs_.Mkdirs("/q").ok());
+  ASSERT_TRUE(fs_.SetQuota("/q", 3, -1).ok());
+  ASSERT_TRUE(fs_.Create("/q/f1", "c").ok());
+  ASSERT_TRUE(fs_.Mkdirs("/q/d1").ok());
+  EXPECT_EQ(fs_.Create("/q/f2", "c").code(), hops::StatusCode::kQuotaExceeded);
+  ASSERT_TRUE(fs_.Delete("/q/f1", false).ok());
+  EXPECT_TRUE(fs_.Create("/q/f2", "c").ok());
+}
+
+TEST_F(HdfsTest, ContentSummary) {
+  ASSERT_TRUE(fs_.Mkdirs("/cs/sub").ok());
+  ASSERT_TRUE(fs_.Create("/cs/f", "c").ok());
+  ASSERT_TRUE(fs_.AddBlock("/cs/f", "c", 100).ok());
+  ASSERT_TRUE(fs_.CompleteFile("/cs/f", "c").ok());
+  auto cs = fs_.GetContentSummary("/cs");
+  ASSERT_TRUE(cs.ok());
+  EXPECT_EQ(cs->dir_count, 2);
+  EXPECT_EQ(cs->file_count, 1);
+  EXPECT_EQ(cs->total_bytes, 300);
+}
+
+TEST_F(HdfsTest, GlobalLockAllowsParallelReaders) {
+  ASSERT_TRUE(fs_.Mkdirs("/r").ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(fs_.Create("/r/f" + std::to_string(i), "c").ok());
+  }
+  hops::ThreadPool pool(4);
+  std::atomic<int> reads{0};
+  for (int t = 0; t < 4; ++t) {
+    pool.Submit([&] {
+      for (int i = 0; i < 200; ++i) {
+        if (fs_.GetFileInfo("/r/f" + std::to_string(i % 50)).ok()) reads.fetch_add(1);
+      }
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(reads.load(), 800);
+}
+
+TEST_F(HdfsTest, ConcurrentWritersSerializeCorrectly) {
+  ASSERT_TRUE(fs_.Mkdirs("/w").ok());
+  hops::ThreadPool pool(4);
+  std::atomic<int> created{0};
+  for (int t = 0; t < 4; ++t) {
+    pool.Submit([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        std::string p = "/w/t" + std::to_string(t) + "_" + std::to_string(i);
+        if (fs_.Create(p, "c").ok()) created.fetch_add(1);
+      }
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(created.load(), 200);
+  EXPECT_EQ(fs_.ListStatus("/w")->size(), 200u);
+}
+
+TEST_F(HdfsTest, EditsAreLogged) {
+  ASSERT_TRUE(fs_.Mkdirs("/log").ok());
+  ASSERT_TRUE(fs_.Create("/log/f", "c").ok());
+  ASSERT_TRUE(fs_.CompleteFile("/log/f", "c").ok());
+  EXPECT_GE(journal_.size(), 3u);
+}
+
+TEST(EditLogTest, QuorumRules) {
+  EditLog log(3);
+  EXPECT_TRUE(log.QuorumAlive());
+  log.KillJournal(0);
+  EXPECT_TRUE(log.QuorumAlive()) << "3 journals tolerate 1 failure";
+  EXPECT_TRUE(log.Append({EditEntry::Kind::kMkdir, "/a", "", 0, 0, 0}).ok());
+  log.KillJournal(1);
+  EXPECT_FALSE(log.QuorumAlive());
+  EXPECT_EQ(log.Append({EditEntry::Kind::kMkdir, "/b", "", 0, 0, 0}).code(),
+            hops::StatusCode::kUnavailable);
+  log.RestartJournal(1);
+  EXPECT_TRUE(log.Append({EditEntry::Kind::kMkdir, "/b", "", 0, 0, 0}).ok());
+}
+
+TEST(EditLogTest, FiveJournalsTolerateTwo) {
+  EditLog log(5);
+  log.KillJournal(0);
+  log.KillJournal(1);
+  EXPECT_TRUE(log.QuorumAlive());
+  log.KillJournal(2);
+  EXPECT_FALSE(log.QuorumAlive());
+}
+
+TEST(EditLogTest, ReadSinceReturnsSuffix) {
+  EditLog log(3);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(log.Append({EditEntry::Kind::kMkdir, "/" + std::to_string(i), "", 0, 0, 0})
+                    .ok());
+  }
+  auto tail = log.ReadSince(3);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].txid, 4u);
+  EXPECT_EQ(tail[1].txid, 5u);
+}
+
+TEST(HaClusterTest, StandbyReplaysAndTakesOver) {
+  HaCluster ha(HaCluster::Options{});
+  ASSERT_NE(ha.active(), nullptr);
+  ASSERT_TRUE(ha.active()->Mkdirs("/a").ok());
+  ASSERT_TRUE(ha.active()->Create("/a/f", "c").ok());
+  ASSERT_TRUE(ha.active()->CompleteFile("/a/f", "c").ok());
+  ha.TailJournal();  // standby keeps up
+
+  ha.KillActive();
+  EXPECT_EQ(ha.active(), nullptr) << "no service during failover (§7.6.1)";
+  EXPECT_TRUE(ha.InFailover());
+  ha.FailoverToStandby();
+  ASSERT_NE(ha.active(), nullptr);
+  EXPECT_TRUE(ha.active()->GetFileInfo("/a/f").ok()) << "namespace preserved";
+  // The promoted namesystem serves mutations and logs them.
+  EXPECT_TRUE(ha.active()->Mkdirs("/after").ok());
+}
+
+TEST(HaClusterTest, LaggingStandbyCatchesUpDuringFailover) {
+  HaCluster ha(HaCluster::Options{});
+  ASSERT_TRUE(ha.active()->Mkdirs("/x").ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(ha.active()->Create("/x/f" + std::to_string(i), "c").ok());
+  }
+  // Standby never tailed; all edits replay at failover time.
+  ha.KillActive();
+  size_t replayed = ha.FailoverToStandby();
+  EXPECT_GE(replayed, 21u);
+  EXPECT_TRUE(ha.active()->GetFileInfo("/x/f19").ok());
+}
+
+TEST(HaClusterTest, MemoryEstimateMatchesPaperModel) {
+  HaCluster ha(HaCluster::Options{});
+  ASSERT_TRUE(ha.active()->Mkdirs("/m").ok());
+  size_t before = ha.active()->EstimatedMemoryBytes();
+  // Paper: a 2-block file costs ~448 + L bytes.
+  ASSERT_TRUE(ha.active()->Create("/m/0123456789", "c").ok());
+  ASSERT_TRUE(ha.active()->AddBlock("/m/0123456789", "c", 100).ok());
+  ASSERT_TRUE(ha.active()->AddBlock("/m/0123456789", "c", 100).ok());
+  ASSERT_TRUE(ha.active()->CompleteFile("/m/0123456789", "c").ok());
+  size_t per_file = ha.active()->EstimatedMemoryBytes() - before;
+  EXPECT_NEAR(static_cast<double>(per_file), 448 + 10, 20.0);
+}
+
+}  // namespace
+}  // namespace hops::hdfs

@@ -1,0 +1,230 @@
+// Multi-threaded, multi-namenode behaviour: parallel non-conflicting ops,
+// serialization of conflicting ops, client failover with zero downtime, and
+// database-node failure handling (§7.6).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "hopsfs/mini_cluster.h"
+#include "util/thread_pool.h"
+
+namespace hops::fs {
+namespace {
+
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MiniClusterOptions options;
+    options.db.num_datanodes = 4;
+    options.db.replication = 2;
+    options.db.lock_wait_timeout = std::chrono::milliseconds(250);
+    options.num_namenodes = 3;
+    options.num_datanodes = 3;
+    auto cluster = MiniCluster::Start(options);
+    ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+    cluster_ = *std::move(cluster);
+  }
+
+  std::unique_ptr<MiniCluster> cluster_;
+};
+
+TEST_F(ConcurrencyTest, ParallelCreatesInDistinctDirs) {
+  constexpr int kThreads = 4;
+  constexpr int kFilesEach = 25;
+  {
+    Client setup = cluster_->NewClient(NamenodePolicy::kRoundRobin, "setup");
+    for (int t = 0; t < kThreads; ++t) {
+      ASSERT_TRUE(setup.Mkdirs("/w" + std::to_string(t)).ok());
+    }
+  }
+  hops::ThreadPool pool(kThreads);
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    pool.Submit([&, t] {
+      Client c = cluster_->NewClient(NamenodePolicy::kRoundRobin,
+                                     "c" + std::to_string(t), 100 + t);
+      for (int i = 0; i < kFilesEach; ++i) {
+        std::string path = "/w" + std::to_string(t) + "/f" + std::to_string(i);
+        if (!c.WriteFile(path, 1, 10).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(failures.load(), 0);
+  Client check = cluster_->NewClient(NamenodePolicy::kRandom, "check");
+  for (int t = 0; t < kThreads; ++t) {
+    auto listing = check.List("/w" + std::to_string(t));
+    ASSERT_TRUE(listing.ok());
+    EXPECT_EQ(listing->size(), static_cast<size_t>(kFilesEach));
+  }
+}
+
+TEST_F(ConcurrencyTest, ConflictingCreatesExactlyOneWins) {
+  Client setup = cluster_->NewClient(NamenodePolicy::kRoundRobin, "setup");
+  ASSERT_TRUE(setup.Mkdirs("/race").ok());
+  constexpr int kThreads = 4;
+  hops::ThreadPool pool(kThreads);
+  std::atomic<int> wins{0};
+  std::atomic<int> already{0};
+  for (int t = 0; t < kThreads; ++t) {
+    pool.Submit([&, t] {
+      // Each contender uses a different namenode when possible.
+      Namenode& nn = cluster_->namenode(t % cluster_->num_namenodes());
+      auto st = nn.Create("/race/same", "client" + std::to_string(t));
+      if (st.ok()) {
+        wins.fetch_add(1);
+      } else if (st.code() == hops::StatusCode::kAlreadyExists ||
+                 st.code() == hops::StatusCode::kLeaseConflict) {
+        already.fetch_add(1);
+      }
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(wins.load(), 1);
+  EXPECT_EQ(already.load(), kThreads - 1);
+}
+
+TEST_F(ConcurrencyTest, ConcurrentRenamesOfSameSourceOneWins) {
+  Client setup = cluster_->NewClient(NamenodePolicy::kRoundRobin, "setup");
+  ASSERT_TRUE(setup.Mkdirs("/mv").ok());
+  ASSERT_TRUE(setup.WriteFile("/mv/f", 1, 1).ok());
+  std::atomic<int> wins{0};
+  std::thread t1([&] {
+    if (cluster_->namenode(0).Rename("/mv/f", "/mv/a").ok()) wins.fetch_add(1);
+  });
+  std::thread t2([&] {
+    if (cluster_->namenode(1).Rename("/mv/f", "/mv/b").ok()) wins.fetch_add(1);
+  });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(wins.load(), 1);
+  int present = 0;
+  present += setup.Stat("/mv/a").ok() ? 1 : 0;
+  present += setup.Stat("/mv/b").ok() ? 1 : 0;
+  EXPECT_EQ(present, 1);
+  EXPECT_FALSE(setup.Stat("/mv/f").ok());
+}
+
+TEST_F(ConcurrencyTest, MixedReadWriteLoadKeepsNamespaceConsistent) {
+  Client setup = cluster_->NewClient(NamenodePolicy::kRoundRobin, "setup");
+  ASSERT_TRUE(setup.Mkdirs("/mix/a").ok());
+  ASSERT_TRUE(setup.Mkdirs("/mix/b").ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(setup.WriteFile("/mix/a/f" + std::to_string(i), 1, 10).ok());
+  }
+  hops::ThreadPool pool(4);
+  std::atomic<bool> stop{false};
+  std::atomic<int> hard_failures{0};
+  // Two readers...
+  for (int t = 0; t < 2; ++t) {
+    pool.Submit([&, t] {
+      Client c = cluster_->NewClient(NamenodePolicy::kSticky, "r" + std::to_string(t),
+                                     200 + t);
+      while (!stop.load()) {
+        (void)c.List("/mix/a");
+        (void)c.Stat("/mix/a/f3");
+        (void)c.Read("/mix/a/f3");
+      }
+    });
+  }
+  // ...against a renamer and a create/delete churner.
+  pool.Submit([&] {
+    Client c = cluster_->NewClient(NamenodePolicy::kSticky, "mv", 300);
+    for (int i = 0; i < 30; ++i) {
+      if (!c.Rename("/mix/a/f0", "/mix/b/f0").ok()) hard_failures.fetch_add(1);
+      if (!c.Rename("/mix/b/f0", "/mix/a/f0").ok()) hard_failures.fetch_add(1);
+    }
+    stop.store(true);
+  });
+  pool.Submit([&] {
+    Client c = cluster_->NewClient(NamenodePolicy::kSticky, "churn", 400);
+    int i = 0;
+    while (!stop.load()) {
+      std::string path = "/mix/b/tmp" + std::to_string(i++);
+      if (c.WriteFile(path, 1, 5).ok()) {
+        if (!c.Delete(path, false).ok()) hard_failures.fetch_add(1);
+      }
+    }
+  });
+  pool.Wait();
+  EXPECT_EQ(hard_failures.load(), 0);
+  EXPECT_TRUE(setup.Stat("/mix/a/f0").ok());
+  auto listing = setup.List("/mix/a");
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(listing->size(), 10u);
+}
+
+TEST_F(ConcurrencyTest, ClientFailsOverWhenNamenodeDies) {
+  Client c = cluster_->NewClient(NamenodePolicy::kSticky, "c1");
+  ASSERT_TRUE(c.Mkdirs("/ha").ok());
+  ASSERT_TRUE(c.WriteFile("/ha/f", 1, 10).ok());
+  // Kill namenodes one at a time; the sticky client keeps working with no
+  // downtime as long as one namenode survives (§7.6.1).
+  for (int killed = 0; killed + 1 < cluster_->num_namenodes(); ++killed) {
+    cluster_->KillNamenode(killed);
+    auto st = c.Stat("/ha/f");
+    EXPECT_TRUE(st.ok()) << "after killing nn" << killed << ": "
+                         << st.status().ToString();
+    EXPECT_TRUE(c.WriteFile("/ha/g" + std::to_string(killed), 1, 5).ok());
+  }
+  EXPECT_GT(c.failovers(), 0u);
+  // All namenodes dead: unavailable.
+  cluster_->KillNamenode(cluster_->num_namenodes() - 1);
+  EXPECT_EQ(c.Stat("/ha/f").status().code(), hops::StatusCode::kUnavailable);
+  // A restarted namenode restores service.
+  ASSERT_TRUE(cluster_->RestartNamenode(0).ok());
+  EXPECT_TRUE(c.Stat("/ha/f").ok());
+}
+
+TEST_F(ConcurrencyTest, OperationsSurviveNdbDatanodeFailure) {
+  Client c = cluster_->NewClient(NamenodePolicy::kRoundRobin, "c1");
+  ASSERT_TRUE(c.Mkdirs("/ndb").ok());
+  ASSERT_TRUE(c.WriteFile("/ndb/f", 1, 10).ok());
+  // Kill one NDB datanode per node group: every partition still has a
+  // replica, so the file system keeps working (§7.6.2).
+  cluster_->db().KillDatanode(0);
+  cluster_->db().KillDatanode(2);
+  EXPECT_TRUE(cluster_->db().Available());
+  EXPECT_TRUE(c.Stat("/ndb/f").ok());
+  EXPECT_TRUE(c.WriteFile("/ndb/g", 1, 10).ok());
+  // Kill the second member of group 0: the cluster is down.
+  cluster_->db().KillDatanode(1);
+  EXPECT_FALSE(cluster_->db().Available());
+  bool saw_unavailable = false;
+  for (int i = 0; i < 20 && !saw_unavailable; ++i) {
+    auto st = c.Stat("/ndb/probe" + std::to_string(i));
+    if (st.status().code() == hops::StatusCode::kUnavailable) saw_unavailable = true;
+  }
+  EXPECT_TRUE(saw_unavailable);
+  // Recovery: restart the NDB node; the namespace is intact.
+  cluster_->db().RestartDatanode(1);
+  EXPECT_TRUE(c.Stat("/ndb/f").ok());
+}
+
+TEST_F(ConcurrencyTest, HotspotDirectoryStillCorrectUnderContention) {
+  // All operations hammer one directory (§7.2.1): throughput is bounded by
+  // one shard but correctness must hold.
+  Client setup = cluster_->NewClient(NamenodePolicy::kRoundRobin, "setup");
+  ASSERT_TRUE(setup.Mkdirs("/shared-dir").ok());
+  hops::ThreadPool pool(4);
+  std::atomic<int> created{0};
+  for (int t = 0; t < 4; ++t) {
+    pool.Submit([&, t] {
+      Client c = cluster_->NewClient(NamenodePolicy::kRoundRobin,
+                                     "hot" + std::to_string(t), 500 + t);
+      for (int i = 0; i < 20; ++i) {
+        std::string path = "/shared-dir/t" + std::to_string(t) + "_" + std::to_string(i);
+        if (c.WriteFile(path, 1, 1).ok()) created.fetch_add(1);
+      }
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(created.load(), 80);
+  auto listing = setup.List("/shared-dir");
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(listing->size(), 80u);
+}
+
+}  // namespace
+}  // namespace hops::fs

@@ -1,0 +1,115 @@
+// Leader election & membership via the database as shared memory (§3).
+#include <gtest/gtest.h>
+
+#include "hopsfs/mini_cluster.h"
+
+namespace hops::fs {
+namespace {
+
+class LeaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MiniClusterOptions options;
+    options.db.num_datanodes = 2;
+    options.db.replication = 2;
+    options.num_namenodes = 3;
+    options.num_datanodes = 1;
+    auto cluster = MiniCluster::Start(options);
+    ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+    cluster_ = *std::move(cluster);
+  }
+
+  std::unique_ptr<MiniCluster> cluster_;
+};
+
+TEST_F(LeaderTest, UniqueMonotonicIds) {
+  std::set<NamenodeId> ids;
+  for (int i = 0; i < cluster_->num_namenodes(); ++i) {
+    ids.insert(cluster_->namenode(i).id());
+  }
+  EXPECT_EQ(ids.size(), 3u);
+  EXPECT_GT(*ids.begin(), 0);
+}
+
+TEST_F(LeaderTest, SmallestAliveIdIsLeader) {
+  cluster_->TickHeartbeats(2);
+  int leaders = 0;
+  NamenodeId smallest = INT64_MAX;
+  for (int i = 0; i < cluster_->num_namenodes(); ++i) {
+    smallest = std::min(smallest, cluster_->namenode(i).id());
+  }
+  for (int i = 0; i < cluster_->num_namenodes(); ++i) {
+    if (cluster_->namenode(i).IsLeader()) {
+      leaders++;
+      EXPECT_EQ(cluster_->namenode(i).id(), smallest);
+    }
+  }
+  EXPECT_EQ(leaders, 1);
+}
+
+TEST_F(LeaderTest, FailoverToNextId) {
+  cluster_->TickHeartbeats(2);
+  Namenode* old_leader = cluster_->leader();
+  ASSERT_NE(old_leader, nullptr);
+  int old_slot = -1;
+  for (int i = 0; i < cluster_->num_namenodes(); ++i) {
+    if (&cluster_->namenode(i) == old_leader) old_slot = i;
+  }
+  cluster_->KillNamenode(old_slot);
+  cluster_->TickHeartbeats(4);  // survivors notice the missed heartbeats
+  Namenode* new_leader = cluster_->leader();
+  ASSERT_NE(new_leader, nullptr);
+  EXPECT_NE(new_leader, old_leader);
+  EXPECT_GT(new_leader->id(), old_leader->id());
+}
+
+TEST_F(LeaderTest, RestartedNamenodeGetsNewId) {
+  NamenodeId before = cluster_->namenode(1).id();
+  cluster_->KillNamenode(1);
+  ASSERT_TRUE(cluster_->RestartNamenode(1).ok());
+  EXPECT_GT(cluster_->namenode(1).id(), before) << "ids change on restart (§3)";
+}
+
+TEST_F(LeaderTest, MembershipViewTracksDeath) {
+  cluster_->TickHeartbeats(2);
+  NamenodeId dead_id = cluster_->namenode(2).id();
+  EXPECT_TRUE(cluster_->namenode(0).election().IsNamenodeAlive(dead_id));
+  cluster_->KillNamenode(2);
+  cluster_->TickHeartbeats(4);
+  EXPECT_FALSE(cluster_->namenode(0).election().IsNamenodeAlive(dead_id));
+  EXPECT_FALSE(cluster_->namenode(1).election().IsNamenodeAlive(dead_id));
+}
+
+TEST_F(LeaderTest, AliveListShrinksAndGrows) {
+  cluster_->TickHeartbeats(2);
+  EXPECT_EQ(cluster_->namenode(0).election().AliveNamenodes().size(), 3u);
+  cluster_->KillNamenode(2);
+  cluster_->TickHeartbeats(4);
+  EXPECT_EQ(cluster_->namenode(0).election().AliveNamenodes().size(), 2u);
+  ASSERT_TRUE(cluster_->RestartNamenode(2).ok());
+  cluster_->TickHeartbeats(2);
+  EXPECT_EQ(cluster_->namenode(0).election().AliveNamenodes().size(), 3u);
+}
+
+TEST_F(LeaderTest, LeaderEvictsLongDeadRows) {
+  cluster_->TickHeartbeats(2);
+  cluster_->KillNamenode(2);
+  // Many rounds: the leader garbage-collects the dead row from the table.
+  cluster_->TickHeartbeats(16);
+  auto tx = cluster_->db().Begin();
+  auto rows = tx->FullTableScan(cluster_->schema().leader);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST_F(LeaderTest, DeregisterLeavesGroup) {
+  cluster_->TickHeartbeats(2);
+  cluster_->namenode(2).election().Deregister();
+  auto tx = cluster_->db().Begin();
+  auto rows = tx->FullTableScan(cluster_->schema().leader);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+}  // namespace
+}  // namespace hops::fs

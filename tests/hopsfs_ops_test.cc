@@ -1,0 +1,349 @@
+// Semantics of the transactional inode operations: mkdir/create/read/list/
+// stat/rename/delete/chmod/chown/setrepl/content-summary, error paths,
+// hint-cache behaviour, root immutability, and permission enforcement.
+#include <gtest/gtest.h>
+
+#include "hopsfs/mini_cluster.h"
+
+namespace hops::fs {
+namespace {
+
+class HopsFsOpsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MiniClusterOptions options;
+    options.db.num_datanodes = 4;
+    options.db.replication = 2;
+    options.db.lock_wait_timeout = std::chrono::milliseconds(300);
+    options.num_namenodes = 2;
+    options.num_datanodes = 3;
+    auto cluster = MiniCluster::Start(options);
+    ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+    cluster_ = *std::move(cluster);
+    client_ = std::make_unique<Client>(cluster_->NewClient(NamenodePolicy::kRoundRobin, "c1"));
+  }
+
+  std::unique_ptr<MiniCluster> cluster_;
+  std::unique_ptr<Client> client_;
+};
+
+TEST_F(HopsFsOpsTest, MkdirsCreatesChain) {
+  ASSERT_TRUE(client_->Mkdirs("/a/b/c").ok());
+  auto st = client_->Stat("/a/b/c");
+  ASSERT_TRUE(st.ok());
+  EXPECT_TRUE(st->is_dir);
+  auto parent = client_->Stat("/a/b");
+  ASSERT_TRUE(parent.ok());
+  EXPECT_TRUE(parent->is_dir);
+}
+
+TEST_F(HopsFsOpsTest, MkdirsIsIdempotent) {
+  ASSERT_TRUE(client_->Mkdirs("/a/b").ok());
+  EXPECT_TRUE(client_->Mkdirs("/a/b").ok());
+}
+
+TEST_F(HopsFsOpsTest, MkdirsThroughFileFails) {
+  ASSERT_TRUE(client_->Mkdirs("/d").ok());
+  ASSERT_TRUE(client_->WriteFile("/d/f", 1, 100).ok());
+  auto st = client_->Mkdirs("/d/f/sub");
+  EXPECT_EQ(st.code(), hops::StatusCode::kNotDirectory);
+}
+
+TEST_F(HopsFsOpsTest, CreateWriteReadRoundTrip) {
+  ASSERT_TRUE(client_->Mkdirs("/data").ok());
+  ASSERT_TRUE(client_->CreateFile("/data/f1").ok());
+  auto blk = client_->AddBlock("/data/f1", 1024);
+  ASSERT_TRUE(blk.ok()) << blk.status().ToString();
+  EXPECT_EQ(blk->num_bytes, 1024);
+  EXPECT_FALSE(blk->locations.empty());
+  ASSERT_TRUE(cluster_->PipelineWrite(*blk).ok());
+  ASSERT_TRUE(client_->CompleteFile("/data/f1").ok());
+
+  auto located = client_->Read("/data/f1");
+  ASSERT_TRUE(located.ok());
+  ASSERT_EQ(located->size(), 1u);
+  EXPECT_EQ((*located)[0].block_id, blk->block_id);
+  EXPECT_FALSE((*located)[0].locations.empty());
+
+  auto st = client_->Stat("/data/f1");
+  ASSERT_TRUE(st.ok());
+  EXPECT_FALSE(st->is_dir);
+  EXPECT_EQ(st->size, 1024);
+  EXPECT_EQ(st->num_blocks, 1);
+}
+
+TEST_F(HopsFsOpsTest, CreateInMissingDirFails) {
+  EXPECT_EQ(client_->CreateFile("/nope/f").code(), hops::StatusCode::kNotFound);
+}
+
+TEST_F(HopsFsOpsTest, DuplicateCreateFails) {
+  ASSERT_TRUE(client_->Mkdirs("/a").ok());
+  ASSERT_TRUE(client_->WriteFile("/a/f", 1, 10).ok());
+  EXPECT_EQ(client_->CreateFile("/a/f").code(), hops::StatusCode::kAlreadyExists);
+}
+
+TEST_F(HopsFsOpsTest, CreateOverDirectoryFails) {
+  ASSERT_TRUE(client_->Mkdirs("/a/b").ok());
+  EXPECT_EQ(client_->CreateFile("/a/b").code(), hops::StatusCode::kIsDirectory);
+}
+
+TEST_F(HopsFsOpsTest, LeaseBlocksSecondWriter) {
+  ASSERT_TRUE(client_->Mkdirs("/a").ok());
+  ASSERT_TRUE(client_->CreateFile("/a/f").ok());
+  Client other = cluster_->NewClient(NamenodePolicy::kRoundRobin, "c2", 7);
+  // The file is under construction by c1: c2 cannot add blocks or append.
+  EXPECT_EQ(other.AddBlock("/a/f", 10).status().code(), hops::StatusCode::kLeaseConflict);
+  ASSERT_TRUE(client_->CompleteFile("/a/f").ok());
+  // After completion c2 can append (takes the lease).
+  EXPECT_TRUE(other.Append("/a/f").ok());
+  EXPECT_EQ(client_->Append("/a/f").code(), hops::StatusCode::kLeaseConflict);
+}
+
+TEST_F(HopsFsOpsTest, ListDirectory) {
+  ASSERT_TRUE(client_->Mkdirs("/dir").ok());
+  ASSERT_TRUE(client_->Mkdirs("/dir/sub").ok());
+  ASSERT_TRUE(client_->WriteFile("/dir/f1", 1, 5).ok());
+  ASSERT_TRUE(client_->WriteFile("/dir/f2", 2, 5).ok());
+  auto listing = client_->List("/dir");
+  ASSERT_TRUE(listing.ok());
+  ASSERT_EQ(listing->size(), 3u);
+  EXPECT_EQ((*listing)[0].name, "f1");
+  EXPECT_EQ((*listing)[1].name, "f2");
+  EXPECT_EQ((*listing)[2].name, "sub");
+  EXPECT_EQ((*listing)[0].path, "/dir/f1");
+}
+
+TEST_F(HopsFsOpsTest, ListRootUsesScatteredPartitions) {
+  // Root children are pseudo-randomly partitioned (§4.2.1); listing the root
+  // must still find them all (it pays an index scan).
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(client_->Mkdirs("/top" + std::to_string(i)).ok());
+  }
+  auto before = cluster_->db().StatsSnapshot();
+  auto listing = client_->List("/");
+  auto after = cluster_->db().StatsSnapshot();
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(listing->size(), 8u);
+  EXPECT_GT(after.index_scans, before.index_scans) << "root listing is an index scan";
+}
+
+TEST_F(HopsFsOpsTest, ListDeepDirUsesPrunedScan) {
+  ASSERT_TRUE(client_->Mkdirs("/a/b").ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(client_->WriteFile("/a/b/f" + std::to_string(i), 1, 1).ok());
+  }
+  auto before = cluster_->db().StatsSnapshot();
+  auto listing = client_->List("/a/b");
+  auto after = cluster_->db().StatsSnapshot();
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(listing->size(), 4u);
+  EXPECT_GT(after.ppis_scans, before.ppis_scans);
+  EXPECT_EQ(after.index_scans, before.index_scans)
+      << "deep listing must not touch all shards";
+}
+
+TEST_F(HopsFsOpsTest, ListFileReturnsItself) {
+  ASSERT_TRUE(client_->Mkdirs("/a").ok());
+  ASSERT_TRUE(client_->WriteFile("/a/f", 1, 3).ok());
+  auto listing = client_->List("/a/f");
+  ASSERT_TRUE(listing.ok());
+  ASSERT_EQ(listing->size(), 1u);
+  EXPECT_EQ((*listing)[0].name, "f");
+}
+
+TEST_F(HopsFsOpsTest, StatRoot) {
+  auto st = client_->Stat("/");
+  ASSERT_TRUE(st.ok());
+  EXPECT_TRUE(st->is_dir);
+  EXPECT_EQ(st->inode_id, kRootInode);
+}
+
+TEST_F(HopsFsOpsTest, RootIsImmutable) {
+  EXPECT_EQ(client_->Delete("/", true).code(), hops::StatusCode::kPermissionDenied);
+  EXPECT_EQ(client_->Rename("/", "/x").code(), hops::StatusCode::kPermissionDenied);
+  EXPECT_EQ(client_->SetPermission("/", 0700).code(), hops::StatusCode::kPermissionDenied);
+  EXPECT_EQ(client_->SetOwner("/", "x", "y").code(), hops::StatusCode::kPermissionDenied);
+}
+
+TEST_F(HopsFsOpsTest, RenameFile) {
+  ASSERT_TRUE(client_->Mkdirs("/src").ok());
+  ASSERT_TRUE(client_->Mkdirs("/dst").ok());
+  ASSERT_TRUE(client_->WriteFile("/src/f", 2, 100).ok());
+  ASSERT_TRUE(client_->Rename("/src/f", "/dst/g").ok());
+  EXPECT_EQ(client_->Stat("/src/f").status().code(), hops::StatusCode::kNotFound);
+  auto st = client_->Stat("/dst/g");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 200);
+  // Blocks survive the move: they key on the inode id.
+  auto located = client_->Read("/dst/g");
+  ASSERT_TRUE(located.ok());
+  EXPECT_EQ(located->size(), 2u);
+}
+
+TEST_F(HopsFsOpsTest, RenameEmptyDirInOneTransaction) {
+  ASSERT_TRUE(client_->Mkdirs("/a/empty").ok());
+  ASSERT_TRUE(client_->Rename("/a/empty", "/a/renamed").ok());
+  EXPECT_TRUE(client_->Stat("/a/renamed").ok());
+}
+
+TEST_F(HopsFsOpsTest, RenameErrors) {
+  ASSERT_TRUE(client_->Mkdirs("/a/b").ok());
+  ASSERT_TRUE(client_->WriteFile("/a/f", 1, 1).ok());
+  EXPECT_EQ(client_->Rename("/missing", "/x").code(), hops::StatusCode::kNotFound);
+  EXPECT_EQ(client_->Rename("/a/f", "/a/b/c/d").code(), hops::StatusCode::kNotFound);
+  EXPECT_EQ(client_->Rename("/a", "/a/b/inside").code(),
+            hops::StatusCode::kInvalidArgument);
+  ASSERT_TRUE(client_->WriteFile("/a/g", 1, 1).ok());
+  EXPECT_EQ(client_->Rename("/a/f", "/a/g").code(), hops::StatusCode::kAlreadyExists);
+}
+
+TEST_F(HopsFsOpsTest, RenameIntoTopLevelRepartitions) {
+  // Moving a dir to depth 1 must relocate its row to the name-hash partition
+  // and keep it resolvable.
+  ASSERT_TRUE(client_->Mkdirs("/deep/nest/dir").ok());
+  ASSERT_TRUE(client_->WriteFile("/deep/nest/dir/f", 1, 1).ok());
+  ASSERT_TRUE(client_->Rename("/deep/nest/dir", "/promoted").ok());
+  EXPECT_TRUE(client_->Stat("/promoted").ok());
+  EXPECT_TRUE(client_->Stat("/promoted/f").ok());
+  ASSERT_TRUE(client_->Rename("/promoted", "/deep/demoted").ok());
+  EXPECT_TRUE(client_->Stat("/deep/demoted/f").ok());
+}
+
+TEST_F(HopsFsOpsTest, StaleHintCacheSelfRepairsAfterMove) {
+  ASSERT_TRUE(client_->Mkdirs("/olddir/sub").ok());
+  ASSERT_TRUE(client_->WriteFile("/olddir/sub/f", 1, 1).ok());
+  // Warm the hint caches of both namenodes.
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(client_->Stat("/olddir/sub/f").ok());
+  ASSERT_TRUE(client_->Rename("/olddir", "/newdir").ok());
+  // Every namenode must now resolve the new path and fail the old one, even
+  // the one with stale hints.
+  for (int i = 0; i < cluster_->num_namenodes(); ++i) {
+    auto st = cluster_->namenode(i).GetFileInfo("/newdir/sub/f");
+    EXPECT_TRUE(st.ok()) << "nn" << i << ": " << st.status().ToString();
+    EXPECT_EQ(cluster_->namenode(i).GetFileInfo("/olddir/sub/f").status().code(),
+              hops::StatusCode::kNotFound);
+  }
+}
+
+TEST_F(HopsFsOpsTest, DeleteFileRemovesArtifacts) {
+  ASSERT_TRUE(client_->Mkdirs("/a").ok());
+  ASSERT_TRUE(client_->WriteFile("/a/f", 2, 50).ok());
+  auto located = client_->Read("/a/f");
+  ASSERT_TRUE(located.ok());
+  ASSERT_TRUE(client_->Delete("/a/f", false).ok());
+  EXPECT_EQ(client_->Stat("/a/f").status().code(), hops::StatusCode::kNotFound);
+  // Satellite tables are clean.
+  EXPECT_EQ(cluster_->db().TableRowCount(cluster_->schema().blocks), 0u);
+  EXPECT_EQ(cluster_->db().TableRowCount(cluster_->schema().replicas), 0u);
+  EXPECT_EQ(cluster_->db().TableRowCount(cluster_->schema().block_lookup), 0u);
+  EXPECT_EQ(cluster_->db().TableRowCount(cluster_->schema().leases), 0u);
+  // Replica invalidations were queued for the datanodes that stored blocks.
+  EXPECT_GT(cluster_->db().TableRowCount(cluster_->schema().inv), 0u);
+}
+
+TEST_F(HopsFsOpsTest, DeleteNonEmptyDirNeedsRecursive) {
+  ASSERT_TRUE(client_->Mkdirs("/a").ok());
+  ASSERT_TRUE(client_->WriteFile("/a/f", 1, 1).ok());
+  EXPECT_EQ(client_->Delete("/a", false).code(), hops::StatusCode::kNotEmpty);
+  EXPECT_TRUE(client_->Delete("/a", true).ok());
+  EXPECT_EQ(client_->Stat("/a").status().code(), hops::StatusCode::kNotFound);
+}
+
+TEST_F(HopsFsOpsTest, DeleteEmptyDirWithoutRecursive) {
+  ASSERT_TRUE(client_->Mkdirs("/a/b").ok());
+  EXPECT_TRUE(client_->Delete("/a/b", false).ok());
+  EXPECT_EQ(client_->Stat("/a/b").status().code(), hops::StatusCode::kNotFound);
+}
+
+TEST_F(HopsFsOpsTest, SetPermissionOnFileAndDir) {
+  ASSERT_TRUE(client_->Mkdirs("/a").ok());
+  ASSERT_TRUE(client_->WriteFile("/a/f", 1, 1).ok());
+  ASSERT_TRUE(client_->SetPermission("/a/f", 0600).ok());
+  EXPECT_EQ(client_->Stat("/a/f")->perm, 0600);
+  // chmod on a directory goes through the subtree protocol.
+  ASSERT_TRUE(client_->SetPermission("/a", 0750).ok());
+  EXPECT_EQ(client_->Stat("/a")->perm, 0750);
+  // The subtree lock must be fully released afterwards.
+  EXPECT_TRUE(client_->WriteFile("/a/g", 1, 1).ok());
+  EXPECT_EQ(cluster_->db().TableRowCount(cluster_->schema().active_subtree_ops), 0u);
+}
+
+TEST_F(HopsFsOpsTest, SetOwner) {
+  ASSERT_TRUE(client_->Mkdirs("/a").ok());
+  ASSERT_TRUE(client_->SetOwner("/a", "alice", "users").ok());
+  auto st = client_->Stat("/a");
+  EXPECT_EQ(st->owner, "alice");
+  EXPECT_EQ(st->group, "users");
+}
+
+TEST_F(HopsFsOpsTest, PermissionEnforcement) {
+  ASSERT_TRUE(client_->Mkdirs("/secure").ok());
+  ASSERT_TRUE(client_->SetOwner("/secure", "alice", "users").ok());
+  ASSERT_TRUE(client_->SetPermission("/secure", 0700).ok());
+  UserContext bob{"bob", false};
+  Namenode& nn = cluster_->namenode(0);
+  EXPECT_EQ(nn.Create("/secure/f", "bob-client", bob).code(),
+            hops::StatusCode::kPermissionDenied);
+  EXPECT_EQ(nn.ListStatus("/secure", bob).status().code(),
+            hops::StatusCode::kPermissionDenied);
+  UserContext alice{"alice", false};
+  EXPECT_TRUE(nn.Create("/secure/f", "alice-client", alice).ok());
+}
+
+TEST_F(HopsFsOpsTest, SetReplicationAdjustsBlocks) {
+  ASSERT_TRUE(client_->Mkdirs("/a").ok());
+  ASSERT_TRUE(client_->CreateFile("/a/f").ok());
+  auto blk = client_->AddBlock("/a/f", 100);
+  ASSERT_TRUE(blk.ok());
+  ASSERT_TRUE(cluster_->PipelineWrite(*blk).ok());
+  ASSERT_TRUE(client_->CompleteFile("/a/f").ok());
+  // 3 replicas exist; shrinking to 1 queues excess + invalidation rows.
+  ASSERT_TRUE(client_->SetReplication("/a/f", 1).ok());
+  EXPECT_EQ(client_->Stat("/a/f")->replication, 1);
+  EXPECT_GT(cluster_->db().TableRowCount(cluster_->schema().er), 0u);
+  EXPECT_GT(cluster_->db().TableRowCount(cluster_->schema().inv), 0u);
+  // Growing to 3 queues an under-replication entry.
+  ASSERT_TRUE(client_->SetReplication("/a/f", 3).ok());
+  EXPECT_GT(cluster_->db().TableRowCount(cluster_->schema().urb), 0u);
+}
+
+TEST_F(HopsFsOpsTest, ContentSummary) {
+  ASSERT_TRUE(client_->Mkdirs("/proj/sub").ok());
+  ASSERT_TRUE(client_->WriteFile("/proj/f1", 1, 100).ok());
+  ASSERT_TRUE(client_->WriteFile("/proj/sub/f2", 2, 100).ok());
+  auto cs = client_->ContentSummaryOf("/proj");
+  ASSERT_TRUE(cs.ok());
+  EXPECT_EQ(cs->dir_count, 2);   // /proj and /proj/sub
+  EXPECT_EQ(cs->file_count, 2);
+  EXPECT_EQ(cs->total_bytes, 300 * 3);  // size x replication
+}
+
+TEST_F(HopsFsOpsTest, HintCacheTurnsResolutionIntoBatchedRead) {
+  ASSERT_TRUE(client_->Mkdirs("/w/x/y/z").ok());
+  ASSERT_TRUE(client_->WriteFile("/w/x/y/z/f", 1, 1).ok());
+  Namenode& nn = cluster_->namenode(0);
+  ASSERT_TRUE(nn.GetFileInfo("/w/x/y/z/f").ok());  // warm the cache
+  auto before = cluster_->db().StatsSnapshot();
+  ASSERT_TRUE(nn.GetFileInfo("/w/x/y/z/f").ok());
+  auto after = cluster_->db().StatsSnapshot();
+  EXPECT_EQ(after.batch_reads - before.batch_reads, 1u)
+      << "interior path components resolve in exactly one batched read";
+  // Recursive resolution would have cost one PK read per interior component;
+  // with hints the only extra PK reads are the locked target read.
+  EXPECT_LE(after.pk_reads - before.pk_reads, 2u);
+}
+
+TEST_F(HopsFsOpsTest, OperationsSpreadAcrossNamenodes) {
+  // Both namenodes serve the same namespace with no coordination beyond NDB.
+  Namenode& nn0 = cluster_->namenode(0);
+  Namenode& nn1 = cluster_->namenode(1);
+  ASSERT_TRUE(nn0.Mkdirs("/shared").ok());
+  ASSERT_TRUE(nn1.Create("/shared/f", "c1").ok());
+  ASSERT_TRUE(nn0.CompleteFile("/shared/f", "c1").ok());
+  auto st = nn1.GetFileInfo("/shared/f");
+  ASSERT_TRUE(st.ok());
+  EXPECT_FALSE(st->is_dir);
+}
+
+}  // namespace
+}  // namespace hops::fs

@@ -1,0 +1,147 @@
+// Path parsing, lock-order comparator, partition placement rules, and the
+// inode hint cache.
+#include <gtest/gtest.h>
+
+#include "hopsfs/inode_cache.h"
+#include "hopsfs/partition.h"
+#include "hopsfs/path.h"
+
+namespace hops::fs {
+namespace {
+
+TEST(PathTest, SplitBasics) {
+  auto r = SplitPath("/a/b/c");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitPath("/")->empty());
+  auto trailing = SplitPath("/a/b/");
+  ASSERT_TRUE(trailing.ok());
+  EXPECT_EQ(trailing->size(), 2u);
+}
+
+TEST(PathTest, RejectsBadPaths) {
+  EXPECT_FALSE(SplitPath("").ok());
+  EXPECT_FALSE(SplitPath("a/b").ok());
+  EXPECT_FALSE(SplitPath("/a//b").ok());
+  EXPECT_FALSE(SplitPath("/a/./b").ok());
+  EXPECT_FALSE(SplitPath("/a/../b").ok());
+}
+
+TEST(PathTest, JoinRoundTrips) {
+  EXPECT_EQ(JoinPath({}), "/");
+  EXPECT_EQ(JoinPath({"a"}), "/a");
+  EXPECT_EQ(JoinPath({"a", "b"}), "/a/b");
+}
+
+TEST(PathTest, PrefixOnComponentBoundaries) {
+  EXPECT_TRUE(IsPrefixPath("/a/b", "/a/b/c"));
+  EXPECT_TRUE(IsPrefixPath("/a/b", "/a/b"));
+  EXPECT_FALSE(IsPrefixPath("/a/b", "/a/bc"));
+  EXPECT_TRUE(IsPrefixPath("/", "/anything"));
+  EXPECT_FALSE(IsPrefixPath("/a/b/c", "/a/b"));
+}
+
+TEST(PathTest, LockOrderIsLeftOrderedDfs) {
+  std::vector<std::string> a{"a"};
+  std::vector<std::string> ab{"a", "b"};
+  std::vector<std::string> ac{"a", "c"};
+  std::vector<std::string> b{"b"};
+  EXPECT_TRUE(LockOrderLess(a, ab)) << "ancestor before descendant";
+  EXPECT_TRUE(LockOrderLess(ab, ac)) << "left sibling first";
+  EXPECT_TRUE(LockOrderLess(ac, b)) << "whole left subtree before right sibling";
+  EXPECT_FALSE(LockOrderLess(ab, a));
+  EXPECT_FALSE(LockOrderLess(a, a));
+}
+
+TEST(PartitionTest, DeepInodesPartitionByParent) {
+  // depth > random_partition_depth: pv = parent id (co-locates siblings).
+  uint64_t pv1 = InodePartitionValue(3, 42, "x", 1);
+  uint64_t pv2 = InodePartitionValue(3, 42, "y", 1);
+  EXPECT_EQ(pv1, pv2);
+  EXPECT_EQ(pv1, 42u);
+}
+
+TEST(PartitionTest, TopLevelsPartitionByName) {
+  // depth <= random_partition_depth: pv = hash(name) (spreads the hotspot).
+  uint64_t pv1 = InodePartitionValue(1, kRootInode, "home", 1);
+  uint64_t pv2 = InodePartitionValue(1, kRootInode, "tmp", 1);
+  EXPECT_NE(pv1, pv2) << "siblings of the root must scatter";
+  EXPECT_EQ(pv1, HashBytes("home"));
+}
+
+TEST(PartitionTest, DepthKnobExtendsHashing) {
+  EXPECT_EQ(InodePartitionValue(2, 9, "x", 1), 9u);
+  EXPECT_EQ(InodePartitionValue(2, 9, "x", 2), HashBytes("x"));
+}
+
+TEST(PartitionTest, ChildrenPruning) {
+  // random depth 1: children of depth>=1 dirs are pruned, root's are not.
+  EXPECT_FALSE(ChildrenArePruned(0, 1));
+  EXPECT_TRUE(ChildrenArePruned(1, 1));
+  EXPECT_TRUE(ChildrenArePruned(5, 1));
+  // random depth 0 disables scattering entirely (ablation).
+  EXPECT_TRUE(ChildrenArePruned(0, 0));
+}
+
+TEST(InodeCacheTest, ChainLookupStopsAtGap) {
+  InodeHintCache cache(128);
+  std::vector<std::string> path{"a", "b", "c"};
+  cache.Put(path, 0, kRootInode, 10);
+  cache.Put(path, 1, 10, 20);
+  auto chain = cache.LookupChain(path);
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0].inode_id, 10);
+  EXPECT_EQ(chain[1].inode_id, 20);
+  EXPECT_EQ(chain[1].parent_id, 10);
+}
+
+TEST(InodeCacheTest, FullChainCountsAsHit) {
+  InodeHintCache cache(128);
+  std::vector<std::string> path{"a", "b"};
+  cache.Put(path, 0, kRootInode, 10);
+  cache.Put(path, 1, 10, 20);
+  ASSERT_EQ(cache.LookupChain(path).size(), 2u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 0u);
+  std::vector<std::string> other{"a", "z"};
+  EXPECT_EQ(cache.LookupChain(other).size(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(InodeCacheTest, PrefixInvalidation) {
+  InodeHintCache cache(128);
+  std::vector<std::string> p1{"a", "b", "c"};
+  std::vector<std::string> p2{"a", "bx"};
+  cache.Put(p1, 0, 1, 10);
+  cache.Put(p1, 1, 10, 20);
+  cache.Put(p1, 2, 20, 30);
+  cache.Put(p2, 1, 10, 40);
+  cache.InvalidatePrefix("/a/b");
+  auto chain = cache.LookupChain(p1);
+  EXPECT_EQ(chain.size(), 1u) << "/a survives, /a/b and /a/b/c are gone";
+  auto chain2 = cache.LookupChain(p2);
+  EXPECT_EQ(chain2.size(), 2u) << "/a/bx is not under the /a/b prefix";
+}
+
+TEST(InodeCacheTest, LruEviction) {
+  InodeHintCache cache(2);
+  std::vector<std::string> pa{"a"}, pb{"b"}, pc{"c"};
+  cache.Put(pa, 0, 1, 10);
+  cache.Put(pb, 0, 1, 11);
+  ASSERT_EQ(cache.LookupChain(pa).size(), 1u);  // touch /a
+  cache.Put(pc, 0, 1, 12);                      // evicts /b
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.LookupChain(pb).size(), 0u);
+  EXPECT_EQ(cache.LookupChain(pa).size(), 1u);
+}
+
+TEST(InodeCacheTest, ZeroCapacityDisables) {
+  InodeHintCache cache(0);
+  std::vector<std::string> pa{"a"};
+  cache.Put(pa, 0, 1, 10);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_TRUE(cache.LookupChain(pa).empty());
+}
+
+}  // namespace
+}  // namespace hops::fs

@@ -1,0 +1,168 @@
+// Directory quota semantics: initialization from the quiesced subtree,
+// enforcement on create/mkdir/addBlock/setReplication, usage transfer on
+// rename, decrement on delete, and clearing.
+#include <gtest/gtest.h>
+
+#include "hopsfs/mini_cluster.h"
+
+namespace hops::fs {
+namespace {
+
+class QuotaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MiniClusterOptions options;
+    options.db.num_datanodes = 4;
+    options.db.replication = 2;
+    options.db.lock_wait_timeout = std::chrono::milliseconds(300);
+    options.num_namenodes = 2;
+    options.num_datanodes = 3;
+    auto cluster = MiniCluster::Start(options);
+    ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+    cluster_ = *std::move(cluster);
+    client_ = std::make_unique<Client>(cluster_->NewClient(NamenodePolicy::kSticky, "c1"));
+  }
+
+  DirectoryQuota ReadQuota(const std::string& path) {
+    auto st = client_->Stat(path);
+    EXPECT_TRUE(st.ok());
+    auto tx = cluster_->db().Begin();
+    auto row = tx->Read(cluster_->schema().quotas, {st->inode_id},
+                        ndb::LockMode::kReadCommitted);
+    EXPECT_TRUE(row.ok()) << row.status().ToString();
+    return QuotaFromRow(*row);
+  }
+
+  std::unique_ptr<MiniCluster> cluster_;
+  std::unique_ptr<Client> client_;
+};
+
+TEST_F(QuotaTest, SetQuotaInitializesUsageFromSubtree) {
+  ASSERT_TRUE(client_->Mkdirs("/q/sub").ok());
+  ASSERT_TRUE(client_->WriteFile("/q/f", 2, 100).ok());  // 200B x3 repl
+  ASSERT_TRUE(client_->SetQuota("/q", 100, 1 << 20).ok());
+  DirectoryQuota q = ReadQuota("/q");
+  EXPECT_EQ(q.ns_used, 3) << "/q itself + /q/sub + /q/f";
+  EXPECT_EQ(q.ss_used, 600);
+  EXPECT_EQ(q.ns_quota, 100);
+}
+
+TEST_F(QuotaTest, NamespaceQuotaEnforced) {
+  ASSERT_TRUE(client_->Mkdirs("/q").ok());
+  ASSERT_TRUE(client_->SetQuota("/q", 3, -1).ok());  // self + 2 more
+  ASSERT_TRUE(client_->CreateFile("/q/f1").ok());
+  ASSERT_TRUE(client_->CompleteFile("/q/f1").ok());
+  ASSERT_TRUE(client_->Mkdirs("/q/d1").ok());
+  EXPECT_EQ(client_->CreateFile("/q/f2").code(), hops::StatusCode::kQuotaExceeded);
+  EXPECT_EQ(client_->Mkdirs("/q/d2").code(), hops::StatusCode::kQuotaExceeded);
+  // Deleting frees quota.
+  ASSERT_TRUE(client_->Delete("/q/f1", false).ok());
+  EXPECT_TRUE(client_->CreateFile("/q/f2").ok());
+}
+
+TEST_F(QuotaTest, StorageQuotaEnforcedOnAddBlock) {
+  ASSERT_TRUE(client_->Mkdirs("/q").ok());
+  ASSERT_TRUE(client_->SetQuota("/q", -1, 500).ok());
+  ASSERT_TRUE(client_->CreateFile("/q/f").ok());
+  // One block of 100 bytes at replication 3 = 300 <= 500: fine.
+  ASSERT_TRUE(client_->AddBlock("/q/f", 100).ok());
+  // Another would exceed 500.
+  EXPECT_EQ(client_->AddBlock("/q/f", 100).status().code(),
+            hops::StatusCode::kQuotaExceeded);
+  DirectoryQuota q = ReadQuota("/q");
+  EXPECT_EQ(q.ss_used, 300);
+}
+
+TEST_F(QuotaTest, NestedQuotasBothEnforced) {
+  ASSERT_TRUE(client_->Mkdirs("/outer/inner").ok());
+  ASSERT_TRUE(client_->SetQuota("/outer", 10, -1).ok());
+  ASSERT_TRUE(client_->SetQuota("/outer/inner", 3, -1).ok());
+  ASSERT_TRUE(client_->Mkdirs("/outer/inner/a").ok());
+  ASSERT_TRUE(client_->Mkdirs("/outer/inner/b").ok());
+  EXPECT_EQ(client_->Mkdirs("/outer/inner/c").code(), hops::StatusCode::kQuotaExceeded)
+      << "inner quota hit first";
+  // The failed mkdir must not leak a partial increment into the outer quota.
+  EXPECT_EQ(ReadQuota("/outer").ns_used, 4);  // outer itself, inner, a, b
+  EXPECT_EQ(ReadQuota("/outer/inner").ns_used, 3);  // inner itself, a, b
+}
+
+TEST_F(QuotaTest, SetReplicationCountsAgainstStorageQuota) {
+  ASSERT_TRUE(client_->Mkdirs("/q").ok());
+  ASSERT_TRUE(client_->WriteFile("/q/f", 1, 100).ok());  // 300 used at repl 3
+  ASSERT_TRUE(client_->SetQuota("/q", -1, 400).ok());
+  EXPECT_EQ(client_->SetReplication("/q/f", 5).code(), hops::StatusCode::kQuotaExceeded);
+  ASSERT_TRUE(client_->SetReplication("/q/f", 1).ok());
+  EXPECT_EQ(ReadQuota("/q").ss_used, 100);
+}
+
+TEST_F(QuotaTest, RenameMovesUsageBetweenQuotaTrees) {
+  ASSERT_TRUE(client_->Mkdirs("/src").ok());
+  ASSERT_TRUE(client_->Mkdirs("/dst").ok());
+  ASSERT_TRUE(client_->WriteFile("/src/f", 1, 100).ok());
+  ASSERT_TRUE(client_->SetQuota("/src", -1, -1).ok());
+  ASSERT_TRUE(client_->SetQuota("/src", 100, 10000).ok());
+  ASSERT_TRUE(client_->SetQuota("/dst", 100, 10000).ok());
+  int64_t src_before = ReadQuota("/src").ns_used;
+  int64_t dst_before = ReadQuota("/dst").ns_used;
+  ASSERT_TRUE(client_->Rename("/src/f", "/dst/f").ok());
+  EXPECT_EQ(ReadQuota("/src").ns_used, src_before - 1);
+  EXPECT_EQ(ReadQuota("/dst").ns_used, dst_before + 1);
+  EXPECT_EQ(ReadQuota("/src").ss_used, 0);
+  EXPECT_EQ(ReadQuota("/dst").ss_used, 300);
+}
+
+TEST_F(QuotaTest, RenameIntoFullQuotaFails) {
+  ASSERT_TRUE(client_->Mkdirs("/src").ok());
+  ASSERT_TRUE(client_->Mkdirs("/dst").ok());
+  ASSERT_TRUE(client_->WriteFile("/src/f", 1, 100).ok());
+  ASSERT_TRUE(client_->SetQuota("/dst", 1, -1).ok());  // only itself fits
+  EXPECT_EQ(client_->Rename("/src/f", "/dst/f").code(),
+            hops::StatusCode::kQuotaExceeded);
+  EXPECT_TRUE(client_->Stat("/src/f").ok()) << "failed rename must not move the file";
+}
+
+TEST_F(QuotaTest, SubtreeDeleteDecrementsAncestorQuota) {
+  ASSERT_TRUE(client_->Mkdirs("/q/tree/deep").ok());
+  ASSERT_TRUE(client_->WriteFile("/q/tree/f1", 1, 100).ok());
+  ASSERT_TRUE(client_->WriteFile("/q/tree/deep/f2", 1, 100).ok());
+  ASSERT_TRUE(client_->SetQuota("/q", 100, 10000).ok());
+  int64_t used_before = ReadQuota("/q").ns_used;
+  ASSERT_TRUE(client_->Delete("/q/tree", true).ok());
+  DirectoryQuota q = ReadQuota("/q");
+  EXPECT_EQ(q.ns_used, used_before - 4);  // tree, deep, f1, f2
+  EXPECT_EQ(q.ss_used, 0);
+}
+
+TEST_F(QuotaTest, SubtreeMoveTransfersWholeSubtreeUsage) {
+  ASSERT_TRUE(client_->Mkdirs("/a/tree/x").ok());
+  ASSERT_TRUE(client_->WriteFile("/a/tree/x/f", 1, 100).ok());
+  ASSERT_TRUE(client_->Mkdirs("/b").ok());
+  ASSERT_TRUE(client_->SetQuota("/a", 100, 10000).ok());
+  ASSERT_TRUE(client_->SetQuota("/b", 100, 10000).ok());
+  int64_t a_before = ReadQuota("/a").ns_used;
+  ASSERT_TRUE(client_->Rename("/a/tree", "/b/tree").ok());
+  EXPECT_EQ(ReadQuota("/a").ns_used, a_before - 3);  // tree, x, f
+  EXPECT_EQ(ReadQuota("/b").ns_used, 1 + 3);
+  EXPECT_EQ(ReadQuota("/b").ss_used, 300);
+}
+
+TEST_F(QuotaTest, ClearQuotaRemovesRow) {
+  ASSERT_TRUE(client_->Mkdirs("/q").ok());
+  ASSERT_TRUE(client_->SetQuota("/q", 10, 1000).ok());
+  EXPECT_EQ(cluster_->db().TableRowCount(cluster_->schema().quotas), 1u);
+  ASSERT_TRUE(client_->SetQuota("/q", -1, -1).ok());
+  EXPECT_EQ(cluster_->db().TableRowCount(cluster_->schema().quotas), 0u);
+  // No more enforcement.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(client_->Mkdirs("/q/d" + std::to_string(i)).ok());
+  }
+}
+
+TEST_F(QuotaTest, QuotaOnFileRejected) {
+  ASSERT_TRUE(client_->Mkdirs("/q").ok());
+  ASSERT_TRUE(client_->WriteFile("/q/f", 1, 1).ok());
+  EXPECT_EQ(client_->SetQuota("/q/f", 10, 100).code(), hops::StatusCode::kNotDirectory);
+}
+
+}  // namespace
+}  // namespace hops::fs

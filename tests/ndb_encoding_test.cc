@@ -1,0 +1,74 @@
+// Order-preserving key encoding: the per-partition primary index depends on
+// byte order == tuple order and on prefix containment.
+#include <gtest/gtest.h>
+
+#include "ndb/value.h"
+
+namespace hops::ndb {
+namespace {
+
+std::string Enc(const Key& k) { return EncodeKey(k); }
+
+TEST(EncodingTest, IntOrderPreserved) {
+  EXPECT_LT(Enc({int64_t{-5}}), Enc({int64_t{-1}}));
+  EXPECT_LT(Enc({int64_t{-1}}), Enc({int64_t{0}}));
+  EXPECT_LT(Enc({int64_t{0}}), Enc({int64_t{1}}));
+  EXPECT_LT(Enc({int64_t{1}}), Enc({int64_t{1000000}}));
+  EXPECT_LT(Enc({int64_t{1000000}}), Enc({INT64_MAX}));
+  EXPECT_LT(Enc({INT64_MIN}), Enc({int64_t{-1000000}}));
+}
+
+TEST(EncodingTest, StringOrderPreserved) {
+  EXPECT_LT(Enc({"a"}), Enc({"b"}));
+  EXPECT_LT(Enc({"a"}), Enc({"aa"}));
+  EXPECT_LT(Enc({"abc"}), Enc({"abd"}));
+  EXPECT_LT(Enc({""}), Enc({"a"}));
+}
+
+TEST(EncodingTest, EmbeddedNulHandled) {
+  std::string with_nul("a\0b", 3);
+  EXPECT_LT(Enc({"a"}), Enc({Value(with_nul)}));
+  EXPECT_LT(Enc({Value(with_nul)}), Enc({"ab"}));
+  EXPECT_NE(Enc({Value(with_nul)}), Enc({"ab"}));
+}
+
+TEST(EncodingTest, TupleOrderIsComponentwise) {
+  EXPECT_LT(Enc({int64_t{1}, "zzz"}), Enc({int64_t{2}, "aaa"}));
+  EXPECT_LT(Enc({int64_t{2}, "aaa"}), Enc({int64_t{2}, "aab"}));
+}
+
+TEST(EncodingTest, PrefixContainment) {
+  // Encoding of (a) must be a byte prefix of (a, b): prefix scans rely on it.
+  std::string parent = Enc({int64_t{42}});
+  std::string child1 = Enc({int64_t{42}, "foo"});
+  std::string child2 = Enc({int64_t{42}, ""});
+  EXPECT_EQ(child1.compare(0, parent.size(), parent), 0);
+  EXPECT_EQ(child2.compare(0, parent.size(), parent), 0);
+  // A different parent id must not share the prefix.
+  std::string other = Enc({int64_t{43}, "foo"});
+  EXPECT_NE(other.compare(0, parent.size(), parent), 0);
+}
+
+TEST(EncodingTest, DistinctKeysDistinctEncodings) {
+  EXPECT_NE(Enc({int64_t{1}, "ab"}), Enc({int64_t{1}, "a"}));
+  EXPECT_NE(Enc({"1"}), Enc({int64_t{1}}));
+}
+
+TEST(ValueTest, TypeAccessors) {
+  Value i(int64_t{7});
+  Value s("hello");
+  EXPECT_TRUE(i.is_int());
+  EXPECT_TRUE(s.is_string());
+  EXPECT_EQ(i.i64(), 7);
+  EXPECT_EQ(s.str(), "hello");
+  EXPECT_EQ(i.type(), ColumnType::kInt64);
+  EXPECT_EQ(s.type(), ColumnType::kString);
+}
+
+TEST(ValueTest, DebugString) {
+  Row r{int64_t{1}, "x"};
+  EXPECT_EQ(ToDebugString(r), "(1, \"x\")");
+}
+
+}  // namespace
+}  // namespace hops::ndb

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "util/hash.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace hops {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  Status s = Status::NotFound("no such row");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "no such row");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: no such row");
+}
+
+TEST(StatusTest, RetryableClassification) {
+  EXPECT_TRUE(Status::LockTimeout().IsRetryableTx());
+  EXPECT_TRUE(Status::TxAborted().IsRetryableTx());
+  EXPECT_FALSE(Status::NotFound().IsRetryableTx());
+  EXPECT_FALSE(Status::Unavailable().IsRetryableTx());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("x"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(HashTest, StableAcrossCalls) {
+  EXPECT_EQ(HashU64(12345), HashU64(12345));
+  EXPECT_EQ(HashBytes("abc"), HashBytes("abc"));
+  EXPECT_NE(HashBytes("abc"), HashBytes("abd"));
+}
+
+TEST(HashTest, SpreadsSequentialKeys) {
+  // Sequential inode ids must not land in the same bucket mod small P.
+  int buckets[8] = {0};
+  for (uint64_t i = 0; i < 8000; ++i) buckets[HashU64(i) % 8]++;
+  for (int b : buckets) {
+    EXPECT_GT(b, 700);
+    EXPECT_LT(b, 1300);
+  }
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(1);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.Range(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, RandomNameLengthAndAlphabet) {
+  Rng rng(2);
+  std::string s = rng.RandomName(34);
+  EXPECT_EQ(s.size(), 34u);
+  for (char c : s) EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)));
+}
+
+TEST(ZipfTest, HeadIsHeavy) {
+  Rng rng(3);
+  ZipfSampler zipf(1000, 1.1);
+  int head = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.Sample(rng) < 30) head++;  // top 3% of ranks
+  }
+  // Heavy-tailed: top 3% of files should draw well over a third of accesses.
+  EXPECT_GT(head, kSamples / 3);
+}
+
+TEST(DiscreteSamplerTest, MatchesWeights) {
+  Rng rng(4);
+  DiscreteSampler sampler({0.7, 0.2, 0.1});
+  int counts[3] = {0};
+  constexpr int kSamples = 30000;
+  for (int i = 0; i < kSamples; ++i) counts[sampler.Sample(rng)]++;
+  EXPECT_NEAR(counts[0] / double(kSamples), 0.7, 0.02);
+  EXPECT_NEAR(counts[1] / double(kSamples), 0.2, 0.02);
+  EXPECT_NEAR(counts[2] / double(kSamples), 0.1, 0.02);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 100);
+  // Log-bucketed: percentiles are approximate, allow bucket-width error.
+  EXPECT_NEAR(h.Percentile(0.5), 50, 10);
+  EXPECT_NEAR(h.Percentile(0.99), 99, 12);
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a, b;
+  a.Record(10);
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.max(), 1000);
+  EXPECT_EQ(a.min(), 10);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(0.99), 0);
+  EXPECT_EQ(h.Mean(), 0);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+}  // namespace
+}  // namespace hops
