@@ -7,6 +7,7 @@
 // This benchmark measures the real HopsFS engine processing scaled-down
 // reports (default 150 datanodes x 2K blocks; HOPS_BENCH_FULL=1 for 100K)
 // and compares per-report work against an in-memory HDFS-style block map.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <unordered_map>
@@ -67,7 +68,7 @@ int main() {
 
   // HopsFS: process every datanode's report; measure wall time.
   int64_t t0 = MonotonicMicros();
-  int64_t rows_read_before = cluster->db().StatsSnapshot().rows_read;
+  auto stats_before = cluster->db().StatsSnapshot();
   for (int d = 0; d < num_dns; ++d) {
     auto& dn = cluster->datanode(d);
     auto result = cluster->namenode(d % 2).ProcessBlockReport(dn.id(),
@@ -75,8 +76,11 @@ int main() {
     if (!result.ok()) return 1;
   }
   double hops_seconds = static_cast<double>(MonotonicMicros() - t0) / 1e6;
+  auto stats_after = cluster->db().StatsSnapshot();
   int64_t rows_read =
-      static_cast<int64_t>(cluster->db().StatsSnapshot().rows_read) - rows_read_before;
+      static_cast<int64_t>(stats_after.rows_read - stats_before.rows_read);
+  int64_t round_trips =
+      static_cast<int64_t>(stats_after.round_trips - stats_before.round_trips);
   double hops_reports_per_sec = num_dns / hops_seconds;
 
   // HDFS-style baseline: validate each report against an in-memory block
@@ -102,6 +106,12 @@ int main() {
   std::printf("\nHopsFS : %6.1f reports/s (2 namenodes), %lld DB rows read per report\n",
               hops_reports_per_sec,
               static_cast<long long>(rows_read / num_dns));
+  std::printf("         %lld simulated DB round trips per report with batching;\n",
+              static_cast<long long>(round_trips / num_dns));
+  std::printf("         a per-row read path would need >= %lld (one per row read) -- "
+              "%.0fx more\n",
+              static_cast<long long>(rows_read / num_dns),
+              static_cast<double>(rows_read) / std::max<int64_t>(round_trips, 1));
   std::printf("HDFS   : %6.1f reports/s (in-memory block map, %lld blocks matched)\n",
               hdfs_reports_per_sec, static_cast<long long>(matched));
   std::printf("ratio  : HDFS processes %.1fx more reports/s per namenode\n",

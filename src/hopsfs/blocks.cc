@@ -31,16 +31,18 @@ hops::Status Namenode::BlockReceived(DatanodeId dn, BlockId block_id) {
                      : block_row.status();
         }
         Block b = BlockFromRow(*block_row);
-        hops::Status st = tx.Delete(schema_->ruc, {inode, block_id, dn});
-        if (!st.ok() && st.code() != hops::StatusCode::kNotFound) return st;
+        // The life-cycle flips (RUC consumed, replica finalized, pending
+        // re-replication satisfied) stage in one batched round trip.
+        ndb::WriteBatch writes;
+        writes.DeleteIfExists(schema_->ruc, {inode, block_id, dn});
         Replica rep{inode, block_id, dn, ReplicaState::kFinalized};
-        HOPS_RETURN_IF_ERROR(tx.Write(schema_->replicas, ToRow(rep)));
-        st = tx.Delete(schema_->prb, {inode, block_id, dn});
-        if (!st.ok() && st.code() != hops::StatusCode::kNotFound) return st;
+        writes.Write(schema_->replicas, ToRow(rep));
+        writes.DeleteIfExists(schema_->prb, {inode, block_id, dn});
+        HOPS_RETURN_IF_ERROR(tx.Execute(writes));
         // Fully replicated again? Clear the under-replication marker.
         HOPS_ASSIGN_OR_RETURN(reps, tx.Ppis(schema_->replicas, {inode, block_id}));
         if (static_cast<int64_t>(reps.size()) >= b.replication) {
-          st = tx.Delete(schema_->urb, {inode, block_id, int64_t{0}});
+          hops::Status st = tx.Delete(schema_->urb, {inode, block_id, int64_t{0}});
           if (!st.ok() && st.code() != hops::StatusCode::kNotFound) return st;
         }
         return hops::Status::Ok();
@@ -55,47 +57,54 @@ hops::Result<BlockReportResult> Namenode::ProcessBlockReport(
 
   // Pass 1: every reported block is validated against the namespace with a
   // batched primary-key lookup; replicas the metadata is missing are added,
-  // blocks unknown to the namespace are queued for invalidation.
+  // blocks unknown to the namespace are queued for invalidation. Each chunk
+  // costs three batched round trips (lookup fan-out, replica match, staged
+  // repairs) however many blocks it covers.
   for (size_t base = 0; base < report.size(); base += kChunk) {
     size_t end = std::min(report.size(), base + kChunk);
+    // Tallied per attempt and folded into `result` only after the
+    // transaction commits, so a retried chunk is not counted twice.
+    BlockReportResult chunk;
     hops::Status st = RunTx(std::nullopt, [&](ndb::Transaction& tx) -> hops::Status {
+      chunk = BlockReportResult{};
       std::vector<ndb::Key> keys;
       keys.reserve(end - base);
       for (size_t i = base; i < end; ++i) keys.push_back({report[i]});
       HOPS_ASSIGN_OR_RETURN(lookups, tx.BatchRead(schema_->block_lookup, keys,
                                                   ndb::LockMode::kReadCommitted));
+      ndb::WriteBatch repairs;
       std::vector<ndb::Key> replica_keys;
-      std::vector<size_t> replica_idx;
       for (size_t i = 0; i < lookups.size(); ++i) {
         if (!lookups[i].has_value()) {
           // Orphaned block on the datanode (e.g. re-created namespace).
           Replica orphan{kInvalidInode, report[base + i], dn, ReplicaState::kFinalized};
-          HOPS_RETURN_IF_ERROR(tx.Write(schema_->inv, ToRow(orphan)));
-          result.orphans_invalidated++;
+          repairs.Write(schema_->inv, ToRow(orphan));
+          chunk.orphans_invalidated++;
           continue;
         }
         InodeId inode = (*lookups[i])[col::kLookupInode].i64();
         replica_keys.push_back({inode, report[base + i], static_cast<int64_t>(dn)});
-        replica_idx.push_back(i);
       }
       HOPS_ASSIGN_OR_RETURN(replica_rows, tx.BatchRead(schema_->replicas, replica_keys,
                                                        ndb::LockMode::kReadCommitted));
       for (size_t j = 0; j < replica_rows.size(); ++j) {
         if (replica_rows[j].has_value()) {
-          result.blocks_matched++;
+          chunk.blocks_matched++;
         } else {
           InodeId inode = replica_keys[j][0].i64();
           BlockId blk = replica_keys[j][1].i64();
           Replica rep{inode, blk, dn, ReplicaState::kFinalized};
-          HOPS_RETURN_IF_ERROR(tx.Write(schema_->replicas, ToRow(rep)));
-          hops::Status del = tx.Delete(schema_->ruc, {inode, blk, static_cast<int64_t>(dn)});
-          if (!del.ok() && del.code() != hops::StatusCode::kNotFound) return del;
-          result.replicas_added++;
+          repairs.Write(schema_->replicas, ToRow(rep));
+          repairs.DeleteIfExists(schema_->ruc, {inode, blk, static_cast<int64_t>(dn)});
+          chunk.replicas_added++;
         }
       }
-      return hops::Status::Ok();
+      return tx.Execute(repairs);
     });
     if (!st.ok()) return st;
+    result.blocks_matched += chunk.blocks_matched;
+    result.replicas_added += chunk.replicas_added;
+    result.orphans_invalidated += chunk.orphans_invalidated;
   }
 
   // Pass 2: replicas the metadata attributes to this datanode that the
@@ -267,16 +276,20 @@ hops::Result<std::vector<BlockId>> Namenode::FetchInvalidations(DatanodeId dn) {
     if (!scan.ok()) return scan.status();
     for (const auto& row : *scan) rows.push_back(ReplicaFromRow(row));
   }
+  if (rows.empty()) return std::vector<BlockId>{};
+  // Consume the whole queue in one transaction with a batched delete (a
+  // datanode re-fetches on failure, so all-or-nothing delivery is fine).
+  hops::Status st = RunTx(std::nullopt, [&](ndb::Transaction& tx) -> hops::Status {
+    ndb::WriteBatch writes;
+    for (const Replica& rep : rows) {
+      writes.DeleteIfExists(schema_->inv, {rep.inode_id, rep.block_id, rep.datanode_id});
+    }
+    return tx.Execute(writes);
+  });
+  if (!st.ok()) return st;
   std::vector<BlockId> blocks;
-  for (const Replica& rep : rows) {
-    hops::Status st = RunTx(std::nullopt, [&](ndb::Transaction& tx) -> hops::Status {
-      hops::Status del = tx.Delete(schema_->inv, {rep.inode_id, rep.block_id, rep.datanode_id});
-      if (!del.ok() && del.code() != hops::StatusCode::kNotFound) return del;
-      return hops::Status::Ok();
-    });
-    if (!st.ok()) return st;
-    blocks.push_back(rep.block_id);
-  }
+  blocks.reserve(rows.size());
+  for (const Replica& rep : rows) blocks.push_back(rep.block_id);
   return blocks;
 }
 

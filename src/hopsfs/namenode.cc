@@ -153,18 +153,27 @@ hops::Result<Namenode::ReadInodeOut> Namenode::ReadInode(ndb::Transaction& tx, I
                                                          const std::string& name, int depth,
                                                          ndb::LockMode mode) {
   uint64_t primary = InodePv(depth, parent, name);
-  auto row = tx.Read(schema_->inodes, InodeKey(parent, name), mode, primary);
-  if (row.ok()) return ReadInodeOut{InodeFromRow(*row), primary};
-  if (row.status().code() != hops::StatusCode::kNotFound) return row.status();
   // Rows that crossed the random-partition depth boundary in a move keep
-  // their insert-time partition; try the alternate rule before giving up.
+  // their insert-time partition, so the row may live under either rule. Both
+  // probes go out in one batched read instead of primary-then-alternate.
   uint64_t alternate = depth <= config_->random_partition_depth
                            ? static_cast<uint64_t>(parent)
                            : HashBytes(name);
-  if (db_->PartitionForValue(alternate) != db_->PartitionForValue(primary)) {
-    auto alt = tx.Read(schema_->inodes, InodeKey(parent, name), mode, alternate);
-    if (alt.ok()) return ReadInodeOut{InodeFromRow(*alt), alternate};
-    if (alt.status().code() != hops::StatusCode::kNotFound) return alt.status();
+  if (db_->PartitionForValue(alternate) == db_->PartitionForValue(primary)) {
+    auto row = tx.Read(schema_->inodes, InodeKey(parent, name), mode, primary);
+    if (row.ok()) return ReadInodeOut{InodeFromRow(*row), primary};
+    if (row.status().code() != hops::StatusCode::kNotFound) return row.status();
+    return hops::Status::NotFound("no inode " + name);
+  }
+  ndb::ReadBatch batch;
+  size_t primary_slot = batch.Get(schema_->inodes, InodeKey(parent, name), mode, primary);
+  size_t alternate_slot = batch.Get(schema_->inodes, InodeKey(parent, name), mode, alternate);
+  HOPS_RETURN_IF_ERROR(tx.Execute(batch));
+  if (batch.row(primary_slot).has_value()) {
+    return ReadInodeOut{InodeFromRow(*batch.row(primary_slot)), primary};
+  }
+  if (batch.row(alternate_slot).has_value()) {
+    return ReadInodeOut{InodeFromRow(*batch.row(alternate_slot)), alternate};
   }
   return hops::Status::NotFound("no inode " + name);
 }
@@ -217,27 +226,37 @@ hops::Result<Namenode::Resolved> Namenode::ResolveAndLock(
   }
 
   // --- Interior components [0 .. n-2], read-committed -----------------------
+  // On a full hint-cache hit the target rides in the same batch with the
+  // lock phase's mode, so a cached path resolves *and locks* in a single
+  // round trip (paper §5.1/§6.3). Parent-locking mutations keep the
+  // separate two-step lock phase (parent before target, in path order).
   bool interiors_ok = n == 1;
+  Inode batched_target;
+  uint64_t batched_target_pv = 0;
+  bool target_from_batch = false;
   if (!interiors_ok) {
     auto hints = hint_cache_.LookupChain(components);
+    bool try_target = hints.size() >= n && !spec.lock_parent;
     if (hints.size() >= n - 1) {
       // Single batched primary-key read for the whole interior (1 round trip
-      // instead of N-1).
-      std::vector<ndb::Key> keys;
+      // instead of N-1), plus the target when its hint is cached too.
+      ndb::ReadBatch batch;
       std::vector<uint64_t> pvs;
-      keys.reserve(n - 1);
-      for (size_t i = 0; i + 1 < n; ++i) {
+      const size_t batched = try_target ? n : n - 1;
+      pvs.reserve(batched);
+      for (size_t i = 0; i < batched; ++i) {
         InodeId parent = i == 0 ? kRootInode : hints[i - 1].inode_id;
-        keys.push_back(InodeKey(parent, components[i]));
-        pvs.push_back(InodePv(static_cast<int>(i) + 1, parent, components[i]));
+        uint64_t pv = InodePv(static_cast<int>(i) + 1, parent, components[i]);
+        ndb::LockMode mode =
+            i + 1 == n ? spec.target_mode : ndb::LockMode::kReadCommitted;
+        batch.Get(schema_->inodes, InodeKey(parent, components[i]), mode, pv);
+        pvs.push_back(pv);
       }
-      auto batch =
-          tx.BatchRead(schema_->inodes, keys, ndb::LockMode::kReadCommitted, &pvs);
-      if (!batch.ok()) return batch.status();
+      HOPS_RETURN_IF_ERROR(tx.Execute(batch));
       interiors_ok = true;
       InodeId expect_parent = kRootInode;
       for (size_t i = 0; i + 1 < n; ++i) {
-        const auto& slot = (*batch)[i];
+        const auto& slot = batch.row(i);
         if (!slot.has_value()) {
           interiors_ok = false;  // stale hint
           break;
@@ -250,6 +269,24 @@ hops::Result<Namenode::Resolved> Namenode::ResolveAndLock(
         expect_parent = inode.id;
         r.chain.push_back(std::move(inode));
         r.chain_pvs.push_back(pvs[i]);
+      }
+      if (interiors_ok && try_target && batch.row(n - 1).has_value()) {
+        Inode inode = InodeFromRow(*batch.row(n - 1));
+        if (inode.parent_id == expect_parent) {
+          batched_target = std::move(inode);
+          batched_target_pv = pvs[n - 1];
+          target_from_batch = true;
+        }
+        // A mismatched parent means the hint was stale; the ordinary target
+        // read below retries both partition rules.
+      }
+      if (try_target && !target_from_batch &&
+          spec.target_mode != ndb::LockMode::kReadCommitted) {
+        // The batch locked the target key derived from an (evidently stale)
+        // hint; drop that lock before falling back so an unrelated live row
+        // is not pinned for the rest of the transaction.
+        tx.UnlockRow(schema_->inodes,
+                     InodeKey(hints[n - 2].inode_id, components[n - 1]), pvs[n - 1]);
       }
       if (!interiors_ok) {
         r.chain.resize(1);
@@ -296,8 +333,12 @@ hops::Result<Namenode::Resolved> Namenode::ResolveAndLock(
 
   Inode& parent = r.chain[n - 1];
   if (!parent.is_dir) return hops::Status::NotDirectory(parent.name);
-  auto target = ReadInode(tx, parent.id, components[n - 1], static_cast<int>(n),
-                          spec.target_mode);
+  hops::Result<ReadInodeOut> target =
+      target_from_batch
+          ? hops::Result<ReadInodeOut>(
+                ReadInodeOut{std::move(batched_target), batched_target_pv})
+          : ReadInode(tx, parent.id, components[n - 1], static_cast<int>(n),
+                      spec.target_mode);
   if (target.ok()) {
     HOPS_RETURN_IF_ERROR(CheckSubtreeLock(tx, target->inode, target->pv));
     hint_cache_.Put(components, n - 1, parent.id, target->inode.id);
@@ -370,27 +411,35 @@ hops::Status Namenode::UpdateQuotaUsage(ndb::Transaction& tx,
                                         const std::vector<Inode>& ancestors,
                                         int64_t ns_delta, int64_t ss_delta, bool enforce) {
   if (ns_delta == 0 && ss_delta == 0) return hops::Status::Ok();
+  // Lock and read every quota row along the chain in one batched round trip
+  // (the batch's global lock order keeps concurrent quota updaters
+  // deadlock-free), then stage the adjustments in one write batch.
+  ndb::ReadBatch reads;
+  std::vector<const Inode*> quota_dirs;
   for (const Inode& dir : ancestors) {
     if (!dir.has_quota) continue;
-    auto row = tx.Read(schema_->quotas, {dir.id}, ndb::LockMode::kExclusive);
-    if (!row.ok()) {
-      if (row.status().code() == hops::StatusCode::kNotFound) continue;  // racing clear
-      return row.status();
-    }
-    DirectoryQuota q = QuotaFromRow(*row);
+    reads.Get(schema_->quotas, {dir.id}, ndb::LockMode::kExclusive);
+    quota_dirs.push_back(&dir);
+  }
+  if (quota_dirs.empty()) return hops::Status::Ok();
+  HOPS_RETURN_IF_ERROR(tx.Execute(reads));
+  ndb::WriteBatch writes;
+  for (size_t i = 0; i < quota_dirs.size(); ++i) {
+    if (!reads.row(i).has_value()) continue;  // racing clear
+    DirectoryQuota q = QuotaFromRow(*reads.row(i));
     q.ns_used += ns_delta;
     q.ss_used += ss_delta;
     if (enforce) {
       if (q.ns_quota >= 0 && q.ns_used > q.ns_quota) {
-        return hops::Status::QuotaExceeded("namespace quota of " + dir.name);
+        return hops::Status::QuotaExceeded("namespace quota of " + quota_dirs[i]->name);
       }
       if (q.ss_quota >= 0 && q.ss_used > q.ss_quota) {
-        return hops::Status::QuotaExceeded("storage quota of " + dir.name);
+        return hops::Status::QuotaExceeded("storage quota of " + quota_dirs[i]->name);
       }
     }
-    HOPS_RETURN_IF_ERROR(tx.Update(schema_->quotas, ToRow(q)));
+    writes.Update(schema_->quotas, ToRow(q));
   }
-  return hops::Status::Ok();
+  return tx.Execute(writes);
 }
 
 // --- Children listing --------------------------------------------------------
@@ -533,14 +582,17 @@ hops::Result<LocatedBlock> Namenode::AddBlock(const std::string& path,
         }
         // File-inode-related data lives in the file's shard: pruned scan.
         HOPS_ASSIGN_OR_RETURN(block_rows, tx.Ppis(schema_->blocks, {file.id}));
-        // Commit the previous block (the client finished writing it).
+        // Commit the previous block (the client finished writing it) and
+        // stage the new block + lookup + replica-under-construction rows in
+        // one write batch.
+        ndb::WriteBatch writes;
         int64_t next_index = 0;
         for (const auto& row : block_rows) {
           Block b = BlockFromRow(row);
           next_index = std::max(next_index, b.block_index + 1);
           if (b.state == BlockState::kUnderConstruction) {
             b.state = BlockState::kComplete;
-            HOPS_RETURN_IF_ERROR(tx.Update(schema_->blocks, ToRow(b)));
+            writes.Update(schema_->blocks, ToRow(b));
           }
         }
         HOPS_ASSIGN_OR_RETURN(block_id, block_ids_.Next());
@@ -551,9 +603,8 @@ hops::Result<LocatedBlock> Namenode::AddBlock(const std::string& path,
         b.state = BlockState::kUnderConstruction;
         b.num_bytes = num_bytes;
         b.replication = file.replication;
-        HOPS_RETURN_IF_ERROR(tx.Insert(schema_->blocks, ToRow(b)));
-        HOPS_RETURN_IF_ERROR(
-            tx.Insert(schema_->block_lookup, ndb::Row{block_id, file.id}));
+        writes.Insert(schema_->blocks, ToRow(b));
+        writes.Insert(schema_->block_lookup, ndb::Row{block_id, file.id});
         std::vector<DatanodeId> targets;
         {
           std::lock_guard<std::mutex> lock(dn_picker_mu_);
@@ -561,8 +612,9 @@ hops::Result<LocatedBlock> Namenode::AddBlock(const std::string& path,
         }
         for (DatanodeId dn : targets) {
           Replica ruc{file.id, block_id, dn, ReplicaState::kFinalized};
-          HOPS_RETURN_IF_ERROR(tx.Insert(schema_->ruc, ToRow(ruc)));
+          writes.Insert(schema_->ruc, ToRow(ruc));
         }
+        HOPS_RETURN_IF_ERROR(tx.Execute(writes));
         std::vector<Inode> ancestors(r.chain.begin(), r.chain.end() - 1);
         HOPS_RETURN_IF_ERROR(UpdateQuotaUsage(tx, ancestors, 0,
                                               num_bytes * file.replication,
@@ -596,31 +648,35 @@ hops::Status Namenode::CompleteFile(const std::string& path, const std::string& 
         if (lease_row.ok() && LeaseFromRow(*lease_row).holder != client_name) {
           return hops::Status::LeaseConflict(path + " is held by another client");
         }
-        HOPS_ASSIGN_OR_RETURN(block_rows, tx.Ppis(schema_->blocks, {file.id}));
-        for (const auto& row : block_rows) {
+        // One batched round trip for the file's block + RUC fan-out.
+        ndb::ReadBatch fanout;
+        size_t block_slot = fanout.Scan(schema_->blocks, {file.id});
+        size_t ruc_slot = fanout.Scan(schema_->ruc, {file.id});
+        HOPS_RETURN_IF_ERROR(tx.Execute(fanout));
+        // ... and one batch staging every state flip.
+        ndb::WriteBatch writes;
+        for (const auto& row : fanout.rows(block_slot)) {
           Block b = BlockFromRow(row);
           if (b.state == BlockState::kUnderConstruction) {
             b.state = BlockState::kComplete;
-            HOPS_RETURN_IF_ERROR(tx.Update(schema_->blocks, ToRow(b)));
+            writes.Update(schema_->blocks, ToRow(b));
           }
         }
         // Any replicas still marked under-construction are finalized now
         // (datanodes that already called BlockReceived consumed their RUC
-        // rows earlier).
-        HOPS_ASSIGN_OR_RETURN(ruc_rows, tx.Ppis(schema_->ruc, {file.id}));
-        for (const auto& row : ruc_rows) {
+        // rows earlier; the upsert absorbs the duplicate).
+        for (const auto& row : fanout.rows(ruc_slot)) {
           Replica rep = ReplicaFromRow(row);
-          HOPS_RETURN_IF_ERROR(
-              tx.Delete(schema_->ruc, {rep.inode_id, rep.block_id, rep.datanode_id}));
-          hops::Status st = tx.Insert(schema_->replicas, ToRow(rep));
-          if (!st.ok() && st.code() != hops::StatusCode::kAlreadyExists) return st;
+          writes.Delete(schema_->ruc, {rep.inode_id, rep.block_id, rep.datanode_id});
+          writes.Write(schema_->replicas, ToRow(rep));
         }
         if (lease_row.ok()) {
-          HOPS_RETURN_IF_ERROR(tx.Delete(schema_->leases, {file.id}));
+          writes.Delete(schema_->leases, {file.id});
         }
         file.under_construction = false;
         file.mtime = NowMicros();
-        return tx.Update(schema_->inodes, ToRow(file), r.target_pv());
+        writes.Update(schema_->inodes, ToRow(file), r.target_pv());
+        return tx.Execute(writes);
       });
 }
 
@@ -666,9 +722,14 @@ hops::Result<std::vector<LocatedBlock>> Namenode::GetBlockLocations(
         Inode& file = r.target();
         if (file.is_dir) return hops::Status::IsDirectory(path);
         HOPS_RETURN_IF_ERROR(CheckAccess(file, user, kRead));
-        // Both scans are pruned to the file's shard (Figure 3).
-        HOPS_ASSIGN_OR_RETURN(block_rows, tx.Ppis(schema_->blocks, {file.id}));
-        HOPS_ASSIGN_OR_RETURN(replica_rows, tx.Ppis(schema_->replicas, {file.id}));
+        // Both scans are pruned to the file's shard (Figure 3) and batched
+        // into a single round trip: the block + replica fan-out of a read.
+        ndb::ReadBatch fanout;
+        size_t block_slot = fanout.Scan(schema_->blocks, {file.id});
+        size_t replica_slot = fanout.Scan(schema_->replicas, {file.id});
+        HOPS_RETURN_IF_ERROR(tx.Execute(fanout));
+        const std::vector<ndb::Row>& block_rows = fanout.rows(block_slot);
+        const std::vector<ndb::Row>& replica_rows = fanout.rows(replica_slot);
         for (const auto& row : block_rows) {
           Block b = BlockFromRow(row);
           LocatedBlock lb{b.block_id, b.block_index, b.num_bytes, {}};
@@ -836,37 +897,42 @@ hops::Status Namenode::SetReplication(const std::string& path, int64_t replicati
         std::vector<Inode> ancestors(r.chain.begin(), r.chain.end() - 1);
         HOPS_RETURN_IF_ERROR(UpdateQuotaUsage(tx, ancestors, 0, file.size * delta,
                                               /*enforce=*/delta > 0));
-        HOPS_ASSIGN_OR_RETURN(block_rows, tx.Ppis(schema_->blocks, {file.id}));
-        HOPS_ASSIGN_OR_RETURN(replica_rows, tx.Ppis(schema_->replicas, {file.id}));
-        for (const auto& row : block_rows) {
+        // Block + replica fan-out in one batched round trip, then one write
+        // batch staging every per-block adjustment.
+        ndb::ReadBatch fanout;
+        size_t block_slot = fanout.Scan(schema_->blocks, {file.id});
+        size_t replica_slot = fanout.Scan(schema_->replicas, {file.id});
+        HOPS_RETURN_IF_ERROR(tx.Execute(fanout));
+        ndb::WriteBatch writes;
+        for (const auto& row : fanout.rows(block_slot)) {
           Block b = BlockFromRow(row);
           b.replication = replication;
-          HOPS_RETURN_IF_ERROR(tx.Update(schema_->blocks, ToRow(b)));
+          writes.Update(schema_->blocks, ToRow(b));
           // Re-evaluate the block's replica population.
           std::vector<Replica> reps;
-          for (const auto& rep_row : replica_rows) {
+          for (const auto& rep_row : fanout.rows(replica_slot)) {
             Replica rep = ReplicaFromRow(rep_row);
             if (rep.block_id == b.block_id) reps.push_back(rep);
           }
           int64_t have = static_cast<int64_t>(reps.size());
           if (have < replication) {
             Replica urb{file.id, b.block_id, 0, ReplicaState::kFinalized};
-            hops::Status st = tx.Insert(schema_->urb, ToRow(urb));
-            if (!st.ok() && st.code() != hops::StatusCode::kAlreadyExists) return st;
+            writes.Write(schema_->urb, ToRow(urb));
           }
           // Excess replicas are *moved* to the ER table and queued for
           // datanode-side invalidation (§4.1).
           for (int64_t i = replication; i < have; ++i) {
             Replica extra = reps[static_cast<size_t>(i)];
-            HOPS_RETURN_IF_ERROR(tx.Delete(
-                schema_->replicas, {extra.inode_id, extra.block_id, extra.datanode_id}));
-            HOPS_RETURN_IF_ERROR(tx.Write(schema_->er, ToRow(extra)));
-            HOPS_RETURN_IF_ERROR(tx.Write(schema_->inv, ToRow(extra)));
+            writes.Delete(schema_->replicas,
+                          {extra.inode_id, extra.block_id, extra.datanode_id});
+            writes.Write(schema_->er, ToRow(extra));
+            writes.Write(schema_->inv, ToRow(extra));
           }
         }
         file.replication = replication;
         file.mtime = NowMicros();
-        return tx.Update(schema_->inodes, ToRow(file), r.target_pv());
+        writes.Update(schema_->inodes, ToRow(file), r.target_pv());
+        return tx.Execute(writes);
       });
 }
 
@@ -1076,34 +1142,41 @@ hops::Status Namenode::RenameInTx(const std::vector<std::string>& src,
 }
 
 hops::Status Namenode::DeleteFileArtifacts(ndb::Transaction& tx, const Inode& file) {
-  // All satellite tables are partitioned by the inode id: pruned scans.
-  HOPS_ASSIGN_OR_RETURN(block_rows, tx.Ppis(schema_->blocks, {file.id}));
-  for (const auto& row : block_rows) {
+  // All satellite tables are partitioned by the inode id, so the whole
+  // fan-out -- blocks, replicas, and every life-cycle table -- reads in one
+  // batched round trip of pruned scans.
+  const std::vector<ndb::TableId> lifecycle = {schema_->urb, schema_->prb, schema_->ruc,
+                                               schema_->cr, schema_->er};
+  ndb::ReadBatch fanout;
+  size_t block_slot = fanout.Scan(schema_->blocks, {file.id});
+  size_t replica_slot = fanout.Scan(schema_->replicas, {file.id});
+  std::vector<size_t> lifecycle_slots;
+  for (ndb::TableId t : lifecycle) lifecycle_slots.push_back(fanout.Scan(t, {file.id}));
+  HOPS_RETURN_IF_ERROR(tx.Execute(fanout));
+
+  // ... and one write batch staging every row removal + invalidation.
+  ndb::WriteBatch writes;
+  for (const auto& row : fanout.rows(block_slot)) {
     Block b = BlockFromRow(row);
-    HOPS_RETURN_IF_ERROR(tx.Delete(schema_->blocks, {b.inode_id, b.block_id}));
-    hops::Status st = tx.Delete(schema_->block_lookup, {b.block_id});
-    if (!st.ok() && st.code() != hops::StatusCode::kNotFound) return st;
+    writes.Delete(schema_->blocks, {b.inode_id, b.block_id});
+    writes.DeleteIfExists(schema_->block_lookup, {b.block_id});
   }
-  HOPS_ASSIGN_OR_RETURN(replica_rows, tx.Ppis(schema_->replicas, {file.id}));
-  for (const auto& row : replica_rows) {
+  for (const auto& row : fanout.rows(replica_slot)) {
     Replica rep = ReplicaFromRow(row);
-    HOPS_RETURN_IF_ERROR(
-        tx.Delete(schema_->replicas, {rep.inode_id, rep.block_id, rep.datanode_id}));
-    // Invalidation command for the datanode holding the replica.
-    hops::Status st = tx.Insert(schema_->inv, ToRow(rep));
-    if (!st.ok() && st.code() != hops::StatusCode::kAlreadyExists) return st;
+    writes.Delete(schema_->replicas, {rep.inode_id, rep.block_id, rep.datanode_id});
+    // Invalidation command for the datanode holding the replica (upsert:
+    // the command may already be queued).
+    writes.Write(schema_->inv, ToRow(rep));
   }
-  for (ndb::TableId t : {schema_->urb, schema_->prb, schema_->ruc, schema_->cr, schema_->er}) {
-    HOPS_ASSIGN_OR_RETURN(rows, tx.Ppis(t, {file.id}));
-    for (const auto& row : rows) {
-      HOPS_RETURN_IF_ERROR(tx.Delete(
-          t, {row[col::kReplicaInode].i64(), row[col::kReplicaBlock].i64(),
-              row[col::kReplicaDatanode].i64()}));
+  for (size_t i = 0; i < lifecycle.size(); ++i) {
+    for (const auto& row : fanout.rows(lifecycle_slots[i])) {
+      writes.Delete(lifecycle[i],
+                    {row[col::kReplicaInode].i64(), row[col::kReplicaBlock].i64(),
+                     row[col::kReplicaDatanode].i64()});
     }
   }
-  hops::Status st = tx.Delete(schema_->leases, {file.id});
-  if (!st.ok() && st.code() != hops::StatusCode::kNotFound) return st;
-  return hops::Status::Ok();
+  writes.DeleteIfExists(schema_->leases, {file.id});
+  return tx.Execute(writes);
 }
 
 hops::Status Namenode::Delete(const std::string& path, bool recursive,

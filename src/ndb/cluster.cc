@@ -165,6 +165,7 @@ ClusterStats Cluster::StatsSnapshot() const {
   ClusterStats s;
   s.pk_reads = stats_.pk_reads.load(std::memory_order_relaxed);
   s.batch_reads = stats_.batch_reads.load(std::memory_order_relaxed);
+  s.batch_writes = stats_.batch_writes.load(std::memory_order_relaxed);
   s.ppis_scans = stats_.ppis_scans.load(std::memory_order_relaxed);
   s.index_scans = stats_.index_scans.load(std::memory_order_relaxed);
   s.full_table_scans = stats_.full_table_scans.load(std::memory_order_relaxed);
@@ -173,12 +174,14 @@ ClusterStats Cluster::StatsSnapshot() const {
   s.rows_read = stats_.rows_read.load(std::memory_order_relaxed);
   s.rows_written = stats_.rows_written.load(std::memory_order_relaxed);
   s.lock_timeouts = stats_.lock_timeouts.load(std::memory_order_relaxed);
+  s.round_trips = stats_.round_trips.load(std::memory_order_relaxed);
   return s;
 }
 
 void Cluster::ResetStats() {
   stats_.pk_reads = 0;
   stats_.batch_reads = 0;
+  stats_.batch_writes = 0;
   stats_.ppis_scans = 0;
   stats_.index_scans = 0;
   stats_.full_table_scans = 0;
@@ -187,6 +190,7 @@ void Cluster::ResetStats() {
   stats_.rows_read = 0;
   stats_.rows_written = 0;
   stats_.lock_timeouts = 0;
+  stats_.round_trips = 0;
 }
 
 size_t Cluster::TableRowCount(TableId id) const {

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "ndb/batch.h"
 #include "ndb/cost.h"
 #include "ndb/partition.h"
 #include "ndb/schema.h"
@@ -50,17 +51,6 @@ struct TxHint {
 
 class Cluster;
 
-struct ScanOptions {
-  LockMode lock = LockMode::kReadCommitted;
-  // Acquire then immediately release each row lock: the subtree-quiesce
-  // primitive of paper §6.1 phase 2 (waits out in-flight writers).
-  bool take_and_release = false;
-  // Optional equality filter on a non-key column: (column index, value).
-  std::optional<std::pair<size_t, Value>> eq_filter;
-  // Optional arbitrary row predicate, applied after eq_filter.
-  std::function<bool(const Row&)> predicate;
-};
-
 class Transaction {
  public:
   ~Transaction();
@@ -85,6 +75,23 @@ class Transaction {
   // Upsert (NDB "write").
   hops::Status Write(TableId table, Row row, std::optional<uint64_t> pv = std::nullopt);
   hops::Status Delete(TableId table, const Key& key, std::optional<uint64_t> pv = std::nullopt);
+
+  // --- Batched operations ----------------------------------------------------
+  // Executes every staged read of `batch` in one simulated round trip: ops
+  // are grouped by partition, row locks are acquired in the global
+  // (table, partition, encoded key) order, and the coordinator fans out to
+  // the touched partitions in parallel. Results are read back through the
+  // batch's slot accessors.
+  hops::Status Execute(ReadBatch& batch);
+  // Locks and stages every write of `batch` in one round trip; the staged
+  // rows are applied atomically at Commit() like any other write.
+  hops::Status Execute(WriteBatch& batch);
+  // Releases a row lock this transaction holds without waiting for
+  // commit/abort (NDB's unlockable reads). Only safe for a lock whose
+  // protected value the caller discarded without acting on it -- e.g. a
+  // batched locked read issued against a stale hint-cache entry. Rows with
+  // staged writes are never unlocked; unknown locks are a no-op.
+  void UnlockRow(TableId table, const Key& key, std::optional<uint64_t> pv = std::nullopt);
 
   // --- Scans ----------------------------------------------------------------
   using ScanOptions = hops::ndb::ScanOptions;
@@ -117,6 +124,23 @@ class Transaction {
   hops::Status CheckUsable(uint32_t partition);
   hops::Status AcquireRowLock(TableId table, uint32_t partition, const std::string& ekey,
                               LockMode mode);
+  // One row lock wanted by a batch. Batches acquire their whole lock set
+  // through AcquireLockSet, which sorts by (table, partition, ekey) --
+  // the global deadlock-free order -- and dedupes to the strongest mode.
+  struct LockRequest {
+    TableId table;
+    uint32_t partition;
+    std::string ekey;
+    LockMode mode;
+  };
+  hops::Status AcquireLockSet(std::vector<LockRequest> requests, uint32_t* fresh_locks);
+  // Scan of one partition: committed snapshot merged with this transaction's
+  // staged writes, filters applied, per-row locks honored. `examined` counts
+  // rows touched on the partition (for cost accounting).
+  hops::Result<std::vector<Row>> ScanOnePartition(TableId table, uint32_t partition,
+                                                  const std::string& eprefix,
+                                                  const ScanOptions& opts,
+                                                  uint32_t* examined);
   void RecordAccess(AccessKind kind, TableId table,
                     std::initializer_list<PartTouch> parts, uint32_t round_trips = 1);
   void RecordAccess(AccessKind kind, TableId table, std::vector<PartTouch> parts,
@@ -229,9 +253,9 @@ class Cluster {
 
   // Stats counters (relaxed; read via StatsSnapshot).
   struct AtomicStats {
-    std::atomic<uint64_t> pk_reads{0}, batch_reads{0}, ppis_scans{0}, index_scans{0},
-        full_table_scans{0}, commits{0}, aborts{0}, rows_read{0}, rows_written{0},
-        lock_timeouts{0};
+    std::atomic<uint64_t> pk_reads{0}, batch_reads{0}, batch_writes{0}, ppis_scans{0},
+        index_scans{0}, full_table_scans{0}, commits{0}, aborts{0}, rows_read{0},
+        rows_written{0}, lock_timeouts{0}, round_trips{0};
   };
   mutable AtomicStats stats_;
 };

@@ -71,7 +71,8 @@ struct CostTrace {
 // Running totals kept by the cluster (always on; lock-free counters).
 struct ClusterStats {
   uint64_t pk_reads = 0;
-  uint64_t batch_reads = 0;
+  uint64_t batch_reads = 0;   // ReadBatch / BatchRead executions (one each)
+  uint64_t batch_writes = 0;  // WriteBatch executions (one each)
   uint64_t ppis_scans = 0;
   uint64_t index_scans = 0;
   uint64_t full_table_scans = 0;
@@ -80,6 +81,10 @@ struct ClusterStats {
   uint64_t rows_read = 0;
   uint64_t rows_written = 0;
   uint64_t lock_timeouts = 0;
+  // Simulated namenode<->database round trips across all accesses (batched
+  // operations count once however many rows/partitions they touch; commits
+  // count their 2PC trips). The batching win shows up here.
+  uint64_t round_trips = 0;
 };
 
 }  // namespace hops::ndb

@@ -4,6 +4,7 @@
 // take-and-release lock scans used by the subtree quiesce protocol.
 #include <algorithm>
 #include <cassert>
+#include <tuple>
 
 #include "ndb/cluster.h"
 
@@ -19,6 +20,19 @@ Key ExtractPk(const Schema& schema, const Row& row) {
     key.push_back(row[idx]);
   }
   return key;
+}
+
+// Accumulates one partition's share of a logical access: merge into an
+// existing PartTouch or append a new one.
+void MergeTouch(std::vector<PartTouch>& parts, uint32_t partition, uint32_t rows,
+                uint32_t node, bool local) {
+  for (auto& pt : parts) {
+    if (pt.partition == partition) {
+      pt.rows += rows;
+      return;
+    }
+  }
+  parts.push_back(PartTouch{partition, node, rows, local});
 }
 
 bool RowMatches(const Row& row, const Transaction::ScanOptions& opts) {
@@ -89,6 +103,7 @@ void Transaction::RecordAccess(AccessKind kind, TableId table, std::vector<PartT
   uint64_t rows = 0;
   for (const auto& p : parts) rows += p.rows;
   auto& s = cluster_->stats_;
+  s.round_trips.fetch_add(round_trips, std::memory_order_relaxed);
   switch (kind) {
     case AccessKind::kPkRead:
       s.pk_reads.fetch_add(1, std::memory_order_relaxed);
@@ -151,34 +166,227 @@ hops::Result<std::vector<std::optional<Row>>> Transaction::BatchRead(
     TableId table, const std::vector<Key>& keys, LockMode mode,
     const std::vector<uint64_t>* pvs) {
   assert(pvs == nullptr || pvs->size() == keys.size());
-  const Cluster::Table& t = cluster_->table(table);
-  std::vector<std::optional<Row>> results(keys.size());
-  std::vector<PartTouch> touches;
+  ReadBatch batch;
   for (size_t i = 0; i < keys.size(); ++i) {
-    std::optional<uint64_t> pv = pvs ? std::optional<uint64_t>((*pvs)[i]) : std::nullopt;
-    HOPS_ASSIGN_OR_RETURN(partition, cluster_->Route(t, keys[i], pv));
-    HOPS_RETURN_IF_ERROR(CheckUsable(partition));
-    std::string ekey = EncodeKey(keys[i]);
-    HOPS_RETURN_IF_ERROR(AcquireRowLock(table, partition, ekey, mode));
-    auto staged = write_set_.find({table, ekey});
-    if (staged != write_set_.end()) {
-      if (!staged->second.is_delete) results[i] = staged->second.row;
-    } else if (auto committed = t.partitions[partition]->Get(ekey)) {
-      results[i] = *std::move(committed);
-    }
-    uint32_t node = cluster_->PrimaryNode(partition).value_or(coordinator_);
-    bool merged = false;
-    for (auto& pt : touches) {
-      if (pt.partition == partition) {
-        pt.rows++;
-        merged = true;
-        break;
-      }
-    }
-    if (!merged) touches.push_back(PartTouch{partition, node, 1, node == coordinator_});
+    batch.Get(table, keys[i], mode,
+              pvs ? std::optional<uint64_t>((*pvs)[i]) : std::nullopt);
   }
-  RecordAccess(AccessKind::kBatchRead, table, std::move(touches), /*round_trips=*/1);
+  HOPS_RETURN_IF_ERROR(Execute(batch));
+  std::vector<std::optional<Row>> results(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) results[i] = std::move(batch.ops_[i].row);
   return results;
+}
+
+void Transaction::UnlockRow(TableId table, const Key& key, std::optional<uint64_t> pv) {
+  if (state_ != State::kActive) return;
+  const Cluster::Table& t = cluster_->table(table);
+  auto routed = cluster_->Route(t, key, pv);
+  if (!routed.ok()) return;
+  const uint32_t partition = *routed;
+  std::string ekey = EncodeKey(key);
+  if (write_set_.count({table, ekey})) return;  // the lock guards a staged write
+  auto it = held_locks_.find(std::make_tuple(table, partition, ekey));
+  if (it == held_locks_.end()) return;
+  t.partitions[partition]->ReleaseLock(id_, ekey);
+  held_locks_.erase(it);
+}
+
+hops::Status Transaction::AcquireLockSet(std::vector<LockRequest> requests,
+                                         uint32_t* fresh_locks) {
+  // Global deadlock-free order: (table, partition, encoded key). Every batch
+  // walks its lock set in this order, so for any two batches the rows they
+  // both want are requested in the same sequence and one simply waits for
+  // the other -- no cycle, no reliance on the lock-wait timeout.
+  std::sort(requests.begin(), requests.end(), [](const LockRequest& a, const LockRequest& b) {
+    return std::tie(a.table, a.partition, a.ekey) < std::tie(b.table, b.partition, b.ekey);
+  });
+  uint32_t fresh = 0;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    LockRequest& req = requests[i];
+    // Collapse duplicate rows to the strongest requested mode.
+    while (i + 1 < requests.size() && requests[i + 1].table == req.table &&
+           requests[i + 1].partition == req.partition && requests[i + 1].ekey == req.ekey) {
+      if (requests[i + 1].mode == LockMode::kExclusive) req.mode = LockMode::kExclusive;
+      else if (req.mode == LockMode::kReadCommitted) req.mode = requests[i + 1].mode;
+      ++i;
+    }
+    if (req.mode == LockMode::kReadCommitted) continue;
+    auto held = held_locks_.find(std::make_tuple(req.table, req.partition, req.ekey));
+    bool covered = held != held_locks_.end() &&
+                   (held->second == LockMode::kExclusive || held->second == req.mode);
+    if (!covered) fresh++;
+    HOPS_RETURN_IF_ERROR(AcquireRowLock(req.table, req.partition, req.ekey, req.mode));
+  }
+  if (fresh_locks != nullptr) *fresh_locks = fresh;
+  return hops::Status::Ok();
+}
+
+hops::Status Transaction::Execute(ReadBatch& batch) {
+  if (batch.executed_) return hops::Status::InvalidArgument("batch already executed");
+  if (state_ != State::kActive) return hops::Status::TxAborted("transaction is not active");
+  batch.executed_ = true;
+  if (batch.ops_.empty()) return hops::Status::Ok();
+
+  // Route every op to its partition, then take the whole lock set in the
+  // global order before touching any data.
+  std::vector<LockRequest> lock_plan;
+  for (auto& op : batch.ops_) {
+    const Cluster::Table& t = cluster_->table(op.table);
+    HOPS_ASSIGN_OR_RETURN(partition, cluster_->Route(t, op.key, op.pv));
+    op.partition = partition;
+    HOPS_RETURN_IF_ERROR(CheckUsable(partition));
+    op.ekey = EncodeKey(op.key);
+    if (op.kind == ReadBatch::Op::Kind::kGet && op.mode != LockMode::kReadCommitted) {
+      lock_plan.push_back(LockRequest{op.table, partition, op.ekey, op.mode});
+    }
+  }
+  HOPS_RETURN_IF_ERROR(AcquireLockSet(std::move(lock_plan), nullptr));
+
+  // Execute in staging order. Gets of the same table aggregate into one
+  // logical access; each pruned scan is its own access. The whole batch is
+  // one coordinator round trip: the first access carries it, the rest ride
+  // along with round_trips = 0.
+  std::vector<Access> accesses;
+  auto get_access_for = [&](TableId table) -> Access& {
+    for (auto& a : accesses) {
+      if (a.kind == AccessKind::kBatchRead && a.table == table) return a;
+    }
+    Access a;
+    a.kind = AccessKind::kBatchRead;
+    a.table = table;
+    a.round_trips = 0;
+    accesses.push_back(std::move(a));
+    return accesses.back();
+  };
+  auto touch = [&](Access& a, uint32_t partition, uint32_t rows) {
+    uint32_t node = cluster_->PrimaryNode(partition).value_or(coordinator_);
+    MergeTouch(a.parts, partition, rows, node, node == coordinator_);
+  };
+
+  uint64_t scans = 0;
+  for (auto& op : batch.ops_) {
+    if (op.kind == ReadBatch::Op::Kind::kGet) {
+      auto staged = write_set_.find({op.table, op.ekey});
+      if (staged != write_set_.end()) {
+        if (!staged->second.is_delete) op.row = staged->second.row;
+      } else if (auto committed =
+                     cluster_->table(op.table).partitions[op.partition]->Get(op.ekey)) {
+        op.row = *std::move(committed);
+      }
+      touch(get_access_for(op.table), op.partition, 1);
+    } else {
+      uint32_t examined = 0;
+      HOPS_ASSIGN_OR_RETURN(
+          rows, ScanOnePartition(op.table, op.partition, op.ekey, op.opts, &examined));
+      op.rows = std::move(rows);
+      scans++;
+      Access a;
+      a.kind = AccessKind::kPpis;
+      a.table = op.table;
+      a.round_trips = 0;
+      accesses.push_back(std::move(a));
+      touch(accesses.back(), op.partition, examined);
+    }
+  }
+  accesses.front().round_trips = 1;
+
+  uint64_t rows_read = 0;
+  for (const auto& a : accesses) rows_read += a.TotalRows();
+  auto& s = cluster_->stats_;
+  s.batch_reads.fetch_add(1, std::memory_order_relaxed);
+  // Pruned scans riding in a batch still count as pruned scans, so per-op
+  // and batched code paths stay comparable in the cluster counters.
+  s.ppis_scans.fetch_add(scans, std::memory_order_relaxed);
+  s.rows_read.fetch_add(rows_read, std::memory_order_relaxed);
+  s.round_trips.fetch_add(1, std::memory_order_relaxed);
+  if (trace_enabled_) {
+    for (auto& a : accesses) trace_.accesses.push_back(std::move(a));
+  }
+  return hops::Status::Ok();
+}
+
+hops::Status Transaction::Execute(WriteBatch& batch) {
+  if (batch.executed_) return hops::Status::InvalidArgument("batch already executed");
+  if (state_ != State::kActive) return hops::Status::TxAborted("transaction is not active");
+  batch.executed_ = true;
+  if (batch.ops_.empty()) return hops::Status::Ok();
+
+  std::vector<LockRequest> lock_plan;
+  lock_plan.reserve(batch.ops_.size());
+  for (auto& op : batch.ops_) {
+    const Cluster::Table& t = cluster_->table(op.table);
+    if (op.kind != WriteBatch::Op::Kind::kDelete) {
+      assert(op.row.size() == t.schema.columns.size());
+      op.key = ExtractPk(t.schema, op.row);
+    }
+    HOPS_ASSIGN_OR_RETURN(partition, cluster_->Route(t, op.key, op.pv));
+    op.partition = partition;
+    HOPS_RETURN_IF_ERROR(CheckUsable(partition));
+    op.ekey = EncodeKey(op.key);
+    lock_plan.push_back(LockRequest{op.table, partition, op.ekey, LockMode::kExclusive});
+  }
+  uint32_t fresh_locks = 0;
+  HOPS_RETURN_IF_ERROR(AcquireLockSet(std::move(lock_plan), &fresh_locks));
+
+  // Validate and stage in staging order (the later op wins on duplicate
+  // keys, matching a sequence of individual calls).
+  std::vector<Access> accesses;
+  auto access_for = [&](TableId table) -> Access& {
+    for (auto& a : accesses) {
+      if (a.table == table) return a;
+    }
+    Access a;
+    a.kind = AccessKind::kPkWrite;
+    a.table = table;
+    a.round_trips = 0;
+    accesses.push_back(std::move(a));
+    return accesses.back();
+  };
+  for (auto& op : batch.ops_) {
+    const Cluster::Table& t = cluster_->table(op.table);
+    auto staged = write_set_.find({op.table, op.ekey});
+    bool exists = staged != write_set_.end() ? !staged->second.is_delete
+                                             : t.partitions[op.partition]->Contains(op.ekey);
+    // Tolerated deletes of absent rows stage nothing but still probed (and
+    // locked) their partition, so they appear in the access with 0 rows --
+    // keeping the trace consistent with the round trip charged below.
+    uint32_t staged_rows = 1;
+    switch (op.kind) {
+      case WriteBatch::Op::Kind::kInsert:
+        if (exists) return hops::Status::AlreadyExists(t.schema.table_name);
+        write_set_[{op.table, op.ekey}] = StagedWrite{false, op.row, op.partition};
+        break;
+      case WriteBatch::Op::Kind::kUpdate:
+        if (!exists) return hops::Status::NotFound(t.schema.table_name);
+        write_set_[{op.table, op.ekey}] = StagedWrite{false, op.row, op.partition};
+        break;
+      case WriteBatch::Op::Kind::kWrite:
+        write_set_[{op.table, op.ekey}] = StagedWrite{false, op.row, op.partition};
+        break;
+      case WriteBatch::Op::Kind::kDelete:
+        if (!exists) {
+          if (!op.ignore_missing) return hops::Status::NotFound(t.schema.table_name);
+          staged_rows = 0;
+        } else {
+          write_set_[{op.table, op.ekey}] = StagedWrite{true, {}, op.partition};
+        }
+        break;
+    }
+    Access& a = access_for(op.table);
+    uint32_t node = cluster_->PrimaryNode(op.partition).value_or(coordinator_);
+    MergeTouch(a.parts, op.partition, staged_rows, node, node == coordinator_);
+  }
+  // Lock acquisition is the round trip (staged rows travel with the commit);
+  // if every lock was already held the batch piggybacks for free.
+  uint32_t rt = fresh_locks > 0 ? 1 : 0;
+  if (!accesses.empty()) accesses.front().round_trips = rt;
+  auto& s = cluster_->stats_;
+  s.batch_writes.fetch_add(1, std::memory_order_relaxed);
+  s.round_trips.fetch_add(rt, std::memory_order_relaxed);
+  if (trace_enabled_) {
+    for (auto& a : accesses) trace_.accesses.push_back(std::move(a));
+  }
+  return hops::Status::Ok();
 }
 
 hops::Status Transaction::Insert(TableId table, Row row, std::optional<uint64_t> pv) {
@@ -258,10 +466,66 @@ hops::Status Transaction::Delete(TableId table, const Key& key, std::optional<ui
   return hops::Status::Ok();
 }
 
+hops::Result<std::vector<Row>> Transaction::ScanOnePartition(TableId table, uint32_t partition,
+                                                             const std::string& eprefix,
+                                                             const ScanOptions& opts,
+                                                             uint32_t* examined) {
+  const Cluster::Table& t = cluster_->table(table);
+  Partition& p = *t.partitions[partition];
+
+  // Snapshot the committed candidates, then overlay this transaction's
+  // staged writes so the scan observes read-your-writes semantics.
+  auto snapshot = p.SnapshotPrefix(eprefix);
+  std::map<std::string, Row> merged;
+  for (auto& [ekey, row] : snapshot) merged.emplace(std::move(ekey), std::move(row));
+  for (const auto& [tk, staged] : write_set_) {
+    const auto& [wt, wekey] = tk;
+    if (wt != table || staged.partition != partition) continue;
+    if (!eprefix.empty() && wekey.compare(0, eprefix.size(), eprefix) != 0) continue;
+    if (staged.is_delete) {
+      merged.erase(wekey);
+    } else {
+      merged[wekey] = staged.row;
+    }
+  }
+
+  std::vector<Row> results;
+  for (auto& [ekey, row] : merged) {
+    (*examined)++;
+    if (!RowMatches(row, opts)) continue;
+    if (opts.lock != LockMode::kReadCommitted) {
+      if (opts.take_and_release) {
+        // Quiesce primitive: wait for any in-flight writer, then let go.
+        auto deadline =
+            std::chrono::steady_clock::now() + cluster_->config().lock_wait_timeout;
+        bool already_held = held_locks_.count({table, partition, ekey}) > 0;
+        hops::Status st = p.AcquireLock(id_, ekey, opts.lock, deadline);
+        if (!st.ok()) {
+          cluster_->stats_.lock_timeouts.fetch_add(1, std::memory_order_relaxed);
+          Abort();
+          return st;
+        }
+        if (!already_held) p.ReleaseLock(id_, ekey);
+      } else {
+        HOPS_RETURN_IF_ERROR(AcquireRowLock(table, partition, ekey, opts.lock));
+      }
+      // The row may have changed while we waited for the lock; re-read the
+      // committed value (our own staged writes cannot have changed).
+      if (!write_set_.count({table, ekey})) {
+        auto fresh = p.Get(ekey);
+        if (!fresh) continue;  // deleted while waiting
+        row = *std::move(fresh);
+        if (!RowMatches(row, opts)) continue;
+      }
+    }
+    results.push_back(std::move(row));
+  }
+  return results;
+}
+
 hops::Result<std::vector<Row>> Transaction::ScanPartitions(
     TableId table, const std::vector<uint32_t>& partitions, const Key& prefix,
     const ScanOptions& opts, AccessKind kind, bool full_scan) {
-  const Cluster::Table& t = cluster_->table(table);
   const std::string eprefix = full_scan ? std::string() : EncodeKey(prefix);
 
   std::vector<Row> results;
@@ -270,55 +534,10 @@ hops::Result<std::vector<Row>> Transaction::ScanPartitions(
 
   for (uint32_t partition : partitions) {
     HOPS_RETURN_IF_ERROR(CheckUsable(partition));
-    Partition& p = *t.partitions[partition];
-
-    // Snapshot the committed candidates, then overlay this transaction's
-    // staged writes so the scan observes read-your-writes semantics.
-    auto snapshot = p.SnapshotPrefix(eprefix);
-    std::map<std::string, Row> merged;
-    for (auto& [ekey, row] : snapshot) merged.emplace(std::move(ekey), std::move(row));
-    for (const auto& [tk, staged] : write_set_) {
-      const auto& [wt, wekey] = tk;
-      if (wt != table || staged.partition != partition) continue;
-      if (!eprefix.empty() && wekey.compare(0, eprefix.size(), eprefix) != 0) continue;
-      if (staged.is_delete) {
-        merged.erase(wekey);
-      } else {
-        merged[wekey] = staged.row;
-      }
-    }
-
     uint32_t examined = 0;
-    for (auto& [ekey, row] : merged) {
-      examined++;
-      if (!RowMatches(row, opts)) continue;
-      if (opts.lock != LockMode::kReadCommitted) {
-        if (opts.take_and_release) {
-          // Quiesce primitive: wait for any in-flight writer, then let go.
-          auto deadline =
-              std::chrono::steady_clock::now() + cluster_->config().lock_wait_timeout;
-          bool already_held = held_locks_.count({table, partition, ekey}) > 0;
-          hops::Status st = p.AcquireLock(id_, ekey, opts.lock, deadline);
-          if (!st.ok()) {
-            cluster_->stats_.lock_timeouts.fetch_add(1, std::memory_order_relaxed);
-            Abort();
-            return st;
-          }
-          if (!already_held) p.ReleaseLock(id_, ekey);
-        } else {
-          HOPS_RETURN_IF_ERROR(AcquireRowLock(table, partition, ekey, opts.lock));
-        }
-        // The row may have changed while we waited for the lock; re-read the
-        // committed value (our own staged writes cannot have changed).
-        if (!write_set_.count({table, ekey})) {
-          auto fresh = p.Get(ekey);
-          if (!fresh) continue;  // deleted while waiting
-          row = *std::move(fresh);
-          if (!RowMatches(row, opts)) continue;
-        }
-      }
-      results.push_back(std::move(row));
-    }
+    HOPS_ASSIGN_OR_RETURN(part_rows,
+                          ScanOnePartition(table, partition, eprefix, opts, &examined));
+    for (auto& row : part_rows) results.push_back(std::move(row));
     uint32_t node = cluster_->PrimaryNode(partition).value_or(coordinator_);
     touches.push_back(PartTouch{partition, node, examined, node == coordinator_});
   }
@@ -369,6 +588,9 @@ hops::Status Transaction::Commit() {
   // Commit: apply staged writes partition-atomically, in deterministic key
   // order. Cross-partition visibility during application is permitted by
   // read-committed isolation; locked readers still wait for our row locks.
+  // A read-only transaction has nothing to prepare: its commit ack
+  // piggybacks on the last read and costs no extra round trips.
+  const uint32_t commit_round_trips = write_set_.empty() ? 0 : 2;
   std::vector<PartTouch> touches;
   for (const auto& [tk, staged] : write_set_) {
     const auto& [table_id, ekey] = tk;
@@ -378,20 +600,10 @@ hops::Status Transaction::Commit() {
     } else {
       p.ApplyPut(ekey, staged.row);
     }
-    bool merged = false;
-    for (auto& pt : touches) {
-      if (pt.partition == staged.partition) {
-        pt.rows++;
-        merged = true;
-        break;
-      }
-    }
-    if (!merged) {
-      uint32_t node = cluster_->PrimaryNode(staged.partition).value_or(coordinator_);
-      touches.push_back(PartTouch{staged.partition, node, 1, node == coordinator_});
-    }
+    uint32_t node = cluster_->PrimaryNode(staged.partition).value_or(coordinator_);
+    MergeTouch(touches, staged.partition, 1, node, node == coordinator_);
   }
-  RecordAccess(AccessKind::kCommit, 0, std::move(touches), /*round_trips=*/2);
+  RecordAccess(AccessKind::kCommit, 0, std::move(touches), commit_round_trips);
 
   // Release all row locks.
   for (const auto& [lk, mode] : held_locks_) {

@@ -1,0 +1,256 @@
+// The batched read/write path: partition grouping and single-round-trip
+// cost accounting, read-your-writes inside a batch, global lock ordering
+// (deadlock freedom under concurrent batches), and failure behavior when a
+// partition's whole node group is down.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "ndb/cluster.h"
+
+namespace hops::ndb {
+namespace {
+
+class NdbBatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cluster_ = std::make_unique<Cluster>(ClusterConfig{
+        .num_datanodes = 4,
+        .replication = 2,
+        .partitions_per_table = 8,
+        .lock_wait_timeout = std::chrono::milliseconds(400),
+    });
+    Schema s;
+    s.table_name = "inodes";
+    s.columns = {{"parent", ColumnType::kInt64},
+                 {"name", ColumnType::kString},
+                 {"id", ColumnType::kInt64}};
+    s.primary_key = {0, 1};
+    s.partition_key = {0};
+    table_ = *cluster_->CreateTable(s);
+    Schema s2;
+    s2.table_name = "blocks";
+    s2.columns = {{"inode", ColumnType::kInt64}, {"block", ColumnType::kInt64}};
+    s2.primary_key = {0, 1};
+    s2.partition_key = {0};
+    blocks_ = *cluster_->CreateTable(s2);
+  }
+
+  void MustInsert(int64_t parent, const std::string& name, int64_t id) {
+    auto tx = cluster_->Begin();
+    ASSERT_TRUE(tx->Insert(table_, Row{parent, name, id}).ok());
+    ASSERT_TRUE(tx->Commit().ok());
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  TableId table_ = 0;
+  TableId blocks_ = 0;
+};
+
+TEST_F(NdbBatchTest, GroupsKeysByPartitionInOneRoundTrip) {
+  for (int64_t p = 0; p < 16; ++p) MustInsert(p, "f", p * 10);
+  auto tx = cluster_->Begin();
+  tx->EnableTrace();
+  std::vector<Key> keys;
+  for (int64_t p = 0; p < 16; ++p) keys.push_back({p, "f"});
+  auto before = cluster_->StatsSnapshot();
+  auto res = tx->BatchRead(table_, keys, LockMode::kReadCommitted);
+  ASSERT_TRUE(res.ok());
+  auto after = cluster_->StatsSnapshot();
+
+  // One batch, one simulated round trip, however many keys.
+  EXPECT_EQ(after.batch_reads - before.batch_reads, 1u);
+  EXPECT_EQ(after.round_trips - before.round_trips, 1u);
+  EXPECT_EQ(tx->trace().TotalRoundTrips(), 1u);
+  EXPECT_EQ(tx->trace().TotalRows(), 16u);
+  // Keys collapse onto their partitions: at most one PartTouch per partition
+  // and at most partitions_per_table of them for 16 distinct parents.
+  ASSERT_EQ(tx->trace().accesses.size(), 1u);
+  const Access& a = tx->trace().accesses[0];
+  EXPECT_EQ(a.kind, AccessKind::kBatchRead);
+  EXPECT_LE(a.parts.size(), 8u);
+  std::set<uint32_t> parts;
+  uint32_t rows = 0;
+  for (const auto& pt : a.parts) {
+    EXPECT_TRUE(parts.insert(pt.partition).second) << "partition listed twice";
+    rows += pt.rows;
+  }
+  EXPECT_EQ(rows, 16u);
+}
+
+TEST_F(NdbBatchTest, MixedGetAndScanBatchIsOneRoundTrip) {
+  MustInsert(1, "a", 10);
+  {
+    auto tx = cluster_->Begin();
+    ASSERT_TRUE(tx->Insert(blocks_, Row{int64_t{10}, int64_t{1}}).ok());
+    ASSERT_TRUE(tx->Insert(blocks_, Row{int64_t{10}, int64_t{2}}).ok());
+    ASSERT_TRUE(tx->Commit().ok());
+  }
+  auto tx = cluster_->Begin();
+  tx->EnableTrace();
+  ReadBatch batch;
+  size_t get_slot = batch.Get(table_, {int64_t{1}, "a"});
+  size_t scan_slot = batch.Scan(blocks_, {int64_t{10}});
+  ASSERT_TRUE(tx->Execute(batch).ok());
+  ASSERT_TRUE(batch.row(get_slot).has_value());
+  EXPECT_EQ((*batch.row(get_slot))[2].i64(), 10);
+  EXPECT_EQ(batch.rows(scan_slot).size(), 2u);
+  EXPECT_EQ(tx->trace().TotalRoundTrips(), 1u)
+      << "a cross-table batch still costs one round trip";
+}
+
+TEST_F(NdbBatchTest, BatchSeesOwnStagedWrites) {
+  MustInsert(1, "keep", 1);
+  MustInsert(1, "gone", 2);
+  auto tx = cluster_->Begin();
+  ASSERT_TRUE(tx->Insert(table_, Row{int64_t{1}, "new", int64_t{3}}).ok());
+  ASSERT_TRUE(tx->Delete(table_, {int64_t{1}, "gone"}).ok());
+  ReadBatch batch;
+  size_t keep = batch.Get(table_, {int64_t{1}, "keep"});
+  size_t gone = batch.Get(table_, {int64_t{1}, "gone"});
+  size_t fresh = batch.Get(table_, {int64_t{1}, "new"});
+  size_t scan = batch.Scan(table_, {int64_t{1}});
+  ASSERT_TRUE(tx->Execute(batch).ok());
+  EXPECT_TRUE(batch.row(keep).has_value());
+  EXPECT_FALSE(batch.row(gone).has_value()) << "own staged delete must hide the row";
+  ASSERT_TRUE(batch.row(fresh).has_value()) << "own staged insert must be visible";
+  EXPECT_EQ((*batch.row(fresh))[2].i64(), 3);
+  EXPECT_EQ(batch.rows(scan).size(), 2u) << "scan overlays the staged writes";
+}
+
+TEST_F(NdbBatchTest, ExecuteTwiceIsRejected) {
+  MustInsert(1, "a", 10);
+  auto tx = cluster_->Begin();
+  ReadBatch batch;
+  batch.Get(table_, {int64_t{1}, "a"});
+  ASSERT_TRUE(tx->Execute(batch).ok());
+  EXPECT_EQ(tx->Execute(batch).code(), hops::StatusCode::kInvalidArgument);
+}
+
+TEST_F(NdbBatchTest, ConcurrentOpposedBatchesDoNotDeadlock) {
+  // Two transactions lock the same 8 rows, staged in opposite orders. With
+  // per-op acquisition this interleaving deadlocks (resolved only by the
+  // lock-wait timeout); the batch's global (table, partition, key) order
+  // makes one batch simply queue behind the other.
+  constexpr int kRows = 8;
+  constexpr int kIters = 25;
+  for (int64_t i = 0; i < kRows; ++i) MustInsert(i, "r", i);
+  std::atomic<int> failures{0};
+  auto worker = [&](bool reversed) {
+    for (int it = 0; it < kIters; ++it) {
+      auto tx = cluster_->Begin();
+      std::vector<Key> keys;
+      for (int64_t i = 0; i < kRows; ++i) {
+        int64_t p = reversed ? kRows - 1 - i : i;
+        keys.push_back({p, "r"});
+      }
+      auto res = tx->BatchRead(table_, keys, LockMode::kExclusive);
+      if (!res.ok() || !tx->Commit().ok()) failures++;
+    }
+  };
+  std::thread t1(worker, false);
+  std::thread t2(worker, true);
+  t1.join();
+  t2.join();
+  EXPECT_EQ(failures.load(), 0) << "opposed batches should serialize, not time out";
+  EXPECT_EQ(cluster_->StatsSnapshot().lock_timeouts, 0u);
+}
+
+TEST_F(NdbBatchTest, UnlockRowReleasesADiscardedBatchLock) {
+  MustInsert(1, "a", 10);
+  auto tx = cluster_->Begin();
+  ReadBatch batch;
+  batch.Get(table_, {int64_t{1}, "a"}, LockMode::kExclusive);
+  ASSERT_TRUE(tx->Execute(batch).ok());
+  // Caller decides the value is stale and discards it.
+  tx->UnlockRow(table_, {int64_t{1}, "a"});
+  // Another transaction can now lock the row without waiting out the first.
+  auto other = cluster_->Begin();
+  auto row = other->Read(table_, {int64_t{1}, "a"}, LockMode::kExclusive);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(cluster_->StatsSnapshot().lock_timeouts, 0u);
+  // Unlocking a row with a staged write is refused.
+  ASSERT_TRUE(tx->Insert(table_, Row{int64_t{2}, "w", int64_t{1}}).ok());
+  tx->UnlockRow(table_, {int64_t{2}, "w"});
+  auto blocked = cluster_->Begin();
+  auto res = blocked->Read(table_, {int64_t{2}, "w"}, LockMode::kExclusive);
+  EXPECT_FALSE(res.ok()) << "the staged write's lock must survive UnlockRow";
+}
+
+TEST_F(NdbBatchTest, WriteBatchStagesAtomicallyAndCountsOneRoundTrip) {
+  MustInsert(1, "old", 1);
+  MustInsert(1, "dead", 2);
+  auto tx = cluster_->Begin();
+  tx->EnableTrace();
+  WriteBatch writes;
+  writes.Insert(table_, Row{int64_t{2}, "new", int64_t{3}});
+  writes.Update(table_, Row{int64_t{1}, "old", int64_t{11}});
+  writes.Delete(table_, {int64_t{1}, "dead"});
+  writes.DeleteIfExists(table_, {int64_t{9}, "absent"});
+  ASSERT_TRUE(tx->Execute(writes).ok());
+  EXPECT_EQ(tx->trace().TotalRoundTrips(), 1u)
+      << "the whole write batch acquires its locks in one trip";
+
+  // Nothing visible to others until commit.
+  {
+    auto peek = cluster_->Begin();
+    EXPECT_FALSE(peek->Read(table_, {int64_t{2}, "new"}, LockMode::kReadCommitted).ok());
+  }
+  ASSERT_TRUE(tx->Commit().ok());
+  auto check = cluster_->Begin();
+  ASSERT_TRUE(check->Read(table_, {int64_t{2}, "new"}, LockMode::kReadCommitted).ok());
+  auto updated = check->Read(table_, {int64_t{1}, "old"}, LockMode::kReadCommitted);
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ((*updated)[2].i64(), 11);
+  EXPECT_FALSE(check->Read(table_, {int64_t{1}, "dead"}, LockMode::kReadCommitted).ok());
+}
+
+TEST_F(NdbBatchTest, WriteBatchValidatesLikeIndividualOps) {
+  MustInsert(1, "a", 1);
+  {
+    auto tx = cluster_->Begin();
+    WriteBatch writes;
+    writes.Insert(table_, Row{int64_t{1}, "a", int64_t{9}});
+    EXPECT_EQ(tx->Execute(writes).code(), hops::StatusCode::kAlreadyExists);
+  }
+  {
+    auto tx = cluster_->Begin();
+    WriteBatch writes;
+    writes.Update(table_, Row{int64_t{7}, "missing", int64_t{9}});
+    EXPECT_EQ(tx->Execute(writes).code(), hops::StatusCode::kNotFound);
+  }
+  {
+    auto tx = cluster_->Begin();
+    WriteBatch writes;
+    writes.Delete(table_, {int64_t{7}, "missing"});
+    EXPECT_EQ(tx->Execute(writes).code(), hops::StatusCode::kNotFound);
+  }
+}
+
+TEST_F(NdbBatchTest, BatchFailsWhenNodeGroupIsDown) {
+  for (int64_t p = 0; p < 32; ++p) MustInsert(p, "f", p);
+  // 4 datanodes, replication 2 => groups {0,1} and {2,3}. Killing both
+  // members of group 0 takes down every even-numbered partition.
+  cluster_->KillDatanode(0);
+  cluster_->KillDatanode(1);
+  ASSERT_FALSE(cluster_->Available());
+  auto tx = cluster_->Begin();
+  std::vector<Key> keys;
+  for (int64_t p = 0; p < 32; ++p) keys.push_back({p, "f"});
+  auto res = tx->BatchRead(table_, keys, LockMode::kReadCommitted);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), hops::StatusCode::kUnavailable);
+  EXPECT_FALSE(tx->active()) << "an unusable partition aborts the transaction";
+
+  // Restoring the group restores batched reads (a fresh transaction).
+  cluster_->RestartDatanode(0);
+  auto tx2 = cluster_->Begin();
+  auto res2 = tx2->BatchRead(table_, keys, LockMode::kReadCommitted);
+  ASSERT_TRUE(res2.ok());
+  for (const auto& slot : *res2) EXPECT_TRUE(slot.has_value());
+}
+
+}  // namespace
+}  // namespace hops::ndb
