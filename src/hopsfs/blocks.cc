@@ -5,6 +5,7 @@
 // which sits below the inode in the metadata hierarchy (§5.2.1), so they
 // serialize against file-level operations without touching the inode row.
 #include <algorithm>
+#include <map>
 #include <unordered_set>
 
 #include "hopsfs/namenode.h"
@@ -109,7 +110,11 @@ hops::Result<BlockReportResult> Namenode::ProcessBlockReport(
 
   // Pass 2: replicas the metadata attributes to this datanode that the
   // report does not confirm are removed (and re-replication queued). This is
-  // the expensive half: an index scan over the replica table.
+  // the expensive half: an index scan over the replica table, then -- per
+  // chunk of stale replicas -- one transaction batching every per-replica
+  // probe (an X-locking block read + a replica-population scan each) into a
+  // single round trip, with one write batch staging the removals. The
+  // per-row path paid a whole transaction (3-4 trips) per stale replica.
   std::unordered_set<BlockId> reported(report.begin(), report.end());
   std::vector<Replica> stale;
   {
@@ -123,29 +128,70 @@ hops::Result<BlockReportResult> Namenode::ProcessBlockReport(
       if (!reported.count(rep.block_id)) stale.push_back(rep);
     }
   }
-  for (const Replica& rep : stale) {
-    hops::Status st = RunTx(
-        ndb::TxHint{schema_->blocks, static_cast<uint64_t>(rep.inode_id)},
-        [&](ndb::Transaction& tx) -> hops::Status {
-          auto block_row =
-              tx.Read(schema_->blocks, {rep.inode_id, rep.block_id}, ndb::LockMode::kExclusive);
-          hops::Status del =
-              tx.Delete(schema_->replicas, {rep.inode_id, rep.block_id, rep.datanode_id});
-          if (!del.ok()) {
-            return del.code() == hops::StatusCode::kNotFound ? hops::Status::Ok() : del;
+  constexpr size_t kStaleChunk = 128;
+  for (size_t base = 0; base < stale.size(); base += kStaleChunk) {
+    const size_t end = std::min(stale.size(), base + kStaleChunk);
+    int64_t removed = 0;
+    hops::Status st = RunTx(std::nullopt, [&](ndb::Transaction& tx) -> hops::Status {
+      removed = 0;
+      // One batch carries every stale replica's probe triple (X-locking
+      // block get, X-locking replica get -- pinning the row so a concurrent
+      // removal cannot invalidate the staged delete -- and a
+      // replica-population scan): a whole chunk reads in one round trip,
+      // then one write batch stages the removals.
+      struct ProbeSlots {
+        size_t block_slot = 0;
+        size_t replica_slot = 0;
+        size_t reps_slot = 0;
+      };
+      ndb::ReadBatch probes;
+      std::vector<ProbeSlots> slots;
+      slots.reserve(end - base);
+      // Stale siblings of the same block share one population scan (and the
+      // block-row lock request dedupes inside the batch).
+      std::map<std::pair<InodeId, BlockId>, size_t> scan_slots;
+      for (size_t i = base; i < end; ++i) {
+        const Replica& rep = stale[i];
+        ProbeSlots p;
+        p.block_slot = probes.Get(schema_->blocks, {rep.inode_id, rep.block_id},
+                                  ndb::LockMode::kExclusive);
+        p.replica_slot =
+            probes.Get(schema_->replicas, {rep.inode_id, rep.block_id, rep.datanode_id},
+                       ndb::LockMode::kExclusive);
+        auto [it, fresh] =
+            scan_slots.try_emplace(std::make_pair(rep.inode_id, rep.block_id), 0);
+        if (fresh) it->second = probes.Scan(schema_->replicas, {rep.inode_id, rep.block_id});
+        p.reps_slot = it->second;
+        slots.push_back(p);
+      }
+      HOPS_RETURN_IF_ERROR(tx.Execute(probes));
+      ndb::WriteBatch writes;
+      // Several stale replicas of the SAME block may sit in one chunk; the
+      // under-replication check must see the siblings' staged deletes, not
+      // just the shared pre-delete snapshot.
+      std::map<std::pair<InodeId, BlockId>, int64_t> staged_deletes;
+      for (size_t i = base; i < end; ++i) {
+        const ProbeSlots& p = slots[i - base];
+        const Replica& rep = stale[i];
+        if (!probes.row(p.replica_slot).has_value()) {
+          continue;  // consumed by a concurrent operation before our lock
+        }
+        writes.Delete(schema_->replicas, {rep.inode_id, rep.block_id, rep.datanode_id});
+        removed++;
+        int64_t staged = ++staged_deletes[{rep.inode_id, rep.block_id}];
+        if (probes.row(p.block_slot).has_value()) {
+          Block b = BlockFromRow(*probes.row(p.block_slot));
+          int64_t population = static_cast<int64_t>(probes.rows(p.reps_slot).size());
+          if (population - staged < b.replication) {
+            Replica urb{rep.inode_id, rep.block_id, 0, ReplicaState::kFinalized};
+            writes.Write(schema_->urb, ToRow(urb));
           }
-          result.replicas_removed++;
-          if (block_row.ok()) {
-            Block b = BlockFromRow(*block_row);
-            HOPS_ASSIGN_OR_RETURN(reps, tx.Ppis(schema_->replicas, {rep.inode_id, rep.block_id}));
-            if (static_cast<int64_t>(reps.size()) < b.replication) {
-              Replica urb{rep.inode_id, rep.block_id, 0, ReplicaState::kFinalized};
-              HOPS_RETURN_IF_ERROR(tx.Write(schema_->urb, ToRow(urb)));
-            }
-          }
-          return hops::Status::Ok();
-        });
+        }
+      }
+      return tx.Execute(writes);
+    });
     if (!st.ok()) return st;
+    result.replicas_removed += removed;
   }
   return result;
 }
@@ -267,29 +313,28 @@ hops::Result<int64_t> Namenode::RunReplicationMonitor() {
 
 hops::Result<std::vector<BlockId>> Namenode::FetchInvalidations(DatanodeId dn) {
   HOPS_RETURN_IF_ERROR(CheckAlive());
-  std::vector<Replica> rows;
-  {
-    auto tx = db_->Begin();
+  // Scan and consume the queue in ONE transaction: the batched delete rides
+  // right behind the scan instead of starting a second transaction (which
+  // cost a separate lock round trip and 2PC, and could lose commands queued
+  // between the two). A datanode re-fetches on failure, so all-or-nothing
+  // delivery is fine.
+  std::vector<BlockId> blocks;
+  hops::Status st = RunTx(std::nullopt, [&](ndb::Transaction& tx) -> hops::Status {
+    blocks.clear();
     ndb::ScanOptions opts;
     opts.eq_filter = {{col::kReplicaDatanode, ndb::Value(static_cast<int64_t>(dn))}};
-    auto scan = tx->IndexScan(schema_->inv, {}, opts);
-    if (!scan.ok()) return scan.status();
-    for (const auto& row : *scan) rows.push_back(ReplicaFromRow(row));
-  }
-  if (rows.empty()) return std::vector<BlockId>{};
-  // Consume the whole queue in one transaction with a batched delete (a
-  // datanode re-fetches on failure, so all-or-nothing delivery is fine).
-  hops::Status st = RunTx(std::nullopt, [&](ndb::Transaction& tx) -> hops::Status {
+    HOPS_ASSIGN_OR_RETURN(rows, tx.IndexScan(schema_->inv, {}, opts));
+    if (rows.empty()) return hops::Status::Ok();
     ndb::WriteBatch writes;
-    for (const Replica& rep : rows) {
+    blocks.reserve(rows.size());
+    for (const auto& row : rows) {
+      Replica rep = ReplicaFromRow(row);
       writes.DeleteIfExists(schema_->inv, {rep.inode_id, rep.block_id, rep.datanode_id});
+      blocks.push_back(rep.block_id);
     }
     return tx.Execute(writes);
   });
   if (!st.ok()) return st;
-  std::vector<BlockId> blocks;
-  blocks.reserve(rows.size());
-  for (const Replica& rep : rows) blocks.push_back(rep.block_id);
   return blocks;
 }
 

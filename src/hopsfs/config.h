@@ -28,8 +28,15 @@ struct FsConfig {
 
   // Subtree delete: inodes removed per transaction batch (paper §6.1 ph. 3).
   int subtree_delete_batch = 64;
-  // Threads quiescing/deleting subtree levels in parallel.
+  // Threads deleting subtree phase-3 batches in parallel.
   int subtree_parallelism = 4;
+  // Route subtree phase-3 delete row work through the async pipelined batch
+  // engine (in-flight inode probes + per-file fan-outs, one write batch per
+  // delete transaction). Off = the per-row phase-3 path, kept for the
+  // sync-vs-pipelined benchmark comparison. Phase-2 quiesce scans are
+  // always pipelined (there is no per-directory fallback), so an A/B run
+  // isolates exactly the phase-3 delta.
+  bool subtree_pipelined = true;
 
   // Heartbeats a namenode may miss before peers consider it dead.
   int leader_missed_rounds = 2;

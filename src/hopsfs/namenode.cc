@@ -149,33 +149,94 @@ uint64_t Namenode::InodePv(int depth, InodeId parent, std::string_view name) con
   return InodePartitionValue(depth, parent, name, config_->random_partition_depth);
 }
 
+Namenode::InodePvPair Namenode::InodePvCandidates(int depth, InodeId parent,
+                                                  std::string_view name) const {
+  InodePvPair p;
+  p.primary = InodePv(depth, parent, name);
+  p.alternate = depth <= config_->random_partition_depth ? static_cast<uint64_t>(parent)
+                                                         : HashBytes(name);
+  p.dual = db_->PartitionForValue(p.alternate) != db_->PartitionForValue(p.primary);
+  return p;
+}
+
 hops::Result<Namenode::ReadInodeOut> Namenode::ReadInode(ndb::Transaction& tx, InodeId parent,
                                                          const std::string& name, int depth,
                                                          ndb::LockMode mode) {
-  uint64_t primary = InodePv(depth, parent, name);
   // Rows that crossed the random-partition depth boundary in a move keep
   // their insert-time partition, so the row may live under either rule. Both
   // probes go out in one batched read instead of primary-then-alternate.
-  uint64_t alternate = depth <= config_->random_partition_depth
-                           ? static_cast<uint64_t>(parent)
-                           : HashBytes(name);
-  if (db_->PartitionForValue(alternate) == db_->PartitionForValue(primary)) {
-    auto row = tx.Read(schema_->inodes, InodeKey(parent, name), mode, primary);
-    if (row.ok()) return ReadInodeOut{InodeFromRow(*row), primary};
+  const InodePvPair pv = InodePvCandidates(depth, parent, name);
+  if (!pv.dual) {
+    auto row = tx.Read(schema_->inodes, InodeKey(parent, name), mode, pv.primary);
+    if (row.ok()) return ReadInodeOut{InodeFromRow(*row), pv.primary};
     if (row.status().code() != hops::StatusCode::kNotFound) return row.status();
     return hops::Status::NotFound("no inode " + name);
   }
   ndb::ReadBatch batch;
-  size_t primary_slot = batch.Get(schema_->inodes, InodeKey(parent, name), mode, primary);
-  size_t alternate_slot = batch.Get(schema_->inodes, InodeKey(parent, name), mode, alternate);
+  size_t primary_slot = batch.Get(schema_->inodes, InodeKey(parent, name), mode, pv.primary);
+  size_t alternate_slot =
+      batch.Get(schema_->inodes, InodeKey(parent, name), mode, pv.alternate);
   HOPS_RETURN_IF_ERROR(tx.Execute(batch));
   if (batch.row(primary_slot).has_value()) {
-    return ReadInodeOut{InodeFromRow(*batch.row(primary_slot)), primary};
+    return ReadInodeOut{InodeFromRow(*batch.row(primary_slot)), pv.primary};
   }
   if (batch.row(alternate_slot).has_value()) {
-    return ReadInodeOut{InodeFromRow(*batch.row(alternate_slot)), alternate};
+    return ReadInodeOut{InodeFromRow(*batch.row(alternate_slot)), pv.alternate};
   }
   return hops::Status::NotFound("no inode " + name);
+}
+
+hops::Result<std::vector<std::optional<Namenode::ReadInodeOut>>> Namenode::ReadLockItemsBatched(
+    ndb::Transaction& tx, const std::vector<LockItem>& items) {
+  // kStagedOrder: the batch must not re-sort the lock waits into the global
+  // (table, partition, key) order, because the rename deadlock-freedom
+  // argument is the *path* total order -- the one mkdir/create/delete follow
+  // when they lock parent before target one row at a time. Two crossing
+  // renames therefore queue on their first common item instead of cycling.
+  ndb::ReadBatch batch(ndb::BatchLockOrder::kStagedOrder);
+  struct Slots {
+    size_t primary = 0;
+    size_t alternate = SIZE_MAX;
+    uint64_t primary_pv = 0;
+    uint64_t alternate_pv = 0;
+  };
+  std::vector<Slots> slots;
+  slots.reserve(items.size());
+  for (const LockItem& item : items) {
+    Slots s;
+    const InodePvPair pv = InodePvCandidates(item.depth, item.parent, item.name);
+    s.primary_pv = pv.primary;
+    // Within one item the two per-partition key slots stage in the global
+    // (partition, key) sub-order -- the order ReadInode's two-probe batch
+    // acquires them in -- so the item-internal waits cannot cross with a
+    // concurrent per-row ReadInode of the same key.
+    const bool alternate_first =
+        pv.dual && db_->PartitionForValue(pv.alternate) < db_->PartitionForValue(pv.primary);
+    if (alternate_first) {
+      s.alternate_pv = pv.alternate;
+      s.alternate = batch.Get(schema_->inodes, InodeKey(item.parent, item.name),
+                              ndb::LockMode::kExclusive, pv.alternate);
+    }
+    s.primary = batch.Get(schema_->inodes, InodeKey(item.parent, item.name),
+                          ndb::LockMode::kExclusive, pv.primary);
+    if (pv.dual && !alternate_first) {
+      s.alternate_pv = pv.alternate;
+      s.alternate = batch.Get(schema_->inodes, InodeKey(item.parent, item.name),
+                              ndb::LockMode::kExclusive, pv.alternate);
+    }
+    slots.push_back(s);
+  }
+  HOPS_RETURN_IF_ERROR(tx.Execute(batch));
+  std::vector<std::optional<ReadInodeOut>> out(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    const Slots& s = slots[i];
+    if (batch.row(s.primary).has_value()) {
+      out[i] = ReadInodeOut{InodeFromRow(*batch.row(s.primary)), s.primary_pv};
+    } else if (s.alternate != SIZE_MAX && batch.row(s.alternate).has_value()) {
+      out[i] = ReadInodeOut{InodeFromRow(*batch.row(s.alternate)), s.alternate_pv};
+    }
+  }
+  return out;
 }
 
 hops::Status Namenode::CheckSubtreeLock(ndb::Transaction& tx, Inode& inode, uint64_t pv) {
@@ -345,6 +406,7 @@ hops::Result<Namenode::Resolved> Namenode::ResolveAndLock(
     r.chain.push_back(std::move(target->inode));
     r.chain_pvs.push_back(target->pv);
     r.target_exists = true;
+    r.target_locked_in_batch = target_from_batch;
   } else if (target.status().code() != hops::StatusCode::kNotFound) {
     return target.status();
   } else if (spec.target_must_exist) {
@@ -575,13 +637,26 @@ hops::Result<LocatedBlock> Namenode::AddBlock(const std::string& path,
         if (!file.under_construction) {
           return hops::Status::LeaseConflict(path + " is not under construction");
         }
-        auto lease_row = tx.Read(schema_->leases, {file.id}, ndb::LockMode::kExclusive);
-        if (!lease_row.ok()) return lease_row.status();
-        if (LeaseFromRow(*lease_row).holder != client_name) {
+        // The lease lock and the block fan-out are independent; the two
+        // batches pipeline into one overlapped round-trip window instead of
+        // chaining two trips.
+        ndb::ReadBatch lease_read;
+        size_t lease_slot =
+            lease_read.Get(schema_->leases, {file.id}, ndb::LockMode::kExclusive);
+        auto lease_pending = tx.ExecuteAsync(lease_read);
+        ndb::ReadBatch block_fan;
+        // File-inode-related data lives in the file's shard: pruned scan.
+        size_t blocks_slot = block_fan.Scan(schema_->blocks, {file.id});
+        auto blocks_pending = tx.ExecuteAsync(block_fan);
+        HOPS_RETURN_IF_ERROR(lease_pending.Wait());
+        HOPS_RETURN_IF_ERROR(blocks_pending.Wait());
+        if (!lease_read.row(lease_slot).has_value()) {
+          return hops::Status::NotFound("no lease on " + path);
+        }
+        if (LeaseFromRow(*lease_read.row(lease_slot)).holder != client_name) {
           return hops::Status::LeaseConflict(path + " is held by another client");
         }
-        // File-inode-related data lives in the file's shard: pruned scan.
-        HOPS_ASSIGN_OR_RETURN(block_rows, tx.Ppis(schema_->blocks, {file.id}));
+        const std::vector<ndb::Row>& block_rows = block_fan.rows(blocks_slot);
         // Commit the previous block (the client finished writing it) and
         // stage the new block + lookup + replica-under-construction rows in
         // one write batch.
@@ -644,15 +719,22 @@ hops::Status Namenode::CompleteFile(const std::string& path, const std::string& 
         Inode& file = r.target();
         if (file.is_dir) return hops::Status::IsDirectory(path);
         if (!file.under_construction) return hops::Status::Ok();  // idempotent
-        auto lease_row = tx.Read(schema_->leases, {file.id}, ndb::LockMode::kExclusive);
-        if (lease_row.ok() && LeaseFromRow(*lease_row).holder != client_name) {
-          return hops::Status::LeaseConflict(path + " is held by another client");
-        }
-        // One batched round trip for the file's block + RUC fan-out.
+        // The lease lock and the block + RUC fan-out are independent; both
+        // batches pipeline into one overlapped round-trip window.
+        ndb::ReadBatch lease_read;
+        size_t lease_slot =
+            lease_read.Get(schema_->leases, {file.id}, ndb::LockMode::kExclusive);
+        auto lease_pending = tx.ExecuteAsync(lease_read);
         ndb::ReadBatch fanout;
         size_t block_slot = fanout.Scan(schema_->blocks, {file.id});
         size_t ruc_slot = fanout.Scan(schema_->ruc, {file.id});
-        HOPS_RETURN_IF_ERROR(tx.Execute(fanout));
+        auto fanout_pending = tx.ExecuteAsync(fanout);
+        HOPS_RETURN_IF_ERROR(lease_pending.Wait());
+        HOPS_RETURN_IF_ERROR(fanout_pending.Wait());
+        const std::optional<ndb::Row>& lease_row = lease_read.row(lease_slot);
+        if (lease_row.has_value() && LeaseFromRow(*lease_row).holder != client_name) {
+          return hops::Status::LeaseConflict(path + " is held by another client");
+        }
         // ... and one batch staging every state flip.
         ndb::WriteBatch writes;
         for (const auto& row : fanout.rows(block_slot)) {
@@ -670,7 +752,7 @@ hops::Status Namenode::CompleteFile(const std::string& path, const std::string& 
           writes.Delete(schema_->ruc, {rep.inode_id, rep.block_id, rep.datanode_id});
           writes.Write(schema_->replicas, ToRow(rep));
         }
-        if (lease_row.ok()) {
+        if (lease_row.has_value()) {
           writes.Delete(schema_->leases, {file.id});
         }
         file.under_construction = false;
@@ -715,6 +797,44 @@ hops::Result<std::vector<LocatedBlock>> Namenode::GetBlockLocations(
   hops::Status st = RunTx(
       ndb::TxHint{schema_->inodes, hint_pv}, [&](ndb::Transaction& tx) -> hops::Status {
         blocks.clear();
+        // Speculative fan-out (§5.1 hint reuse): when the hint cache already
+        // names the target inode, the block + replica scans are put in
+        // flight *before* resolution, so they share one overlapped window
+        // with the resolve+lock batch -- a warm read costs one round-trip
+        // window instead of two. A stale hint wastes only the rider: the
+        // read-committed scans of the wrong shard lock nothing, and the
+        // fallback fan-out below re-reads under the confirmed id.
+        ndb::ReadBatch speculative;
+        ndb::PendingBatch spec_pending;
+        size_t spec_block_slot = 0;
+        size_t spec_replica_slot = 0;
+        InodeId hinted = kInvalidInode;
+        if (components.size() >= 2) {
+          // Depth 1 resolves through a per-row read, which flushes the
+          // window BEFORE taking the target lock -- the speculative scans
+          // would run unlocked. Deeper cached paths resolve through a
+          // locking batch, so the shared window takes the target lock
+          // before any data work.
+          auto hints = hint_cache_.LookupChain(components);
+          if (hints.size() >= components.size()) {
+            InodeId candidate = hints[components.size() - 1].inode_id;
+            // A stale hint may route to a partition whose node group is
+            // down; that must waste the rider, not poison the whole window
+            // (a routing failure fails every member of a flush). Only
+            // speculate toward an available partition.
+            uint32_t part = db_->PartitionForValue(static_cast<uint64_t>(candidate));
+            if (db_->PrimaryNode(part).has_value()) {
+              hinted = candidate;
+              spec_block_slot = speculative.Scan(schema_->blocks, {hinted});
+              spec_replica_slot = speculative.Scan(schema_->replicas, {hinted});
+              spec_pending = tx.ExecuteAsync(speculative);
+            }
+          }
+        }
+        // If the engine auto-flushed the rider at prepare time (an
+        // in-flight window of one), it executed BEFORE resolution's lock --
+        // its results must not be served.
+        const bool spec_flushed_early = spec_pending.valid() && spec_pending.done();
         LockSpec spec;
         spec.target_mode = ndb::LockMode::kShared;
         HOPS_ASSIGN_OR_RETURN(r, ResolveAndLock(tx, components, spec));
@@ -725,15 +845,33 @@ hops::Result<std::vector<LocatedBlock>> Namenode::GetBlockLocations(
         // Both scans are pruned to the file's shard (Figure 3) and batched
         // into a single round trip: the block + replica fan-out of a read.
         ndb::ReadBatch fanout;
-        size_t block_slot = fanout.Scan(schema_->blocks, {file.id});
-        size_t replica_slot = fanout.Scan(schema_->replicas, {file.id});
-        HOPS_RETURN_IF_ERROR(tx.Execute(fanout));
-        const std::vector<ndb::Row>& block_rows = fanout.rows(block_slot);
-        const std::vector<ndb::Row>& replica_rows = fanout.rows(replica_slot);
-        for (const auto& row : block_rows) {
+        const std::vector<ndb::Row>* block_rows = nullptr;
+        const std::vector<ndb::Row>* replica_rows = nullptr;
+        // The rider is only served when the target's lock was taken inside
+        // the cached-path batch, i.e. in the same flush window the
+        // speculative scans ran in (locks precede data work in a window).
+        // If resolution fell back -- alternate partition rule, stale or
+        // evicted hint chain -- the scans ran before the real lock and a
+        // concurrent mutation may sit between them; re-read under the lock.
+        if (hinted == file.id && r.target_locked_in_batch && spec_pending.valid() &&
+            !spec_flushed_early) {
+          HOPS_RETURN_IF_ERROR(spec_pending.Wait());
+          block_rows = &speculative.rows(spec_block_slot);
+          replica_rows = &speculative.rows(spec_replica_slot);
+        } else {
+          // Discard the rider; if its failure aborted the transaction the
+          // fallback fan-out below reports that on its own.
+          if (spec_pending.valid()) (void)spec_pending.Wait();
+          size_t block_slot = fanout.Scan(schema_->blocks, {file.id});
+          size_t replica_slot = fanout.Scan(schema_->replicas, {file.id});
+          HOPS_RETURN_IF_ERROR(tx.Execute(fanout));
+          block_rows = &fanout.rows(block_slot);
+          replica_rows = &fanout.rows(replica_slot);
+        }
+        for (const auto& row : *block_rows) {
           Block b = BlockFromRow(row);
           LocatedBlock lb{b.block_id, b.block_index, b.num_bytes, {}};
-          for (const auto& rep_row : replica_rows) {
+          for (const auto& rep_row : *replica_rows) {
             Replica rep = ReplicaFromRow(rep_row);
             if (rep.block_id == b.block_id && rep.state == ReplicaState::kFinalized) {
               lb.locations.push_back(rep.datanode_id);
@@ -1059,23 +1197,24 @@ hops::Status Namenode::RenameInTx(const std::vector<std::string>& src,
          false});
     std::sort(items.begin(), items.end(),
               [](const LockItem& a, const LockItem& b) { return LockOrderLess(a.path, b.path); });
-    for (auto& item : items) {
-      auto out = ReadInode(tx, item.parent, item.name, item.depth,
-                           ndb::LockMode::kExclusive);
-      if (out.ok()) {
+    // Batched lock phase: every lock item in one round trip, waits still in
+    // the path total order established by the sort above.
+    std::vector<Namenode::LockItem> refs;
+    refs.reserve(items.size());
+    for (const auto& item : items) refs.push_back({item.parent, item.name, item.depth});
+    HOPS_ASSIGN_OR_RETURN(lock_reads, ReadLockItemsBatched(tx, refs));
+    for (size_t i = 0; i < items.size(); ++i) {
+      auto& item = items[i];
+      if (lock_reads[i].has_value()) {
         item.found = true;
-        item.out = std::move(out->inode);
-        item.out_pv = out->pv;
+        item.out = std::move(lock_reads[i]->inode);
+        item.out_pv = lock_reads[i]->pv;
         if (item.expect_id != 0 && item.out.id != item.expect_id) {
           return hops::Status::TxAborted("path changed during rename resolution");
         }
         HOPS_RETURN_IF_ERROR(CheckSubtreeLock(tx, item.out, item.out_pv));
-      } else if (out.status().code() == hops::StatusCode::kNotFound) {
-        if (item.expect_exists) {
-          return hops::Status::TxAborted("path changed during rename resolution");
-        }
-      } else {
-        return out.status();
+      } else if (item.expect_exists) {
+        return hops::Status::TxAborted("path changed during rename resolution");
       }
     }
     auto find_item = [&](const std::vector<std::string>& p) -> LockItem* {
@@ -1141,41 +1280,52 @@ hops::Status Namenode::RenameInTx(const std::vector<std::string>& src,
   });
 }
 
-hops::Status Namenode::DeleteFileArtifacts(ndb::Transaction& tx, const Inode& file) {
+Namenode::FileArtifactSlots Namenode::StageFileArtifactReads(ndb::ReadBatch& batch,
+                                                             InodeId file_id) {
   // All satellite tables are partitioned by the inode id, so the whole
-  // fan-out -- blocks, replicas, and every life-cycle table -- reads in one
-  // batched round trip of pruned scans.
-  const std::vector<ndb::TableId> lifecycle = {schema_->urb, schema_->prb, schema_->ruc,
-                                               schema_->cr, schema_->er};
-  ndb::ReadBatch fanout;
-  size_t block_slot = fanout.Scan(schema_->blocks, {file.id});
-  size_t replica_slot = fanout.Scan(schema_->replicas, {file.id});
-  std::vector<size_t> lifecycle_slots;
-  for (ndb::TableId t : lifecycle) lifecycle_slots.push_back(fanout.Scan(t, {file.id}));
-  HOPS_RETURN_IF_ERROR(tx.Execute(fanout));
+  // fan-out -- blocks, replicas, and every life-cycle table -- stages as
+  // pruned scans of one shard.
+  FileArtifactSlots slots;
+  slots.block_slot = batch.Scan(schema_->blocks, {file_id});
+  slots.replica_slot = batch.Scan(schema_->replicas, {file_id});
+  for (ndb::TableId t : {schema_->urb, schema_->prb, schema_->ruc, schema_->cr, schema_->er}) {
+    slots.lifecycle_slots.emplace_back(t, batch.Scan(t, {file_id}));
+  }
+  return slots;
+}
 
-  // ... and one write batch staging every row removal + invalidation.
-  ndb::WriteBatch writes;
-  for (const auto& row : fanout.rows(block_slot)) {
+void Namenode::StageFileArtifactRemovals(const ndb::ReadBatch& batch,
+                                         const FileArtifactSlots& slots, InodeId file_id,
+                                         ndb::WriteBatch& writes) {
+  for (const auto& row : batch.rows(slots.block_slot)) {
     Block b = BlockFromRow(row);
     writes.Delete(schema_->blocks, {b.inode_id, b.block_id});
     writes.DeleteIfExists(schema_->block_lookup, {b.block_id});
   }
-  for (const auto& row : fanout.rows(replica_slot)) {
+  for (const auto& row : batch.rows(slots.replica_slot)) {
     Replica rep = ReplicaFromRow(row);
     writes.Delete(schema_->replicas, {rep.inode_id, rep.block_id, rep.datanode_id});
     // Invalidation command for the datanode holding the replica (upsert:
     // the command may already be queued).
     writes.Write(schema_->inv, ToRow(rep));
   }
-  for (size_t i = 0; i < lifecycle.size(); ++i) {
-    for (const auto& row : fanout.rows(lifecycle_slots[i])) {
-      writes.Delete(lifecycle[i],
-                    {row[col::kReplicaInode].i64(), row[col::kReplicaBlock].i64(),
-                     row[col::kReplicaDatanode].i64()});
+  for (const auto& [table, slot] : slots.lifecycle_slots) {
+    for (const auto& row : batch.rows(slot)) {
+      writes.Delete(table, {row[col::kReplicaInode].i64(), row[col::kReplicaBlock].i64(),
+                            row[col::kReplicaDatanode].i64()});
     }
   }
-  writes.DeleteIfExists(schema_->leases, {file.id});
+  writes.DeleteIfExists(schema_->leases, {file_id});
+}
+
+hops::Status Namenode::DeleteFileArtifacts(ndb::Transaction& tx, const Inode& file) {
+  // One batched round trip of pruned scans, then one write batch staging
+  // every row removal + invalidation.
+  ndb::ReadBatch fanout;
+  FileArtifactSlots slots = StageFileArtifactReads(fanout, file.id);
+  HOPS_RETURN_IF_ERROR(tx.Execute(fanout));
+  ndb::WriteBatch writes;
+  StageFileArtifactRemovals(fanout, slots, file.id, writes);
   return tx.Execute(writes);
 }
 

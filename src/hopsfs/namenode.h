@@ -161,6 +161,10 @@ class Namenode {
     // reuse it).
     std::vector<uint64_t> chain_pvs;
     bool target_exists = false;
+    // True when the target was read+locked inside the cached-path batch --
+    // i.e. the lock was already held when that flush window's other
+    // (pipelined) members ran. Speculative riders are only trustworthy then.
+    bool target_locked_in_batch = false;
     Inode& target() { return chain.back(); }
     uint64_t target_pv() const { return chain_pvs.back(); }
     Inode& parent_of_target() { return chain[chain.size() - (target_exists ? 2 : 1)]; }
@@ -196,11 +200,36 @@ class Namenode {
   hops::Result<ReadInodeOut> ReadInode(ndb::Transaction& tx, InodeId parent,
                                        const std::string& name, int depth,
                                        ndb::LockMode mode);
+  // Batched rename lock phase (ROADMAP item 3): reads + X-locks every lock
+  // item -- probing both partition rules per item -- through ONE
+  // staged-order ReadBatch, so the whole phase costs one round trip while
+  // the row-lock waits still happen in the caller's left-ordered path total
+  // order (the order every per-row locker shares). `items` must already be
+  // sorted in that order. Result slot i is nullopt when item i's row does
+  // not exist (its key slots stay locked, guarding the insert slot).
+  struct LockItem {
+    InodeId parent;
+    std::string name;
+    int depth;
+  };
+  hops::Result<std::vector<std::optional<ReadInodeOut>>> ReadLockItemsBatched(
+      ndb::Transaction& tx, const std::vector<LockItem>& items);
   // Checks an inode's subtree lock: kSubtreeLocked while an alive namenode
   // owns it; lazily clears locks owned by dead namenodes (§6.2).
   hops::Status CheckSubtreeLock(ndb::Transaction& tx, Inode& inode, uint64_t pv);
 
   uint64_t InodePv(int depth, InodeId parent, std::string_view name) const;
+  // Both candidate partition rules for an inode row at `depth`: the current
+  // rule plus the insert-time alternate (rows that crossed the
+  // random-partition boundary in a move keep their old partition). `dual`
+  // is false when both rules route to the same partition, so one probe
+  // suffices. Every primary/alternate probe derives from here.
+  struct InodePvPair {
+    uint64_t primary = 0;
+    uint64_t alternate = 0;
+    bool dual = false;
+  };
+  InodePvPair InodePvCandidates(int depth, InodeId parent, std::string_view name) const;
   // Children listing that respects the partition scheme: partition-pruned
   // scan below the random-partition depth, index scan at/above it.
   hops::Result<std::vector<ndb::Row>> ScanChildren(ndb::Transaction& tx, const Inode& dir,
@@ -217,6 +246,20 @@ class Namenode {
   // Deletes a file inode's satellite rows (blocks, replicas, life-cycle
   // rows, lease, lookup) and stages datanode-side invalidation.
   hops::Status DeleteFileArtifacts(ndb::Transaction& tx, const Inode& file);
+  // The two halves of that fan-out, exposed so DeleteBatchPipelined can put
+  // many files' reads in flight together: StageFileArtifactReads stages the
+  // satellite scans into `batch`; StageFileArtifactRemovals turns the
+  // results into staged deletes + datanode invalidations.
+  struct FileArtifactSlots {
+    size_t block_slot = 0;
+    size_t replica_slot = 0;
+    // (life-cycle table, its scan slot): carrying the TableId keeps the
+    // read and removal halves in lockstep by construction.
+    std::vector<std::pair<ndb::TableId, size_t>> lifecycle_slots;
+  };
+  FileArtifactSlots StageFileArtifactReads(ndb::ReadBatch& batch, InodeId file_id);
+  void StageFileArtifactRemovals(const ndb::ReadBatch& batch, const FileArtifactSlots& slots,
+                                 InodeId file_id, ndb::WriteBatch& writes);
 
   // Subtree operations (§6); defined in subtree.cc.
   enum class SubtreeOp : int64_t { kDelete = 1, kMove = 2, kSetAttr = 3, kSetQuota = 4 };
@@ -252,9 +295,20 @@ class Namenode {
   hops::Result<SubtreeSnapshot> SubtreeLockAndQuiesce(
       const std::vector<std::string>& components, SubtreeOp op, const UserContext& user);
   hops::Status SubtreeAbort(const SubtreeSnapshot& snapshot);
+  // Phase-2 helper: quiesces one level of directories with one in-flight
+  // scan batch per directory (pipelined through the async batch engine) and
+  // returns the next level's nodes.
+  hops::Result<std::vector<SubtreeNode>> QuiesceLevel(
+      const std::vector<const SubtreeNode*>& dirs);
   // Phase-3 helper for delete: removes one batch of inodes in a transaction.
+  // Dispatches on FsConfig::subtree_pipelined between the pipelined
+  // batch-engine path and the per-row baseline.
   hops::Status DeleteBatch(const std::vector<SubtreeNode>& batch,
                            const std::vector<Inode>& quota_ancestors);
+  hops::Status DeleteBatchPipelined(const std::vector<SubtreeNode>& batch,
+                                    const std::vector<Inode>& quota_ancestors);
+  hops::Status DeleteBatchPerRow(const std::vector<SubtreeNode>& batch,
+                                 const std::vector<Inode>& quota_ancestors);
 
   hops::Status CheckAlive() const {
     return alive_ ? hops::Status::Ok() : hops::Status::Failover("namenode is down");

@@ -4,18 +4,22 @@
 // Phase 1  sets a persistent subtree-lock flag (owner = this namenode) on the
 //          subtree root and registers the operation in active_subtree_ops,
 //          after verifying no overlapping subtree operation is in flight.
-// Phase 2  quiesces the subtree: level by level, partition-pruned scans take
-//          and immediately release exclusive locks on every descendant,
-//          waiting out in-flight inode operations, while building an
-//          in-memory tree of the subtree.
+// Phase 2  quiesces the subtree: level by level, one take-and-release
+//          exclusive-lock scan batch per directory is put in flight through
+//          the async pipelined batch engine, so a whole level's
+//          partition-pruned scans overlap in a handful of round-trip
+//          windows while building an in-memory tree of the subtree.
 // Phase 3  executes: deletes run bottom-up (post-order) in parallel batched
-//          transactions so a namenode crash can never orphan an inode; move,
-//          chmod/chown and setQuota update only the subtree root in a single
-//          transaction.
+//          transactions -- each transaction pipelines its inode probes and
+//          per-file artifact fan-outs in one overlapped window and stages
+//          every removal in one write batch -- so a namenode crash can never
+//          orphan an inode; move, chmod/chown and setQuota update only the
+//          subtree root in a single transaction.
 // Failure handling (§6.2) is lazy: flags owned by dead namenodes are cleared
 // by whoever trips over them (see Namenode::CheckSubtreeLock).
 #include <algorithm>
 #include <atomic>
+#include <deque>
 #include <thread>
 
 #include "hopsfs/namenode.h"
@@ -28,18 +32,15 @@ namespace hops::fs {
 hops::Status Namenode::DeleteInodeRow(ndb::Transaction& tx, InodeId parent,
                                       const std::string& name, int depth, bool* existed) {
   *existed = false;
-  uint64_t primary = InodePv(depth, parent, name);
-  hops::Status st = tx.Delete(schema_->inodes, ndb::Key{parent, name}, primary);
+  const InodePvPair pv = InodePvCandidates(depth, parent, name);
+  hops::Status st = tx.Delete(schema_->inodes, ndb::Key{parent, name}, pv.primary);
   if (st.ok()) {
     *existed = true;
     return st;
   }
   if (st.code() != hops::StatusCode::kNotFound) return st;
-  uint64_t alternate = depth <= config_->random_partition_depth
-                           ? static_cast<uint64_t>(parent)
-                           : HashBytes(name);
-  if (db_->PartitionForValue(alternate) != db_->PartitionForValue(primary)) {
-    st = tx.Delete(schema_->inodes, ndb::Key{parent, name}, alternate);
+  if (pv.dual) {
+    st = tx.Delete(schema_->inodes, ndb::Key{parent, name}, pv.alternate);
     if (st.ok()) {
       *existed = true;
       return st;
@@ -118,7 +119,6 @@ hops::Result<Namenode::SubtreeSnapshot> Namenode::SubtreeLockAndQuiesce(
                                      true, 0, 0, snap.root.has_quota, root_depth}});
   snap.inode_count = 1;
 
-  ThreadPool pool(static_cast<size_t>(std::max(1, config_->subtree_parallelism)));
   while (true) {
     const auto& level = snap.levels.back();
     std::vector<const SubtreeNode*> dirs;
@@ -127,65 +127,12 @@ hops::Result<Namenode::SubtreeSnapshot> Namenode::SubtreeLockAndQuiesce(
     }
     if (dirs.empty()) break;
 
-    std::mutex agg_mu;
-    std::vector<SubtreeNode> next_level;
-    hops::Status first_error;
-    std::atomic<bool> failed{false};
-
-    for (const SubtreeNode* dir : dirs) {
-      pool.Submit([&, dir] {
-        if (failed.load(std::memory_order_relaxed)) return;
-        // Take-and-release exclusive locks wait out every in-flight inode
-        // operation below us; new operations see the subtree flag and back
-        // off voluntarily (§6.3).
-        hops::Status scan_status;
-        std::vector<ndb::Row> rows;
-        for (int attempt = 0; attempt < config_->max_tx_retries; ++attempt) {
-          auto tx = db_->Begin(
-              ndb::TxHint{schema_->inodes, ChildrenPartitionValue(dir->id)});
-          Inode as_inode;
-          as_inode.id = dir->id;
-          as_inode.is_dir = true;
-          ndb::ScanOptions opts;
-          opts.lock = ndb::LockMode::kExclusive;
-          opts.take_and_release = true;
-          auto scan = ScanChildren(*tx, as_inode, dir->depth, opts);
-          if (scan.ok()) {
-            rows = *std::move(scan);
-            scan_status = hops::Status::Ok();
-            break;
-          }
-          scan_status = scan.status();
-          if (!scan_status.IsRetryableTx()) break;
-        }
-        std::lock_guard<std::mutex> lock(agg_mu);
-        if (!scan_status.ok()) {
-          if (!failed.exchange(true)) first_error = scan_status;
-          return;
-        }
-        for (const auto& row : rows) {
-          Inode child = InodeFromRow(row);
-          if (child.subtree_lock_owner != kNoSubtreeLock &&
-              child.subtree_lock_owner != id_safe() &&
-              election_.IsNamenodeAlive(child.subtree_lock_owner)) {
-            if (!failed.exchange(true)) {
-              first_error = hops::Status::SubtreeLocked(
-                  "inner subtree locked by namenode " +
-                  std::to_string(child.subtree_lock_owner));
-            }
-            return;
-          }
-          next_level.push_back(SubtreeNode{child.id, child.parent_id, child.name,
-                                           child.is_dir, child.size, child.replication,
-                                           child.has_quota, dir->depth + 1});
-        }
-      });
-    }
-    pool.Wait();
-    if (failed.load()) {
+    auto next = QuiesceLevel(dirs);
+    if (!next.ok()) {
       (void)SubtreeAbort(snap);
-      return first_error;
+      return next.status();
     }
+    std::vector<SubtreeNode> next_level = *std::move(next);
     if (next_level.empty()) break;
     snap.inode_count += static_cast<int64_t>(next_level.size());
     for (const auto& node : next_level) {
@@ -194,6 +141,78 @@ hops::Result<Namenode::SubtreeSnapshot> Namenode::SubtreeLockAndQuiesce(
     snap.levels.push_back(std::move(next_level));
   }
   return snap;
+}
+
+hops::Result<std::vector<Namenode::SubtreeNode>> Namenode::QuiesceLevel(
+    const std::vector<const SubtreeNode*>& dirs) {
+  // Take-and-release exclusive locks wait out every in-flight inode
+  // operation below us; new operations see the subtree flag and back off
+  // voluntarily (§6.3). One scan batch per directory is put in flight
+  // through the pipelined engine, so the level's independent per-partition
+  // round trips overlap instead of costing one trip each. The level is
+  // chunked into transactions so a retryable failure (any lock timeout
+  // aborts its whole transaction) re-scans one chunk, not the whole level.
+  ndb::ScanOptions opts;
+  opts.lock = ndb::LockMode::kExclusive;
+  opts.take_and_release = true;
+
+  constexpr size_t kDirsPerTx = 64;
+  std::vector<SubtreeNode> next_level;
+  for (size_t base = 0; base < dirs.size(); base += kDirsPerTx) {
+    const size_t end = std::min(dirs.size(), base + kDirsPerTx);
+    hops::Status st;
+    for (int attempt = 0; attempt < config_->max_tx_retries; ++attempt) {
+      st = hops::Status::Ok();
+      const size_t undo_mark = next_level.size();  // discard partial output on retry
+      auto tx =
+          db_->Begin(ndb::TxHint{schema_->inodes, ChildrenPartitionValue(dirs[base]->id)});
+      // deque: ExecuteAsync keeps a pointer to each staged batch until flush.
+      std::deque<ndb::ReadBatch> batches;
+      std::vector<std::pair<const SubtreeNode*, ndb::PendingBatch>> pending;
+      auto absorb = [&](const SubtreeNode* dir,
+                        const std::vector<ndb::Row>& rows) -> hops::Status {
+        for (const auto& row : rows) {
+          Inode child = InodeFromRow(row);
+          if (child.subtree_lock_owner != kNoSubtreeLock &&
+              child.subtree_lock_owner != id_safe() &&
+              election_.IsNamenodeAlive(child.subtree_lock_owner)) {
+            return hops::Status::SubtreeLocked("inner subtree locked by namenode " +
+                                              std::to_string(child.subtree_lock_owner));
+          }
+          next_level.push_back(SubtreeNode{child.id, child.parent_id, child.name,
+                                           child.is_dir, child.size, child.replication,
+                                           child.has_quota, dir->depth + 1});
+        }
+        return hops::Status::Ok();
+      };
+      for (size_t d = base; d < end && st.ok(); ++d) {
+        const SubtreeNode* dir = dirs[d];
+        if (ChildrenArePruned(dir->depth, config_->random_partition_depth)) {
+          batches.emplace_back();
+          batches.back().Scan(schema_->inodes, ndb::Key{dir->id}, opts,
+                              ChildrenPartitionValue(dir->id));
+          pending.emplace_back(dir, tx->ExecuteAsync(batches.back()));
+        } else {
+          // Top of the tree: children are scattered pseudo-randomly; pay an
+          // index scan (§4.2.1). Rare -- only above random_partition_depth.
+          auto rows = tx->IndexScan(schema_->inodes, ndb::Key{dir->id}, opts);
+          st = rows.ok() ? absorb(dir, *rows) : rows.status();
+        }
+      }
+      for (size_t i = 0; i < pending.size() && st.ok(); ++i) {
+        st = pending[i].second.Wait();
+        if (st.ok()) st = absorb(pending[i].first, batches[i].rows(0));
+      }
+      if (st.ok()) {
+        (void)tx->Commit();  // read-only: releases nothing but the tx slot
+        break;
+      }
+      next_level.resize(undo_mark);
+      if (!st.IsRetryableTx()) return st;
+    }
+    if (!st.ok()) return st;  // chunk exhausted its retries
+  }
+  return next_level;
 }
 
 hops::Status Namenode::SubtreeAbort(const SubtreeSnapshot& snap) {
@@ -218,6 +237,16 @@ hops::Status Namenode::SubtreeAbort(const SubtreeSnapshot& snap) {
 
 hops::Status Namenode::DeleteBatch(const std::vector<SubtreeNode>& batch,
                                    const std::vector<Inode>& quota_ancestors) {
+  return config_->subtree_pipelined ? DeleteBatchPipelined(batch, quota_ancestors)
+                                    : DeleteBatchPerRow(batch, quota_ancestors);
+}
+
+// The pre-pipelining baseline: one eager-locking round trip per inode row
+// (two when the primary partition rule misses) plus a fan-out read and a
+// write batch per file. Kept selectable so bench_table4_subtree_ops can
+// measure the pipelined path's round-trip reduction against it.
+hops::Status Namenode::DeleteBatchPerRow(const std::vector<SubtreeNode>& batch,
+                                         const std::vector<Inode>& quota_ancestors) {
   return RunTx(std::nullopt, [&](ndb::Transaction& tx) -> hops::Status {
     int64_t ns_removed = 0;
     int64_t ss_removed = 0;
@@ -238,6 +267,85 @@ hops::Status Namenode::DeleteBatch(const std::vector<SubtreeNode>& batch,
         if (!node.is_dir) ss_removed += node.size * node.replication;
       }
     }
+    return UpdateQuotaUsage(tx, quota_ancestors, -ns_removed, -ss_removed,
+                            /*enforce=*/false);
+  });
+}
+
+hops::Status Namenode::DeleteBatchPipelined(const std::vector<SubtreeNode>& batch,
+                                            const std::vector<Inode>& quota_ancestors) {
+  return RunTx(std::nullopt, [&](ndb::Transaction& tx) -> hops::Status {
+    // Stage 1: reads, all in flight together -- one X-locking existence
+    // probe batch covering every inode row at both candidate partition
+    // rules (rows that crossed the random-partition boundary in a move keep
+    // their insert-time partition), plus one batch carrying every file's
+    // artifact fan-out. Both flush as ONE overlapped window where the
+    // per-row path paid a trip per inode and two per file.
+    struct InodeProbe {
+      size_t primary_slot = 0;
+      size_t alternate_slot = SIZE_MAX;
+      uint64_t primary_pv = 0;
+      uint64_t alternate_pv = 0;
+    };
+    ndb::ReadBatch probes;
+    std::vector<InodeProbe> probe_slots;
+    probe_slots.reserve(batch.size());
+    for (const SubtreeNode& node : batch) {
+      InodeProbe p;
+      const InodePvPair pv = InodePvCandidates(node.depth, node.parent_id, node.name);
+      p.primary_pv = pv.primary;
+      p.primary_slot = probes.Get(schema_->inodes, ndb::Key{node.parent_id, node.name},
+                                  ndb::LockMode::kExclusive, pv.primary);
+      if (pv.dual) {
+        p.alternate_pv = pv.alternate;
+        p.alternate_slot = probes.Get(schema_->inodes, ndb::Key{node.parent_id, node.name},
+                                      ndb::LockMode::kExclusive, pv.alternate);
+      }
+      probe_slots.push_back(p);
+    }
+    auto probe_pending = tx.ExecuteAsync(probes);
+
+    // One batch carries every file's artifact fan-out; it pipelines with
+    // the probe batch, so the whole read stage is ONE overlapped window.
+    struct FileFanout {
+      const SubtreeNode* node = nullptr;
+      FileArtifactSlots slots;
+    };
+    ndb::ReadBatch fanout;
+    std::vector<FileFanout> fanouts;
+    for (const SubtreeNode& node : batch) {
+      if (node.is_dir) continue;
+      fanouts.push_back(FileFanout{&node, StageFileArtifactReads(fanout, node.id)});
+    }
+    ndb::PendingBatch fanout_pending;
+    if (!fanout.empty()) fanout_pending = tx.ExecuteAsync(fanout);
+    HOPS_RETURN_IF_ERROR(probe_pending.Wait());
+    if (fanout_pending.valid()) HOPS_RETURN_IF_ERROR(fanout_pending.Wait());
+
+    // Stage 2: one write batch stages every row removal + invalidation; the
+    // probes' X locks pin the inode rows, so the staged deletes cannot race
+    // a concurrent re-create.
+    ndb::WriteBatch writes;
+    int64_t ns_removed = 0;
+    int64_t ss_removed = 0;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const SubtreeNode& node = batch[i];
+      const InodeProbe& p = probe_slots[i];
+      bool at_primary = probes.row(p.primary_slot).has_value();
+      bool at_alternate = !at_primary && p.alternate_slot != SIZE_MAX &&
+                          probes.row(p.alternate_slot).has_value();
+      if (at_primary || at_alternate) {
+        writes.Delete(schema_->inodes, ndb::Key{node.parent_id, node.name},
+                      at_primary ? p.primary_pv : p.alternate_pv);
+        ns_removed++;
+        if (!node.is_dir) ss_removed += node.size * node.replication;
+      }  // else: already gone (a crashed predecessor's progress)
+      if (node.has_quota) writes.DeleteIfExists(schema_->quotas, {node.id});
+    }
+    for (const FileFanout& f : fanouts) {
+      StageFileArtifactRemovals(fanout, f.slots, f.node->id, writes);
+    }
+    HOPS_RETURN_IF_ERROR(tx.Execute(writes));
     return UpdateQuotaUsage(tx, quota_ancestors, -ns_removed, -ss_removed,
                             /*enforce=*/false);
   });
@@ -365,15 +473,18 @@ hops::Status Namenode::SubtreeRename(const std::vector<std::string>& src,
                      false, {}, 0, false});
     std::sort(items.begin(), items.end(),
               [](const Item& a, const Item& b) { return LockOrderLess(a.path, b.path); });
-    for (auto& item : items) {
-      auto out = ReadInode(tx, item.parent, item.name, item.depth,
-                           ndb::LockMode::kExclusive);
-      if (out.ok()) {
+    // Batched lock phase: one round trip for every lock item, waits in the
+    // path total order (see ReadLockItemsBatched).
+    std::vector<LockItem> refs;
+    refs.reserve(items.size());
+    for (const auto& item : items) refs.push_back({item.parent, item.name, item.depth});
+    HOPS_ASSIGN_OR_RETURN(lock_reads, ReadLockItemsBatched(tx, refs));
+    for (size_t i = 0; i < items.size(); ++i) {
+      auto& item = items[i];
+      if (lock_reads[i].has_value()) {
         item.found = true;
-        item.out = std::move(out->inode);
-        item.out_pv = out->pv;
-      } else if (out.status().code() != hops::StatusCode::kNotFound) {
-        return out.status();
+        item.out = std::move(lock_reads[i]->inode);
+        item.out_pv = lock_reads[i]->pv;
       } else if (item.must_exist) {
         return hops::Status::TxAborted("path changed during subtree rename");
       }

@@ -27,6 +27,26 @@ namespace hops::ndb {
 
 class Transaction;
 
+// How a batch's row locks are ordered during acquisition.
+//  * kGlobalOrder (default): the whole lock set is sorted into the global
+//    (table, partition, encoded-key) order -- deadlock-free against every
+//    other kGlobalOrder batch regardless of staging order, including other
+//    batches pipelined in the same flush window. The guarantee covers point
+//    gets and writes, whose keys are known up front. A *locking* scan's row
+//    set is only discovered during execution, so (as in NDB) its locks are
+//    taken row-by-row at that point; a locking scan that holds its locks
+//    can therefore still deadlock against other lock holders and falls back
+//    to the lock-wait timeout. The take-and-release quiesce scan holds at
+//    most one transient lock and cannot participate in a cycle.
+//  * kStagedOrder: locks are taken exactly in staging order. For callers
+//    whose deadlock-freedom argument is an *external* total order (the
+//    rename lock phase stages its items in left-ordered path order, the
+//    same order per-row lockers like mkdir/create follow), so batching the
+//    reads must not re-sort the waits. A kStagedOrder batch always flushes
+//    as its own window -- it never shares a flush with other batches, whose
+//    global-order guarantee would otherwise be voided.
+enum class BatchLockOrder : uint8_t { kGlobalOrder, kStagedOrder };
+
 struct ScanOptions {
   LockMode lock = LockMode::kReadCommitted;
   // Acquire then immediately release each row lock: the subtree-quiesce
@@ -38,10 +58,15 @@ struct ScanOptions {
   std::function<bool(const Row&)> predicate;
 };
 
-// A staged set of reads executed together by Transaction::Execute. Staging
-// calls return a slot index; results are read back by slot after execution.
+// A staged set of reads executed together by Transaction::Execute (one
+// round trip) or pipelined through Transaction::ExecuteAsync (several
+// batches sharing one overlapped round-trip window). Staging calls return a
+// slot index; results are read back by slot after execution.
 class ReadBatch {
  public:
+  explicit ReadBatch(BatchLockOrder lock_order = BatchLockOrder::kGlobalOrder)
+      : lock_order_(lock_order) {}
+
   // Primary-key get; result slot is nullopt when the row does not exist
   // (locked gets still lock the missing key, guarding the insert slot).
   size_t Get(TableId table, Key key, LockMode mode = LockMode::kReadCommitted,
@@ -53,8 +78,10 @@ class ReadBatch {
   size_t size() const { return ops_.size(); }
   bool empty() const { return ops_.empty(); }
   bool executed() const { return executed_; }
+  BatchLockOrder lock_order() const { return lock_order_; }
 
-  // Result accessors; valid only after a successful Execute.
+  // Result accessors; valid only after a successful Execute (or, on the
+  // pipelined path, after the batch's PendingBatch::Wait succeeded).
   const std::optional<Row>& row(size_t slot) const;
   const std::vector<Row>& rows(size_t slot) const;
 
@@ -74,13 +101,15 @@ class ReadBatch {
     std::optional<Row> row;  // get result
     std::vector<Row> rows;   // scan result
   };
+  const BatchLockOrder lock_order_ = BatchLockOrder::kGlobalOrder;
   std::vector<Op> ops_;
   bool executed_ = false;
 };
 
 // A staged set of writes locked and validated together by
 // Transaction::Execute (the staged rows are applied at commit, as for the
-// per-row write calls). On error the batch is partially staged; callers are
+// per-row write calls), or pipelined through Transaction::ExecuteAsync. On
+// error the batch is partially staged; callers are
 // expected to abort the transaction, as they would after any failed write.
 class WriteBatch {
  public:

@@ -175,6 +175,7 @@ ClusterStats Cluster::StatsSnapshot() const {
   s.rows_written = stats_.rows_written.load(std::memory_order_relaxed);
   s.lock_timeouts = stats_.lock_timeouts.load(std::memory_order_relaxed);
   s.round_trips = stats_.round_trips.load(std::memory_order_relaxed);
+  s.overlapped_round_trips = stats_.overlapped_round_trips.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -191,6 +192,7 @@ void Cluster::ResetStats() {
   stats_.rows_written = 0;
   stats_.lock_timeouts = 0;
   stats_.round_trips = 0;
+  stats_.overlapped_round_trips = 0;
 }
 
 size_t Cluster::TableRowCount(TableId id) const {

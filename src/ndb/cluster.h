@@ -40,6 +40,10 @@ struct ClusterConfig {
   uint32_t partitions_per_table = 0; // 0 => 2 * num_datanodes
   std::chrono::milliseconds lock_wait_timeout{1200};  // paper §7.6.2 default
   uint32_t threads_per_datanode = 22;  // §7.1; consumed by the simulator
+  // Prepared-but-unflushed batches a transaction may hold (NDB's
+  // executeAsynchPrepare window). Preparing one more forces a flush of the
+  // whole window, so a transaction never exceeds this many in flight.
+  uint32_t max_in_flight_batches = 8;
 };
 
 // Distribution-aware transaction hint: start the coordinator on the primary
@@ -50,6 +54,29 @@ struct TxHint {
 };
 
 class Cluster;
+class Transaction;
+
+// Future-like handle to a batch submitted through Transaction::ExecuteAsync
+// (the executeAsynchPrepare/sendPollNdb idiom). The handle is cheap to copy
+// and outlives nothing: it only names the batch within its transaction. The
+// staged ReadBatch/WriteBatch object must stay alive until Wait() returns.
+class PendingBatch {
+ public:
+  PendingBatch() = default;
+
+  bool valid() const { return tx_ != nullptr; }
+  // True once the batch's flush window executed (result available).
+  bool done() const;
+  // Flushes the transaction's in-flight window if this batch is still
+  // pending, then returns this batch's outcome. Idempotent.
+  hops::Status Wait();
+
+ private:
+  friend class Transaction;
+  PendingBatch(Transaction* tx, uint64_t seq) : tx_(tx), seq_(seq) {}
+  Transaction* tx_ = nullptr;
+  uint64_t seq_ = 0;
+};
 
 class Transaction {
  public:
@@ -81,11 +108,36 @@ class Transaction {
   // are grouped by partition, row locks are acquired in the global
   // (table, partition, encoded key) order, and the coordinator fans out to
   // the touched partitions in parallel. Results are read back through the
-  // batch's slot accessors.
+  // batch's slot accessors. A thin wrapper over ExecuteAsync + immediate
+  // Wait, so a sync Execute also flushes any batches already in flight.
   hops::Status Execute(ReadBatch& batch);
   // Locks and stages every write of `batch` in one round trip; the staged
   // rows are applied atomically at Commit() like any other write.
   hops::Status Execute(WriteBatch& batch);
+
+  // --- Pipelined (async) batch execution -------------------------------------
+  // Prepares `batch` without executing it and returns a future-like handle
+  // (NDB's executeAsynchPrepare). Prepared batches accumulate in an
+  // in-flight window that is flushed as one *overlapped* round trip -- cost
+  // max, not sum, of the member trips -- when any member's Wait() is called,
+  // when a synchronous operation needs the transaction's state, at Commit(),
+  // or when the window reaches ClusterConfig::max_in_flight_batches
+  // (sendPollNdb). A flush routes every op of every in-flight batch first,
+  // then acquires the *combined* lock set in the global (table, partition,
+  // encoded key) order -- so the deadlock-freedom guarantee holds across
+  // in-flight batches, not just within one -- and finally runs each batch's
+  // data work in preparation order (later batches observe earlier batches'
+  // staged writes: read-your-writes across the pipeline). Batches prepared
+  // after a failed one complete with kTxAborted; errors surface at Wait(),
+  // and a transaction with any failed batch refuses to Commit() (the
+  // failure leaves that batch partially staged).
+  PendingBatch ExecuteAsync(ReadBatch& batch);
+  PendingBatch ExecuteAsync(WriteBatch& batch);
+  // Prepared batches not yet flushed (bounded by max_in_flight_batches).
+  size_t InFlightBatches() const { return in_flight_.size(); }
+  // Flushes the in-flight window now; returns the first member's failure, if
+  // any (individual outcomes stay readable through their handles).
+  hops::Status FlushPending();
   // Releases a row lock this transaction holds without waiting for
   // commit/abort (NDB's unlockable reads). Only safe for a lock whose
   // protected value the caller discarded without acting on it -- e.g. a
@@ -117,6 +169,7 @@ class Transaction {
 
  private:
   friend class Cluster;
+  friend class PendingBatch;
   enum class State { kActive, kCommitted, kAborted };
 
   Transaction(Cluster* cluster, TxId id, uint32_t coordinator);
@@ -150,6 +203,27 @@ class Transaction {
                                                 const Key& prefix, const ScanOptions& opts,
                                                 AccessKind kind, bool full_scan);
 
+  // --- Pipelined execution internals ---------------------------------------
+  // One batch prepared by ExecuteAsync, awaiting the window flush.
+  struct InFlightBatch {
+    uint64_t seq = 0;
+    ReadBatch* read = nullptr;    // exactly one of read/write is set
+    WriteBatch* write = nullptr;
+  };
+  // Registers a prepared batch (or an immediate prepare-time outcome) and
+  // flushes the window when it reaches the configured in-flight limit.
+  PendingBatch PrepareBatch(ReadBatch* read, WriteBatch* write);
+  hops::Status WaitBatch(uint64_t seq);
+  bool BatchDone(uint64_t seq) const { return batch_results_.count(seq) > 0; }
+  // Routing (partition + encoded key per op) and lock-plan construction.
+  hops::Status RouteReadBatch(ReadBatch& batch, std::vector<LockRequest>& plan);
+  hops::Status RouteWriteBatch(WriteBatch& batch, std::vector<LockRequest>& plan);
+  // Data work for an already-routed, already-locked batch. Appends the
+  // batch's accesses (all with round_trips = 0; the flush assigns the
+  // carrying trip) and bumps the per-batch cluster counters.
+  hops::Status RunReadBatchData(ReadBatch& batch, std::vector<Access>& accesses);
+  hops::Status RunWriteBatchData(WriteBatch& batch, std::vector<Access>& accesses);
+
   struct StagedWrite {
     bool is_delete = false;
     Row row;              // empty for deletes
@@ -166,6 +240,16 @@ class Transaction {
   // (table, encoded key) -> staged write; ordered map keeps commit
   // application deterministic.
   std::map<std::pair<TableId, std::string>, StagedWrite> write_set_;
+  // Prepared batches awaiting the window flush, in preparation order.
+  std::vector<InFlightBatch> in_flight_;
+  // Outcomes of flushed (or rejected-at-prepare) batches, by sequence.
+  std::map<uint64_t, hops::Status> batch_results_;
+  // First batch failure of any flush window. A failed batch leaves its
+  // writes partially staged, so Commit() refuses the transaction even when
+  // the failure happened in an auto-flushed window the caller never
+  // Waited on.
+  hops::Status pipeline_error_;
+  uint64_t next_batch_seq_ = 1;
   bool trace_enabled_ = false;
   CostTrace trace_;
 };
@@ -255,7 +339,7 @@ class Cluster {
   struct AtomicStats {
     std::atomic<uint64_t> pk_reads{0}, batch_reads{0}, batch_writes{0}, ppis_scans{0},
         index_scans{0}, full_table_scans{0}, commits{0}, aborts{0}, rows_read{0},
-        rows_written{0}, lock_timeouts{0}, round_trips{0};
+        rows_written{0}, lock_timeouts{0}, round_trips{0}, overlapped_round_trips{0};
   };
   mutable AtomicStats stats_;
 };

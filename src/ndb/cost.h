@@ -85,6 +85,12 @@ struct ClusterStats {
   // operations count once however many rows/partitions they touch; commits
   // count their 2PC trips). The batching win shows up here.
   uint64_t round_trips = 0;
+  // Round trips *saved* by the async pipelined engine: every flush of N > 1
+  // in-flight batches costs one overlapped round-trip window where the
+  // synchronous path would have paid N sequential trips, so this counter
+  // accumulates N - 1 per flush. `round_trips + overlapped_round_trips` is
+  // the sync-equivalent trip count. The pipelining win shows up here.
+  uint64_t overlapped_round_trips = 0;
 };
 
 }  // namespace hops::ndb

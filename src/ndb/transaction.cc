@@ -4,6 +4,7 @@
 // take-and-release lock scans used by the subtree quiesce protocol.
 #include <algorithm>
 #include <cassert>
+#include <set>
 #include <tuple>
 
 #include "ndb/cluster.h"
@@ -142,6 +143,7 @@ void Transaction::RecordAccess(AccessKind kind, TableId table, std::vector<PartT
 
 hops::Result<Row> Transaction::Read(TableId table, const Key& key, LockMode mode,
                                     std::optional<uint64_t> pv) {
+  HOPS_RETURN_IF_ERROR(FlushPending());  // per-row ops order after the pipeline
   const Cluster::Table& t = cluster_->table(table);
   HOPS_ASSIGN_OR_RETURN(partition, cluster_->Route(t, key, pv));
   HOPS_RETURN_IF_ERROR(CheckUsable(partition));
@@ -178,6 +180,7 @@ hops::Result<std::vector<std::optional<Row>>> Transaction::BatchRead(
 }
 
 void Transaction::UnlockRow(TableId table, const Key& key, std::optional<uint64_t> pv) {
+  (void)FlushPending();  // the lock to drop may still be in the pipeline
   if (state_ != State::kActive) return;
   const Cluster::Table& t = cluster_->table(table);
   auto routed = cluster_->Route(t, key, pv);
@@ -221,15 +224,74 @@ hops::Status Transaction::AcquireLockSet(std::vector<LockRequest> requests,
   return hops::Status::Ok();
 }
 
-hops::Status Transaction::Execute(ReadBatch& batch) {
-  if (batch.executed_) return hops::Status::InvalidArgument("batch already executed");
-  if (state_ != State::kActive) return hops::Status::TxAborted("transaction is not active");
-  batch.executed_ = true;
-  if (batch.ops_.empty()) return hops::Status::Ok();
+// --- Pipelined batch engine --------------------------------------------------
+//
+// ExecuteAsync only *prepares* a batch (NDB's executeAsynchPrepare); the
+// in-flight window executes as one overlapped round trip at the next flush
+// point (sendPollNdb): a Wait(), a synchronous operation, Commit(), or the
+// window filling up. The flush routes every op of every member batch, takes
+// the combined lock set in the global order (deadlock freedom across
+// in-flight batches), then runs each batch's data work in preparation order
+// (read-your-writes across the pipeline).
 
-  // Route every op to its partition, then take the whole lock set in the
-  // global order before touching any data.
-  std::vector<LockRequest> lock_plan;
+bool PendingBatch::done() const { return tx_ != nullptr && tx_->BatchDone(seq_); }
+
+hops::Status PendingBatch::Wait() {
+  if (tx_ == nullptr) return hops::Status::InvalidArgument("empty batch handle");
+  return tx_->WaitBatch(seq_);
+}
+
+PendingBatch Transaction::PrepareBatch(ReadBatch* read, WriteBatch* write) {
+  const uint64_t seq = next_batch_seq_++;
+  bool& executed = read != nullptr ? read->executed_ : write->executed_;
+  if (executed) {
+    batch_results_[seq] = hops::Status::InvalidArgument("batch already executed");
+    return PendingBatch(this, seq);
+  }
+  executed = true;
+  if (state_ != State::kActive) {
+    batch_results_[seq] = hops::Status::TxAborted("transaction is not active");
+    return PendingBatch(this, seq);
+  }
+  if (read != nullptr ? read->ops_.empty() : write->ops_.empty()) {
+    batch_results_[seq] = hops::Status::Ok();
+    return PendingBatch(this, seq);
+  }
+  // A kStagedOrder batch flushes as its OWN window: its externally-ordered
+  // lock waits must not interleave with other members' (which would void
+  // both its order guarantee and the window's global-order guarantee).
+  const bool staged_order =
+      read != nullptr && read->lock_order() == BatchLockOrder::kStagedOrder;
+  if (staged_order) (void)FlushPending();
+  in_flight_.push_back(InFlightBatch{seq, read, write});
+  if (staged_order || in_flight_.size() >= cluster_->config().max_in_flight_batches) {
+    (void)FlushPending();  // outcomes wait in batch_results_
+  }
+  return PendingBatch(this, seq);
+}
+
+PendingBatch Transaction::ExecuteAsync(ReadBatch& batch) { return PrepareBatch(&batch, nullptr); }
+
+PendingBatch Transaction::ExecuteAsync(WriteBatch& batch) { return PrepareBatch(nullptr, &batch); }
+
+hops::Status Transaction::Execute(ReadBatch& batch) { return ExecuteAsync(batch).Wait(); }
+
+hops::Status Transaction::Execute(WriteBatch& batch) { return ExecuteAsync(batch).Wait(); }
+
+hops::Status Transaction::WaitBatch(uint64_t seq) {
+  auto it = batch_results_.find(seq);
+  if (it != batch_results_.end()) return it->second;
+  for (const auto& f : in_flight_) {
+    if (f.seq != seq) continue;
+    (void)FlushPending();
+    auto flushed = batch_results_.find(seq);
+    assert(flushed != batch_results_.end() && "flush must deliver every in-flight outcome");
+    return flushed->second;
+  }
+  return hops::Status::InvalidArgument("unknown batch handle");
+}
+
+hops::Status Transaction::RouteReadBatch(ReadBatch& batch, std::vector<LockRequest>& plan) {
   for (auto& op : batch.ops_) {
     const Cluster::Table& t = cluster_->table(op.table);
     HOPS_ASSIGN_OR_RETURN(partition, cluster_->Route(t, op.key, op.pv));
@@ -237,19 +299,41 @@ hops::Status Transaction::Execute(ReadBatch& batch) {
     HOPS_RETURN_IF_ERROR(CheckUsable(partition));
     op.ekey = EncodeKey(op.key);
     if (op.kind == ReadBatch::Op::Kind::kGet && op.mode != LockMode::kReadCommitted) {
-      lock_plan.push_back(LockRequest{op.table, partition, op.ekey, op.mode});
+      plan.push_back(LockRequest{op.table, partition, op.ekey, op.mode});
     }
   }
-  HOPS_RETURN_IF_ERROR(AcquireLockSet(std::move(lock_plan), nullptr));
+  return hops::Status::Ok();
+}
 
+hops::Status Transaction::RouteWriteBatch(WriteBatch& batch, std::vector<LockRequest>& plan) {
+  plan.reserve(plan.size() + batch.ops_.size());
+  for (auto& op : batch.ops_) {
+    const Cluster::Table& t = cluster_->table(op.table);
+    if (op.kind != WriteBatch::Op::Kind::kDelete) {
+      assert(op.row.size() == t.schema.columns.size());
+      op.key = ExtractPk(t.schema, op.row);
+    }
+    HOPS_ASSIGN_OR_RETURN(partition, cluster_->Route(t, op.key, op.pv));
+    op.partition = partition;
+    HOPS_RETURN_IF_ERROR(CheckUsable(partition));
+    op.ekey = EncodeKey(op.key);
+    plan.push_back(LockRequest{op.table, partition, op.ekey, LockMode::kExclusive});
+  }
+  return hops::Status::Ok();
+}
+
+hops::Status Transaction::RunReadBatchData(ReadBatch& batch, std::vector<Access>& accesses) {
   // Execute in staging order. Gets of the same table aggregate into one
-  // logical access; each pruned scan is its own access. The whole batch is
-  // one coordinator round trip: the first access carries it, the rest ride
-  // along with round_trips = 0.
-  std::vector<Access> accesses;
+  // logical access; each pruned scan is its own access. Accesses are
+  // appended with round_trips = 0; the flush assigns the carrying trip to
+  // the window's first access. Aggregation never crosses batch boundaries,
+  // so a trace still shows the pipeline's structure.
+  const size_t first = accesses.size();
   auto get_access_for = [&](TableId table) -> Access& {
-    for (auto& a : accesses) {
-      if (a.kind == AccessKind::kBatchRead && a.table == table) return a;
+    for (size_t i = first; i < accesses.size(); ++i) {
+      if (accesses[i].kind == AccessKind::kBatchRead && accesses[i].table == table) {
+        return accesses[i];
+      }
     }
     Access a;
     a.kind = AccessKind::kBatchRead;
@@ -288,52 +372,27 @@ hops::Status Transaction::Execute(ReadBatch& batch) {
       touch(accesses.back(), op.partition, examined);
     }
   }
-  accesses.front().round_trips = 1;
 
   uint64_t rows_read = 0;
-  for (const auto& a : accesses) rows_read += a.TotalRows();
+  for (size_t i = first; i < accesses.size(); ++i) rows_read += accesses[i].TotalRows();
   auto& s = cluster_->stats_;
   s.batch_reads.fetch_add(1, std::memory_order_relaxed);
   // Pruned scans riding in a batch still count as pruned scans, so per-op
   // and batched code paths stay comparable in the cluster counters.
   s.ppis_scans.fetch_add(scans, std::memory_order_relaxed);
   s.rows_read.fetch_add(rows_read, std::memory_order_relaxed);
-  s.round_trips.fetch_add(1, std::memory_order_relaxed);
-  if (trace_enabled_) {
-    for (auto& a : accesses) trace_.accesses.push_back(std::move(a));
-  }
   return hops::Status::Ok();
 }
 
-hops::Status Transaction::Execute(WriteBatch& batch) {
-  if (batch.executed_) return hops::Status::InvalidArgument("batch already executed");
-  if (state_ != State::kActive) return hops::Status::TxAborted("transaction is not active");
-  batch.executed_ = true;
-  if (batch.ops_.empty()) return hops::Status::Ok();
-
-  std::vector<LockRequest> lock_plan;
-  lock_plan.reserve(batch.ops_.size());
-  for (auto& op : batch.ops_) {
-    const Cluster::Table& t = cluster_->table(op.table);
-    if (op.kind != WriteBatch::Op::Kind::kDelete) {
-      assert(op.row.size() == t.schema.columns.size());
-      op.key = ExtractPk(t.schema, op.row);
-    }
-    HOPS_ASSIGN_OR_RETURN(partition, cluster_->Route(t, op.key, op.pv));
-    op.partition = partition;
-    HOPS_RETURN_IF_ERROR(CheckUsable(partition));
-    op.ekey = EncodeKey(op.key);
-    lock_plan.push_back(LockRequest{op.table, partition, op.ekey, LockMode::kExclusive});
-  }
-  uint32_t fresh_locks = 0;
-  HOPS_RETURN_IF_ERROR(AcquireLockSet(std::move(lock_plan), &fresh_locks));
-
+hops::Status Transaction::RunWriteBatchData(WriteBatch& batch, std::vector<Access>& accesses) {
   // Validate and stage in staging order (the later op wins on duplicate
   // keys, matching a sequence of individual calls).
-  std::vector<Access> accesses;
+  const size_t first = accesses.size();
   auto access_for = [&](TableId table) -> Access& {
-    for (auto& a : accesses) {
-      if (a.table == table) return a;
+    for (size_t i = first; i < accesses.size(); ++i) {
+      if (accesses[i].kind == AccessKind::kPkWrite && accesses[i].table == table) {
+        return accesses[i];
+      }
     }
     Access a;
     a.kind = AccessKind::kPkWrite;
@@ -349,7 +408,7 @@ hops::Status Transaction::Execute(WriteBatch& batch) {
                                              : t.partitions[op.partition]->Contains(op.ekey);
     // Tolerated deletes of absent rows stage nothing but still probed (and
     // locked) their partition, so they appear in the access with 0 rows --
-    // keeping the trace consistent with the round trip charged below.
+    // keeping the trace consistent with the round trip the flush charges.
     uint32_t staged_rows = 1;
     switch (op.kind) {
       case WriteBatch::Op::Kind::kInsert:
@@ -376,20 +435,147 @@ hops::Status Transaction::Execute(WriteBatch& batch) {
     uint32_t node = cluster_->PrimaryNode(op.partition).value_or(coordinator_);
     MergeTouch(a.parts, op.partition, staged_rows, node, node == coordinator_);
   }
-  // Lock acquisition is the round trip (staged rows travel with the commit);
-  // if every lock was already held the batch piggybacks for free.
-  uint32_t rt = fresh_locks > 0 ? 1 : 0;
-  if (!accesses.empty()) accesses.front().round_trips = rt;
-  auto& s = cluster_->stats_;
-  s.batch_writes.fetch_add(1, std::memory_order_relaxed);
-  s.round_trips.fetch_add(rt, std::memory_order_relaxed);
-  if (trace_enabled_) {
-    for (auto& a : accesses) trace_.accesses.push_back(std::move(a));
-  }
+  cluster_->stats_.batch_writes.fetch_add(1, std::memory_order_relaxed);
   return hops::Status::Ok();
 }
 
+hops::Status Transaction::FlushPending() {
+  if (in_flight_.empty()) return hops::Status::Ok();
+  std::vector<InFlightBatch> flight = std::move(in_flight_);
+  in_flight_.clear();
+
+  auto fail_window = [&](const hops::Status& st) {
+    for (const auto& f : flight) batch_results_[f.seq] = st;
+  };
+
+  // Phase 1: route every op of every member batch; no data is touched yet.
+  // A routing failure (bad key, unavailable node group) aborts the window
+  // before any lock is taken, so every member reports the same cause.
+  std::vector<std::vector<LockRequest>> plans(flight.size());
+  for (size_t i = 0; i < flight.size(); ++i) {
+    hops::Status st = flight[i].read != nullptr ? RouteReadBatch(*flight[i].read, plans[i])
+                                                : RouteWriteBatch(*flight[i].write, plans[i]);
+    if (!st.ok()) {
+      fail_window(st);
+      return st;
+    }
+  }
+
+  // Which members would have paid their own round trip on the synchronous
+  // path? Read batches always do; a write batch only if some lock in its
+  // plan is not already exclusive-held -- by the transaction, or by an
+  // earlier member of this window, exactly as sequential execution would
+  // have found it. Keeps cost.h's invariant that round_trips +
+  // overlapped_round_trips is the sync-equivalent trip count.
+  std::vector<bool> pays(flight.size(), false);
+  {
+    std::set<std::tuple<TableId, uint32_t, std::string>> covered;
+    for (size_t i = 0; i < flight.size(); ++i) {
+      if (flight[i].read != nullptr) {
+        pays[i] = true;
+      } else {
+        for (const LockRequest& req : plans[i]) {
+          auto key = std::make_tuple(req.table, req.partition, req.ekey);
+          auto held = held_locks_.find(key);
+          if ((held == held_locks_.end() || held->second != LockMode::kExclusive) &&
+              covered.count(key) == 0) {
+            pays[i] = true;
+            break;
+          }
+        }
+      }
+      for (const LockRequest& req : plans[i]) {
+        if (req.mode == LockMode::kExclusive) {
+          covered.insert(std::make_tuple(req.table, req.partition, req.ekey));
+        }
+      }
+    }
+  }
+
+  // Phase 2: acquire the whole window's lock set. The default merges every
+  // member's requests into ONE sorted pass -- the global (table, partition,
+  // encoded key) order holds across in-flight batches, so two transactions
+  // each pipelining several batches still cannot deadlock. A kStagedOrder
+  // member (rename lock phases, whose total order is the *path* order
+  // shared with per-row lockers) instead acquires exactly as staged;
+  // PrepareBatch isolates such a batch in its own window, so the two
+  // ordering disciplines never mix within one flush.
+  uint32_t fresh_locks = 0;
+  hops::Status lock_st;
+  const bool staged_order = flight.size() == 1 && flight[0].read != nullptr &&
+                            flight[0].read->lock_order() == BatchLockOrder::kStagedOrder;
+  if (!staged_order) {
+    std::vector<LockRequest> combined;
+    for (auto& plan : plans) {
+      std::move(plan.begin(), plan.end(), std::back_inserter(combined));
+    }
+    lock_st = AcquireLockSet(std::move(combined), &fresh_locks);
+  } else {
+    for (const LockRequest& req : plans[0]) {
+      if (req.mode == LockMode::kReadCommitted) continue;
+      auto held = held_locks_.find(std::make_tuple(req.table, req.partition, req.ekey));
+      if (held == held_locks_.end() ||
+          (held->second != LockMode::kExclusive && held->second != req.mode)) {
+        fresh_locks++;
+      }
+      lock_st = AcquireRowLock(req.table, req.partition, req.ekey, req.mode);
+      if (!lock_st.ok()) break;
+    }
+  }
+  if (!lock_st.ok()) {
+    fail_window(lock_st);
+    return lock_st;
+  }
+
+  // Phase 3: each member's data work, in preparation order -- later batches
+  // observe earlier members' staged writes (read-your-writes across the
+  // pipeline). The first failure stops the window; members behind it report
+  // kTxAborted (their work never ran).
+  std::vector<Access> accesses;
+  size_t sync_equiv = 0, read_members = 0;
+  hops::Status first_error;
+  for (size_t i = 0; i < flight.size(); ++i) {
+    hops::Status st;
+    if (flight[i].read != nullptr) {
+      read_members++;
+      st = RunReadBatchData(*flight[i].read, accesses);
+    } else {
+      st = RunWriteBatchData(*flight[i].write, accesses);
+    }
+    batch_results_[flight[i].seq] = st;
+    if (pays[i]) sync_equiv++;
+    if (!st.ok()) {
+      first_error = st;
+      if (pipeline_error_.ok()) pipeline_error_ = st;
+      for (size_t j = i + 1; j < flight.size(); ++j) {
+        batch_results_[flight[j].seq] =
+            hops::Status::TxAborted("a preceding batch in the flush window failed");
+      }
+      break;
+    }
+  }
+
+  // Accounting: the whole window is ONE overlapped round trip (cost max,
+  // not sum, of the member trips). A pure-write window whose locks were all
+  // already held piggybacks for free, as a lone WriteBatch does; the trips
+  // the synchronous path would have paid beyond that one are recorded in
+  // overlapped_round_trips.
+  const uint32_t rt = read_members > 0 || fresh_locks > 0 ? 1 : 0;
+  if (!accesses.empty()) accesses.front().round_trips = rt;
+  auto& s = cluster_->stats_;
+  s.round_trips.fetch_add(rt, std::memory_order_relaxed);
+  if (rt > 0 && sync_equiv > rt) {
+    s.overlapped_round_trips.fetch_add(sync_equiv - rt, std::memory_order_relaxed);
+  }
+  if (trace_enabled_) {
+    for (auto& a : accesses) trace_.accesses.push_back(std::move(a));
+  }
+  return first_error;
+}
+
 hops::Status Transaction::Insert(TableId table, Row row, std::optional<uint64_t> pv) {
+  HOPS_RETURN_IF_ERROR(FlushPending());
+
   const Cluster::Table& t = cluster_->table(table);
   assert(row.size() == t.schema.columns.size());
   Key key = ExtractPk(t.schema, row);
@@ -411,6 +597,8 @@ hops::Status Transaction::Insert(TableId table, Row row, std::optional<uint64_t>
 }
 
 hops::Status Transaction::Update(TableId table, Row row, std::optional<uint64_t> pv) {
+  HOPS_RETURN_IF_ERROR(FlushPending());
+
   const Cluster::Table& t = cluster_->table(table);
   assert(row.size() == t.schema.columns.size());
   Key key = ExtractPk(t.schema, row);
@@ -432,6 +620,8 @@ hops::Status Transaction::Update(TableId table, Row row, std::optional<uint64_t>
 }
 
 hops::Status Transaction::Write(TableId table, Row row, std::optional<uint64_t> pv) {
+  HOPS_RETURN_IF_ERROR(FlushPending());
+
   const Cluster::Table& t = cluster_->table(table);
   assert(row.size() == t.schema.columns.size());
   Key key = ExtractPk(t.schema, row);
@@ -448,6 +638,8 @@ hops::Status Transaction::Write(TableId table, Row row, std::optional<uint64_t> 
 }
 
 hops::Status Transaction::Delete(TableId table, const Key& key, std::optional<uint64_t> pv) {
+  HOPS_RETURN_IF_ERROR(FlushPending());
+
   const Cluster::Table& t = cluster_->table(table);
   HOPS_ASSIGN_OR_RETURN(partition, cluster_->Route(t, key, pv));
   HOPS_RETURN_IF_ERROR(CheckUsable(partition));
@@ -548,6 +740,7 @@ hops::Result<std::vector<Row>> Transaction::ScanPartitions(
 hops::Result<std::vector<Row>> Transaction::Ppis(TableId table, const Key& prefix,
                                                  const ScanOptions& opts,
                                                  std::optional<uint64_t> pv) {
+  HOPS_RETURN_IF_ERROR(FlushPending());
   const Cluster::Table& t = cluster_->table(table);
   HOPS_ASSIGN_OR_RETURN(partition, cluster_->Route(t, prefix, pv));
   return ScanPartitions(table, {partition}, prefix, opts, AccessKind::kPpis,
@@ -556,6 +749,7 @@ hops::Result<std::vector<Row>> Transaction::Ppis(TableId table, const Key& prefi
 
 hops::Result<std::vector<Row>> Transaction::IndexScan(TableId table, const Key& prefix,
                                                       const ScanOptions& opts) {
+  HOPS_RETURN_IF_ERROR(FlushPending());
   std::vector<uint32_t> all(cluster_->num_partitions());
   for (uint32_t p = 0; p < all.size(); ++p) all[p] = p;
   return ScanPartitions(table, all, prefix, opts, AccessKind::kIndexScan,
@@ -564,6 +758,7 @@ hops::Result<std::vector<Row>> Transaction::IndexScan(TableId table, const Key& 
 
 hops::Result<std::vector<Row>> Transaction::FullTableScan(TableId table,
                                                           const ScanOptions& opts) {
+  HOPS_RETURN_IF_ERROR(FlushPending());
   std::vector<uint32_t> all(cluster_->num_partitions());
   for (uint32_t p = 0; p < all.size(); ++p) all[p] = p;
   return ScanPartitions(table, all, {}, opts, AccessKind::kFullTableScan,
@@ -571,6 +766,15 @@ hops::Result<std::vector<Row>> Transaction::FullTableScan(TableId table,
 }
 
 hops::Status Transaction::Commit() {
+  // Commit is a flush point: a failed batch -- in flight, or already
+  // auto-flushed in a window the caller never Waited on -- fails the commit
+  // with its own cause, since its writes are partially staged.
+  hops::Status flush = FlushPending();
+  if (flush.ok()) flush = pipeline_error_;
+  if (!flush.ok()) {
+    if (state_ == State::kActive) Abort();
+    return flush;
+  }
   if (state_ != State::kActive) return hops::Status::TxAborted("transaction is not active");
   if (!cluster_->IsAlive(coordinator_)) {
     Abort();
@@ -623,6 +827,12 @@ hops::Status Transaction::Commit() {
 
 void Transaction::Abort() {
   if (state_ != State::kActive) return;
+  // Batches still in flight never execute; their handles report the abort.
+  for (const auto& f : in_flight_) {
+    batch_results_.emplace(f.seq,
+                           hops::Status::TxAborted("transaction aborted before the batch flushed"));
+  }
+  in_flight_.clear();
   for (const auto& [lk, mode] : held_locks_) {
     const auto& [table_id, partition, ekey] = lk;
     cluster_->table(table_id).partitions[partition]->ReleaseLock(id_, ekey);

@@ -154,10 +154,7 @@ class HopsFsSimulation {
   void NextAccess(Client& c) {
     // Piggybacked lock acquisitions (writes whose row lock was already
     // covered by a batch or an earlier access) cost no round trip and their
-    // rows are serviced at commit. Batched read accesses with
-    // round_trips == 0 ride along with the batch's carrying access for the
-    // network, but their partitions still perform the row work, so they are
-    // dispatched below with a zero RTT.
+    // rows are serviced at commit.
     while (c.access_idx < c.trace->accesses.size() &&
            c.trace->accesses[c.access_idx].round_trips == 0 &&
            c.trace->accesses[c.access_idx].kind == ndb::AccessKind::kPkWrite) {
@@ -167,20 +164,37 @@ class HopsFsSimulation {
       FinishOp(c);
       return;
     }
-    const ndb::Access& access = c.trace->accesses[c.access_idx++];
-    double rtt = cal_.nn_db_rtt_us * access.round_trips;
-    sim_.After(rtt, [this, &c, &access] {
-      // Scatter: every touched partition serves its share in parallel.
-      c.parts_pending = access.parts.size();
+    // An overlapped round-trip window: the carrying access plus every
+    // immediately following rider (round_trips == 0). A rider shares the
+    // carrier's network trip AND its completion wave -- all touched
+    // partitions scatter together and the window completes when the slowest
+    // one answers, so k overlapped trips cost max, not sum, of their
+    // latencies (the async pipelined engine's wall-clock win).
+    const ndb::Access& carrier = c.trace->accesses[c.access_idx++];
+    std::vector<const ndb::Access*> window{&carrier};
+    while (c.access_idx < c.trace->accesses.size() &&
+           c.trace->accesses[c.access_idx].round_trips == 0) {
+      const ndb::Access& rider = c.trace->accesses[c.access_idx++];
+      if (rider.kind == ndb::AccessKind::kPkWrite) continue;  // piggybacked lock
+      window.push_back(&rider);
+    }
+    double rtt = cal_.nn_db_rtt_us * carrier.round_trips;
+    sim_.After(rtt, [this, &c, window = std::move(window)] {
+      // Scatter: every partition touched anywhere in the window serves its
+      // share in parallel.
+      c.parts_pending = 0;
+      for (const ndb::Access* access : window) c.parts_pending += access->parts.size();
       if (c.parts_pending == 0) {
         NextAccess(c);
         return;
       }
-      for (const auto& part : access.parts) {
-        double service = cal_.db_access_base_us + part.rows * cal_.db_row_cpu_us;
-        DbFor(part.partition).Submit(service, [this, &c] {
-          if (--c.parts_pending == 0) NextAccess(c);
-        });
+      for (const ndb::Access* access : window) {
+        for (const auto& part : access->parts) {
+          double service = cal_.db_access_base_us + part.rows * cal_.db_row_cpu_us;
+          DbFor(part.partition).Submit(service, [this, &c] {
+            if (--c.parts_pending == 0) NextAccess(c);
+          });
+        }
       }
     });
   }

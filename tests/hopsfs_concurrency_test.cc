@@ -106,6 +106,44 @@ TEST_F(ConcurrencyTest, ConcurrentRenamesOfSameSourceOneWins) {
   EXPECT_FALSE(setup.Stat("/mv/f").ok());
 }
 
+TEST_F(ConcurrencyTest, CrossingRenamesSerializeWithoutDeadlock) {
+  // Two renames whose lock sets cross: /x/a -> /y/pa while /y/b -> /x/pb.
+  // Each transaction's batched lock phase must wait in the left-ordered
+  // path total order (kStagedOrder), so the two lock sets conflict in the
+  // same sequence and queue instead of deadlocking into lock timeouts.
+  Client setup = cluster_->NewClient(NamenodePolicy::kRoundRobin, "setup");
+  ASSERT_TRUE(setup.Mkdirs("/x").ok());
+  ASSERT_TRUE(setup.Mkdirs("/y").ok());
+  constexpr int kIters = 20;
+  std::atomic<int> failures{0};
+  auto flip = [&](Namenode& nn, const std::string& from_dir, const std::string& to_dir,
+                  const std::string& name) {
+    for (int i = 0; i < kIters; ++i) {
+      std::string src = from_dir + "/" + name + std::to_string(i);
+      std::string dst = to_dir + "/" + name + std::to_string(i);
+      if (!nn.Create(src, "c").ok() || !nn.CompleteFile(src, "c").ok() ||
+          !nn.Rename(src, dst).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+    }
+  };
+  std::thread t1([&] { flip(cluster_->namenode(0), "/x", "/y", "pa"); });
+  std::thread t2([&] { flip(cluster_->namenode(1), "/y", "/x", "pb"); });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(failures.load(), 0);
+  // The renames retried past any transient conflict without a single lock
+  // timeout: the crossing lock phases queued, they never cycled.
+  EXPECT_EQ(cluster_->db().StatsSnapshot().lock_timeouts, 0u);
+  auto in_x = setup.List("/x");
+  auto in_y = setup.List("/y");
+  ASSERT_TRUE(in_x.ok());
+  ASSERT_TRUE(in_y.ok());
+  EXPECT_EQ(in_x->size(), static_cast<size_t>(kIters));  // pb files landed in /x
+  EXPECT_EQ(in_y->size(), static_cast<size_t>(kIters));  // pa files landed in /y
+}
+
 TEST_F(ConcurrencyTest, MixedReadWriteLoadKeepsNamespaceConsistent) {
   Client setup = cluster_->NewClient(NamenodePolicy::kRoundRobin, "setup");
   ASSERT_TRUE(setup.Mkdirs("/mix/a").ok());

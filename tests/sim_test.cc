@@ -110,6 +110,60 @@ TEST(RwLockResTest, BatchGrantsConsecutiveReaders) {
   EXPECT_EQ(granted, 2) << "both waiting readers admitted together";
 }
 
+// An overlapped round-trip window (a carrying access plus zero-trip riders,
+// the shape the async pipelined engine emits) must cost the max, not the
+// sum, of its members' latencies: one network trip, all partitions serving
+// in parallel.
+TEST(ModelOverlapTest, OverlappedWindowCostsMaxNotSum) {
+  Calibration cal;
+  auto mix = wl::OpMix::Single(wl::OpType::kRead);
+
+  // Hand-crafted traces; partitions 0 and 1 land on distinct db stations in
+  // a 2-node topology, so their service genuinely parallelizes.
+  constexpr uint32_t kRows = 100;
+  const double service_us = cal.db_access_base_us + kRows * cal.db_row_cpu_us;
+  auto make_pools = [&](uint32_t rider_trips) {
+    wl::TracePools pools;
+    pools.num_partitions = 2;
+    wl::OpTrace trace;
+    ndb::Access carrier;
+    carrier.kind = ndb::AccessKind::kBatchRead;
+    carrier.round_trips = 1;
+    carrier.parts = {ndb::PartTouch{0, 0, kRows, false}};
+    ndb::Access rider;
+    rider.kind = ndb::AccessKind::kBatchRead;
+    rider.round_trips = rider_trips;
+    rider.parts = {ndb::PartTouch{1, 1, kRows, false}};
+    trace.accesses = {carrier, rider};
+    pools.pools[wl::OpType::kRead] = {trace};
+    return pools;
+  };
+
+  WorkloadSpec spec;
+  spec.mix = &mix;
+  spec.num_clients = 1;
+  spec.duration_s = 0.05;
+  spec.warmup_s = 0;
+
+  auto overlapped_pools = make_pools(/*rider_trips=*/0);
+  spec.traces = &overlapped_pools;
+  auto overlapped = SimulateHopsFs(HopsTopology{1, 2}, spec, cal);
+  auto chained_pools = make_pools(/*rider_trips=*/1);
+  spec.traces = &chained_pools;
+  auto chained = SimulateHopsFs(HopsTopology{1, 2}, spec, cal);
+
+  // Overlapped: request RTT + NN CPU + one DB RTT + max(service, service),
+  // plus the response RTT FinishOp adds.
+  const double expect_overlapped =
+      2 * cal.client_nn_rtt_us + cal.nn_cpu_per_op_us + cal.nn_db_rtt_us + service_us;
+  // Chained: a second DB RTT and the second service in sequence.
+  const double expect_chained = expect_overlapped + cal.nn_db_rtt_us + service_us;
+  ASSERT_GT(overlapped.ops, 0u);
+  ASSERT_GT(chained.ops, 0u);
+  EXPECT_NEAR(overlapped.latency_us.Mean(), expect_overlapped, expect_overlapped * 0.05);
+  EXPECT_NEAR(chained.latency_us.Mean(), expect_chained, expect_chained * 0.05);
+}
+
 // ---------------------------------------------------------------------------
 // Cluster-model shape tests (trace-driven; small capture cluster).
 // ---------------------------------------------------------------------------
