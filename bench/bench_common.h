@@ -5,6 +5,8 @@
 
 #include <cstdio>
 #include <memory>
+#include <mutex>
+#include <vector>
 
 #include "sim/model.h"
 #include "workload/driver.h"
@@ -52,6 +54,84 @@ inline CaptureEnv MakeCapture(const wl::OpMix& mix, int64_t files = 8000, int to
 // Enough closed-loop clients to saturate the configured topology.
 inline int SaturatingClients(int num_namenodes) {
   return std::min(6000, std::max(128, num_namenodes * 90));
+}
+
+// Trace capture under CONCURRENT handler load: runs the closed-loop driver
+// against a namenode with a bounded handler pool (all handler transactions
+// sharing the completion mux when `use_mux`), collecting every committed
+// transaction's database-access trace. Unlike the sequential CollectTraces
+// capture, windows here genuinely merge across transactions, so the traces
+// carry co_scheduled windows whose shared trips the DES model costs as max,
+// not sum. All traces land in one pool (under OpType::kRead) since the mix
+// identity does not matter for the replay cost.
+struct HandlerLoadCapture {
+  wl::TracePools pools;
+  double wall_ops_per_sec = 0;
+  uint64_t cross_tx_saved = 0;      // trips merged away across transactions
+  uint64_t mux_windows = 0;
+  uint64_t mux_rounds = 0;
+  double co_scheduled_fraction = 0;  // co-scheduled windows / all flush windows
+};
+
+inline HandlerLoadCapture CaptureUnderHandlerLoad(int num_handlers, bool use_mux,
+                                                  int clients, int64_t ops_per_client,
+                                                  uint64_t seed) {
+  HandlerLoadCapture cap;
+  hops::fs::MiniClusterOptions options;
+  options.db.num_datanodes = 4;
+  options.db.replication = 2;
+  options.db.use_completion_mux = use_mux;
+  options.fs.num_handlers = num_handlers;
+  options.num_namenodes = 1;
+  options.num_datanodes = 3;
+  auto cluster = *hops::fs::MiniCluster::Start(options);
+  wl::NamespaceShape shape;
+  auto ns = wl::PlanNamespace(shape, 1500, seed);
+  wl::BulkLoader loader(&cluster->db(), &cluster->schema(), &cluster->fs_config());
+  if (!loader.Load(ns, 1.3, 0, seed).ok()) std::abort();
+
+  std::mutex mu;
+  std::vector<wl::OpTrace> traces;
+  cluster->namenode(0).SetTraceSink([&](const hops::ndb::CostTrace& trace) {
+    std::lock_guard<std::mutex> lock(mu);
+    traces.push_back(wl::OpTrace{trace.accesses});
+  });
+  cluster->db().ResetStats();
+
+  wl::DriverOptions opts;
+  opts.num_threads = clients;
+  opts.ops_per_thread = ops_per_client;
+  opts.seed = seed;
+  auto mix = wl::OpMix::Spotify();
+  auto report = wl::RunDriver(
+      [&](int t) {
+        return wl::MakeHopsAdapter(cluster->NewClient(hops::fs::NamenodePolicy::kSticky,
+                                                      "cap" + std::to_string(t),
+                                                      90 + static_cast<uint64_t>(t)));
+      },
+      ns, mix, opts);
+  cluster->namenode(0).SetTraceSink(nullptr);
+
+  cap.wall_ops_per_sec = report.ops_per_second;
+  auto stats = cluster->db().StatsSnapshot();
+  cap.cross_tx_saved = stats.cross_tx_overlapped_round_trips;
+  cap.mux_windows = stats.mux_windows;
+  cap.mux_rounds = stats.mux_rounds;
+  uint64_t windows = 0, co_scheduled = 0;
+  for (const auto& t : traces) {
+    for (const auto& a : t.accesses) {
+      if (a.round_trips > 0 && a.kind != hops::ndb::AccessKind::kCommit) windows++;
+      if (a.co_scheduled) {
+        windows++;
+        co_scheduled++;
+      }
+    }
+  }
+  cap.co_scheduled_fraction =
+      windows > 0 ? static_cast<double>(co_scheduled) / static_cast<double>(windows) : 0;
+  cap.pools.num_partitions = cluster->db().num_partitions();
+  cap.pools.pools[wl::OpType::kRead] = std::move(traces);
+  return cap;
 }
 
 }  // namespace hops::bench

@@ -13,6 +13,70 @@
 
 namespace hops::fs {
 
+namespace {
+
+// Stages removal of replicas[base..end) in `tx`: ONE probe batch carries
+// every replica's triple (X-locking block get, X-locking replica get --
+// pinning the row so a concurrent operation cannot invalidate the staged
+// delete -- and a replica-population scan shared by same-block siblings) in
+// a single round trip, then one write batch stages the deletes and
+// under-replication markers. `removed` is reset per attempt so a retried
+// transaction never double counts. Shared by ProcessBlockReport pass 2 and
+// HandleDatanodeFailure.
+hops::Status RemoveReplicaChunk(const MetadataSchema* schema, ndb::Transaction& tx,
+                                const std::vector<Replica>& replicas, size_t base, size_t end,
+                                int64_t* removed) {
+  *removed = 0;
+  struct ProbeSlots {
+    size_t block_slot = 0;
+    size_t replica_slot = 0;
+    size_t reps_slot = 0;
+  };
+  ndb::ReadBatch probes;
+  std::vector<ProbeSlots> slots;
+  slots.reserve(end - base);
+  std::map<std::pair<InodeId, BlockId>, size_t> scan_slots;
+  for (size_t i = base; i < end; ++i) {
+    const Replica& rep = replicas[i];
+    ProbeSlots p;
+    p.block_slot =
+        probes.Get(schema->blocks, {rep.inode_id, rep.block_id}, ndb::LockMode::kExclusive);
+    p.replica_slot = probes.Get(schema->replicas, {rep.inode_id, rep.block_id, rep.datanode_id},
+                                ndb::LockMode::kExclusive);
+    auto [it, fresh] = scan_slots.try_emplace(std::make_pair(rep.inode_id, rep.block_id), 0);
+    if (fresh) it->second = probes.Scan(schema->replicas, {rep.inode_id, rep.block_id});
+    p.reps_slot = it->second;
+    slots.push_back(p);
+  }
+  HOPS_RETURN_IF_ERROR(tx.Execute(probes));
+  ndb::WriteBatch writes;
+  // Several removed replicas of the SAME block can sit in one chunk; the
+  // under-replication check must see the siblings' staged deletes, not just
+  // the shared pre-delete snapshot.
+  std::map<std::pair<InodeId, BlockId>, int64_t> staged_deletes;
+  for (size_t i = base; i < end; ++i) {
+    const ProbeSlots& p = slots[i - base];
+    const Replica& rep = replicas[i];
+    if (!probes.row(p.replica_slot).has_value()) {
+      continue;  // consumed by a concurrent operation before our lock
+    }
+    writes.Delete(schema->replicas, {rep.inode_id, rep.block_id, rep.datanode_id});
+    (*removed)++;
+    int64_t staged = ++staged_deletes[{rep.inode_id, rep.block_id}];
+    if (probes.row(p.block_slot).has_value()) {
+      Block b = BlockFromRow(*probes.row(p.block_slot));
+      int64_t population = static_cast<int64_t>(probes.rows(p.reps_slot).size());
+      if (population - staged < b.replication) {
+        Replica urb{rep.inode_id, rep.block_id, 0, ReplicaState::kFinalized};
+        writes.Write(schema->urb, ToRow(urb));
+      }
+    }
+  }
+  return tx.Execute(writes);
+}
+
+}  // namespace
+
 hops::Status Namenode::BlockReceived(DatanodeId dn, BlockId block_id) {
   HOPS_RETURN_IF_ERROR(CheckAlive());
   return RunTx(
@@ -133,62 +197,7 @@ hops::Result<BlockReportResult> Namenode::ProcessBlockReport(
     const size_t end = std::min(stale.size(), base + kStaleChunk);
     int64_t removed = 0;
     hops::Status st = RunTx(std::nullopt, [&](ndb::Transaction& tx) -> hops::Status {
-      removed = 0;
-      // One batch carries every stale replica's probe triple (X-locking
-      // block get, X-locking replica get -- pinning the row so a concurrent
-      // removal cannot invalidate the staged delete -- and a
-      // replica-population scan): a whole chunk reads in one round trip,
-      // then one write batch stages the removals.
-      struct ProbeSlots {
-        size_t block_slot = 0;
-        size_t replica_slot = 0;
-        size_t reps_slot = 0;
-      };
-      ndb::ReadBatch probes;
-      std::vector<ProbeSlots> slots;
-      slots.reserve(end - base);
-      // Stale siblings of the same block share one population scan (and the
-      // block-row lock request dedupes inside the batch).
-      std::map<std::pair<InodeId, BlockId>, size_t> scan_slots;
-      for (size_t i = base; i < end; ++i) {
-        const Replica& rep = stale[i];
-        ProbeSlots p;
-        p.block_slot = probes.Get(schema_->blocks, {rep.inode_id, rep.block_id},
-                                  ndb::LockMode::kExclusive);
-        p.replica_slot =
-            probes.Get(schema_->replicas, {rep.inode_id, rep.block_id, rep.datanode_id},
-                       ndb::LockMode::kExclusive);
-        auto [it, fresh] =
-            scan_slots.try_emplace(std::make_pair(rep.inode_id, rep.block_id), 0);
-        if (fresh) it->second = probes.Scan(schema_->replicas, {rep.inode_id, rep.block_id});
-        p.reps_slot = it->second;
-        slots.push_back(p);
-      }
-      HOPS_RETURN_IF_ERROR(tx.Execute(probes));
-      ndb::WriteBatch writes;
-      // Several stale replicas of the SAME block may sit in one chunk; the
-      // under-replication check must see the siblings' staged deletes, not
-      // just the shared pre-delete snapshot.
-      std::map<std::pair<InodeId, BlockId>, int64_t> staged_deletes;
-      for (size_t i = base; i < end; ++i) {
-        const ProbeSlots& p = slots[i - base];
-        const Replica& rep = stale[i];
-        if (!probes.row(p.replica_slot).has_value()) {
-          continue;  // consumed by a concurrent operation before our lock
-        }
-        writes.Delete(schema_->replicas, {rep.inode_id, rep.block_id, rep.datanode_id});
-        removed++;
-        int64_t staged = ++staged_deletes[{rep.inode_id, rep.block_id}];
-        if (probes.row(p.block_slot).has_value()) {
-          Block b = BlockFromRow(*probes.row(p.block_slot));
-          int64_t population = static_cast<int64_t>(probes.rows(p.reps_slot).size());
-          if (population - staged < b.replication) {
-            Replica urb{rep.inode_id, rep.block_id, 0, ReplicaState::kFinalized};
-            writes.Write(schema_->urb, ToRow(urb));
-          }
-        }
-      }
-      return tx.Execute(writes);
+      return RemoveReplicaChunk(schema_, tx, stale, base, end, &removed);
     });
     if (!st.ok()) return st;
     result.replicas_removed += removed;
@@ -214,37 +223,34 @@ hops::Result<int64_t> Namenode::HandleDatanodeFailure(DatanodeId dn) {
     if (!ruc_rows.ok()) return ruc_rows.status();
     for (const auto& row : *ruc_rows) lost_ruc.push_back(ReplicaFromRow(row));
   }
+  // The per-row path paid a whole transaction (3-4 round trips) per lost
+  // replica. Each chunk now runs ONE transaction through the same
+  // RemoveReplicaChunk pipeline ProcessBlockReport pass 2 uses: one probe
+  // batch round trip, one write batch of removals + under-replication
+  // markers.
   int64_t affected = 0;
-  for (const Replica& rep : lost) {
-    hops::Status st = RunTx(
-        ndb::TxHint{schema_->blocks, static_cast<uint64_t>(rep.inode_id)},
-        [&](ndb::Transaction& tx) -> hops::Status {
-          auto block_row =
-              tx.Read(schema_->blocks, {rep.inode_id, rep.block_id}, ndb::LockMode::kExclusive);
-          hops::Status del =
-              tx.Delete(schema_->replicas, {rep.inode_id, rep.block_id, rep.datanode_id});
-          if (!del.ok()) {
-            return del.code() == hops::StatusCode::kNotFound ? hops::Status::Ok() : del;
-          }
-          if (block_row.ok()) {
-            Block b = BlockFromRow(*block_row);
-            HOPS_ASSIGN_OR_RETURN(reps,
-                                  tx.Ppis(schema_->replicas, {rep.inode_id, rep.block_id}));
-            if (static_cast<int64_t>(reps.size()) < b.replication) {
-              Replica urb{rep.inode_id, rep.block_id, 0, ReplicaState::kFinalized};
-              HOPS_RETURN_IF_ERROR(tx.Write(schema_->urb, ToRow(urb)));
-            }
-          }
-          return hops::Status::Ok();
-        });
-    if (!st.ok()) return st;
-    affected++;
-  }
-  for (const Replica& rep : lost_ruc) {
+  constexpr size_t kChunk = 128;
+  for (size_t base = 0; base < lost.size(); base += kChunk) {
+    const size_t end = std::min(lost.size(), base + kChunk);
+    int64_t removed = 0;
     hops::Status st = RunTx(std::nullopt, [&](ndb::Transaction& tx) -> hops::Status {
-      hops::Status del = tx.Delete(schema_->ruc, {rep.inode_id, rep.block_id, rep.datanode_id});
-      if (!del.ok() && del.code() != hops::StatusCode::kNotFound) return del;
-      return hops::Status::Ok();
+      return RemoveReplicaChunk(schema_, tx, lost, base, end, &removed);
+    });
+    if (!st.ok()) return st;
+    affected += removed;
+  }
+  // In-flight writes the datanode will never finish: drop the whole chunk's
+  // RUC rows in one write batch per transaction.
+  constexpr size_t kRucChunk = 256;
+  for (size_t base = 0; base < lost_ruc.size(); base += kRucChunk) {
+    const size_t end = std::min(lost_ruc.size(), base + kRucChunk);
+    hops::Status st = RunTx(std::nullopt, [&](ndb::Transaction& tx) -> hops::Status {
+      ndb::WriteBatch writes;
+      for (size_t i = base; i < end; ++i) {
+        const Replica& rep = lost_ruc[i];
+        writes.DeleteIfExists(schema_->ruc, {rep.inode_id, rep.block_id, rep.datanode_id});
+      }
+      return tx.Execute(writes);
     });
     if (!st.ok()) return st;
   }

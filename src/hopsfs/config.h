@@ -38,6 +38,14 @@ struct FsConfig {
   // isolates exactly the phase-3 delta.
   bool subtree_pipelined = true;
 
+  // Handler threads per namenode (paper §7.1's many-handlers model). Client
+  // requests are enqueued and each handler runs one operation's transaction
+  // at a time; all handlers of all namenodes share the database's
+  // cross-transaction completion mux, so their flush windows merge into
+  // overlapped round trips. 0 = no pool: operations run inline on the
+  // calling thread (the pre-handler-pool behavior).
+  int num_handlers = 0;
+
   // Heartbeats a namenode may miss before peers consider it dead.
   int leader_missed_rounds = 2;
 

@@ -75,6 +75,8 @@ Namenode::Namenode(ndb::Cluster* db, const MetadataSchema* schema, const FsConfi
     : db_(db),
       schema_(schema),
       config_(config),
+      handlers_(config->num_handlers > 0 ? std::make_unique<HandlerPool>(config->num_handlers)
+                                         : nullptr),
       election_(db, schema, config, std::move(location)),
       hint_cache_(config->hint_cache_capacity),
       inode_ids_(db, schema, kVarNextInodeId, config->id_chunk_size),
@@ -109,23 +111,20 @@ hops::Status Namenode::RunTx(std::optional<ndb::TxHint> hint,
     std::lock_guard<std::mutex> lock(trace_mu_);
     want_trace = trace_sink_ != nullptr;
   }
+  // With a handler pool, each ATTEMPT is enqueued and a handler thread owns
+  // that transaction end to end, while the retry loop -- and in particular
+  // its subtree-wait backoff sleeps -- stays on the caller's thread. A
+  // waiter must not hold a handler slot while it sleeps: the subtree
+  // operation it is waiting out enqueues its own phase transactions behind
+  // the pool, and sleeping waiters would starve it (priority inversion).
+  // Work already running on a handler (an operation issuing several
+  // transactions) stays on its handler.
+  const bool dispatch = handlers_ != nullptr && !HandlerPool::OnHandlerThread();
   for (int attempt = 0; attempt < config_->max_tx_retries;) {
-    HOPS_RETURN_IF_ERROR(CheckAlive());
-    auto tx = db_->Begin(hint);
-    if (want_trace) tx->EnableTrace();
-    hops::Status st = body(*tx);
-    if (st.ok()) {
-      st = tx->Commit();
-      if (st.ok()) {
-        if (want_trace) {
-          std::lock_guard<std::mutex> lock(trace_mu_);
-          if (trace_sink_) trace_sink_(tx->trace());
-        }
-        return st;
-      }
-    } else if (tx->active()) {
-      tx->Abort();
-    }
+    hops::Status st = dispatch
+                          ? handlers_->Run([&] { return RunTxAttempt(hint, body, want_trace); })
+                          : RunTxAttempt(hint, body, want_trace);
+    if (st.ok()) return st;
     if (st.code() == hops::StatusCode::kSubtreeLocked) {
       // An active subtree operation owns part of the path: voluntarily back
       // off and retry once the lock clears (§6.3).
@@ -141,6 +140,25 @@ hops::Status Namenode::RunTx(std::optional<ndb::TxHint> hint,
     return st;
   }
   return hops::Status::TxAborted("operation exhausted its transaction retries");
+}
+
+hops::Status Namenode::RunTxAttempt(
+    std::optional<ndb::TxHint> hint,
+    const std::function<hops::Status(ndb::Transaction&)>& body, bool want_trace) {
+  HOPS_RETURN_IF_ERROR(CheckAlive());
+  auto tx = db_->Begin(hint);
+  if (want_trace) tx->EnableTrace();
+  hops::Status st = body(*tx);
+  if (st.ok()) {
+    st = tx->Commit();
+    if (st.ok() && want_trace) {
+      std::lock_guard<std::mutex> lock(trace_mu_);
+      if (trace_sink_) trace_sink_(tx->trace());
+    }
+    return st;
+  }
+  if (tx->active()) tx->Abort();
+  return st;
 }
 
 // --- Path resolution & locking (Figure 4, lines 1-6) -------------------------

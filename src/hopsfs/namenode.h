@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "hopsfs/config.h"
+#include "hopsfs/handler_pool.h"
 #include "hopsfs/inode_cache.h"
 #include "hopsfs/leader.h"
 #include "hopsfs/path.h"
@@ -88,6 +89,9 @@ class Namenode {
   LeaderElection& election() { return election_; }
   InodeHintCache& hint_cache() { return hint_cache_; }
   const FsConfig& config() const { return *config_; }
+  // The request handler pool (null when FsConfig::num_handlers == 0 and
+  // operations run inline on the calling thread).
+  HandlerPool* handler_pool() { return handlers_.get(); }
 
   // Datanode pool used to place new block replicas.
   void SetDatanodePicker(std::function<std::vector<DatanodeId>(int)> picker);
@@ -179,9 +183,18 @@ class Namenode {
   };
 
   // Runs `body` inside a transaction with retries for lock timeouts, aborted
-  // transactions and subtree-lock waits (exponential backoff).
+  // transactions and subtree-lock waits (exponential backoff). With a
+  // handler pool configured, each attempt is enqueued and runs on a handler
+  // thread -- the handler owns that transaction, and the caller blocks for
+  // the result like an RPC client would while backoff sleeps stay on the
+  // caller's thread (a sleeping waiter must not occupy a handler slot);
+  // nested calls already on a handler run inline.
   hops::Status RunTx(std::optional<ndb::TxHint> hint,
                      const std::function<hops::Status(ndb::Transaction&)>& body);
+  // One attempt: begin, body, commit-or-abort; no retry classification.
+  hops::Status RunTxAttempt(std::optional<ndb::TxHint> hint,
+                            const std::function<hops::Status(ndb::Transaction&)>& body,
+                            bool want_trace);
 
   // Figure 4 lines 1-6: resolve the path (hint cache + batched read, with
   // recursive fallback), then lock the last component(s) in total order.
@@ -327,6 +340,7 @@ class Namenode {
   ndb::Cluster* const db_;
   const MetadataSchema* const schema_;
   const FsConfig* const config_;
+  std::unique_ptr<HandlerPool> handlers_;
   LeaderElection election_;
   InodeHintCache hint_cache_;
   IdAllocator inode_ids_;

@@ -1,0 +1,103 @@
+// Cross-transaction completion multiplexer (the shared sendPollNdb reactor).
+//
+// PR 2's async engine overlaps batches *within* one transaction; a namenode,
+// however, runs many concurrent handler threads, each owning its own
+// transaction (paper §7.1), and every handler still paid its own poll/flush
+// round trip. The CompletionMux is one completion loop per NDB cluster onto
+// which ANY transaction's in-flight window is registered: windows from N
+// concurrent transactions that are ready together flush as ONE overlapped
+// round trip (cost max, not sum), while
+//  * the combined lock set of a round is still acquired in the global
+//    (table, partition, encoded key) order -- now ACROSS transactions;
+//  * per-transaction read-your-writes is preserved (a transaction's window
+//    members run in preparation order against its own write set; other
+//    transactions' staged writes stay invisible until their commit);
+//  * errors stay sticky per handle: a failing member poisons only its own
+//    transaction, which still refuses to Commit().
+//
+// The loop never blocks on a row lock: the combined pass uses non-blocking
+// try-acquisition, and a window that hits a contended row is *deferred* --
+// its freshly taken locks are handed back, its shared->exclusive upgrades
+// atomically stepped back down (a deferred window holds nothing it did not
+// already hold), and the window retries on a later round, until the holder
+// (whose handler the mux, by construction, is not blocking) commits --
+// commits wake the loop immediately -- or until the window's lock-wait
+// deadline expires and it fails with the same kLockTimeout an ordinary
+// blocked acquisition reports. This keeps the reactor deadlock-free even
+// when transactions keep locks across windows in crossing orders.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ndb/cluster.h"
+#include "util/status.h"
+
+namespace hops::ndb {
+
+class CompletionMux {
+ public:
+  explicit CompletionMux(Cluster* cluster);
+  ~CompletionMux();
+
+  CompletionMux(const CompletionMux&) = delete;
+  CompletionMux& operator=(const CompletionMux&) = delete;
+
+  // Registers the transaction's current in-flight window with the loop and
+  // blocks the calling handler until the window's outcomes are delivered
+  // into the transaction (batch_results_). Returns the first member's
+  // failure, if any -- the same contract as Transaction::FlushPending. The
+  // caller must be the thread driving `tx`; while parked here the mux owns
+  // the transaction's state. Teardown contract: the Cluster (and so this
+  // mux) must outlive every transaction, i.e. no thread may still be parked
+  // here when the cluster is destroyed -- the destructor fails stragglers
+  // defensively, but a parked handler at that point already holds dangling
+  // cluster references.
+  hops::Status SubmitAndWait(Transaction* tx);
+
+  // Kicks the loop so deferred windows retry immediately after a
+  // transaction releases its locks (called from Commit/Abort) instead of
+  // waiting out the retry interval.
+  void NotifyLocksReleased() { wake_.notify_all(); }
+
+  // --- Test hooks ------------------------------------------------------------
+  // Pausing stops the loop from starting new rounds (submissions still
+  // queue), so a test can force windows from several threads into one
+  // deterministic co-flushed round.
+  void SetPausedForTesting(bool paused);
+  size_t QueuedForTesting() const;
+
+ private:
+  struct Submission {
+    Transaction* tx = nullptr;
+    std::vector<Transaction::InFlightBatch> window;
+    std::chrono::steady_clock::time_point deadline;
+    bool done = false;
+    hops::Status result;
+  };
+
+  void Loop();
+  // One reactor round over `active`: route, combined global-order try-lock
+  // pass, per-window data work, group trip accounting. Completed (or failed)
+  // submissions are signalled and removed; deferred ones stay for the next
+  // round.
+  void RunRound(std::vector<std::shared_ptr<Submission>>& active);
+  void Complete(const std::shared_ptr<Submission>& sub, hops::Status result);
+
+  Cluster* const cluster_;
+  mutable std::mutex mu_;
+  std::condition_variable wake_;       // loop wake-ups (submission/stop/resume)
+  std::condition_variable done_;       // handler wake-ups
+  std::deque<std::shared_ptr<Submission>> queue_;
+  bool stop_ = false;
+  bool paused_ = false;
+  std::thread loop_;
+};
+
+}  // namespace hops::ndb

@@ -188,6 +188,61 @@ TEST_F(WorkloadClusterTest, DriverRunsOnHdfsBaseline) {
   EXPECT_EQ(report.failures, 0u);
 }
 
+// Deterministic-seed stress mode: the closed-loop driver pushed through a
+// namenode handler pool sharing the completion mux, under a fixed RNG seed.
+// Two runs on identical clusters must sample the identical op stream (the
+// per-op counts fingerprint) and complete without a single failure, however
+// the mux interleaves the concurrent transactions' windows.
+TEST(WorkloadStressTest, DriverDeterministicSeedStressThroughHandlerPoolAndMux) {
+  constexpr uint64_t kSeed = 77;
+  auto run_once = [&] {
+    hops::fs::MiniClusterOptions options;
+    options.db.num_datanodes = 4;
+    options.db.replication = 2;
+    options.db.lock_wait_timeout = std::chrono::milliseconds(500);
+    options.db.use_completion_mux = true;
+    options.fs.num_handlers = 4;
+    options.num_namenodes = 2;
+    options.num_datanodes = 3;
+    auto cluster = *hops::fs::MiniCluster::Start(options);
+    NamespaceShape shape;
+    auto ns = PlanNamespace(shape, 120, kSeed);
+    BulkLoader loader(&cluster->db(), &cluster->schema(), &cluster->fs_config());
+    EXPECT_TRUE(loader.Load(ns, 1.3, 0, kSeed).ok());
+    DriverOptions opts;
+    opts.num_threads = 4;
+    opts.ops_per_thread = 150;
+    opts.seed = kSeed;
+    auto report = RunDriver(
+        [&](int t) {
+          return MakeHopsAdapter(cluster->NewClient(hops::fs::NamenodePolicy::kRoundRobin,
+                                                    "st" + std::to_string(t), 50 + t));
+        },
+        ns, OpMix::Spotify(), opts);
+    // The multiplexed path really ran: handler pools served the requests and
+    // the mux flushed windows.
+    uint64_t served = 0;
+    for (int i = 0; i < cluster->num_namenodes(); ++i) {
+      served += cluster->namenode(i).handler_pool()->requests_served();
+    }
+    EXPECT_GT(served, 0u);
+    auto stats = cluster->db().StatsSnapshot();
+    EXPECT_GT(stats.mux_windows, 0u);
+    EXPECT_EQ(stats.lock_timeouts, 0u);
+    return report;
+  };
+
+  auto first = run_once();
+  EXPECT_EQ(first.ops, 600u);
+  EXPECT_EQ(first.failures, 0u) << "stress ops must all succeed through the pool";
+
+  auto second = run_once();
+  EXPECT_EQ(second.ops, first.ops);
+  EXPECT_EQ(second.failures, 0u);
+  EXPECT_EQ(second.counts, first.counts)
+      << "a fixed seed samples the identical op stream on every run";
+}
+
 TEST_F(WorkloadClusterTest, TraceCaptureCoversMixAndShowsLocality) {
   NamespaceShape shape;
   auto ns = PlanNamespace(shape, 100, 7);
