@@ -5,7 +5,94 @@
 // scaling in namenodes until the NDB cluster saturates; the 2-node curve
 // flattens earliest; the hotspot curve is bounded by a single shard but
 // still beats HDFS; HDFS is flat regardless of offered load.
+//
+// Also runs the inode hint-cache ablation (§5.1): the same closed loop on a
+// real MiniCluster with (a) the trie cache plus proactive invalidation-log
+// draining, (b) the cache with lazy repair-on-miss only, and (c) the cache
+// disabled -- reporting throughput, database round trips per op, and the
+// cache counters.
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
 #include "bench_common.h"
+
+namespace {
+
+void RunHintCacheAblation(const hops::wl::OpMix& mix) {
+  using namespace hops;
+  const bool full = std::getenv("HOPS_BENCH_FULL") != nullptr;
+  const int64_t files = full ? 4000 : 800;
+  const int threads = 4;
+  const int64_t ops_per_thread = full ? 2500 : 500;
+
+  std::printf("\n# hint-cache ablation (real 3-NN MiniCluster, closed loop)\n");
+  std::printf("%-10s %10s %12s %9s %12s %12s %12s\n", "cache", "ops/sec", "trips/op",
+              "hit-rate", "invalidated", "proactive", "stale-puts");
+
+  struct Cfg {
+    const char* label;
+    size_t capacity;
+    bool proactive;
+  };
+  for (const Cfg& cfg : {Cfg{"proactive", size_t{1} << 20, true},
+                         Cfg{"lazy", size_t{1} << 20, false},  //
+                         Cfg{"off", 0, false}}) {
+    fs::MiniClusterOptions options;
+    options.db.num_datanodes = 4;
+    options.db.replication = 2;
+    options.num_namenodes = 3;
+    options.num_datanodes = 3;
+    options.fs.hint_cache_capacity = cfg.capacity;
+    options.fs.hint_proactive_invalidation = cfg.proactive;
+    auto cluster = *fs::MiniCluster::Start(options);
+    wl::NamespaceShape shape;
+    auto ns = wl::PlanNamespace(shape, files, 11);
+    wl::BulkLoader loader(&cluster->db(), &cluster->schema(), &cluster->fs_config());
+    if (!loader.Load(ns, 1.3, 0, 11).ok()) std::abort();
+    cluster->db().ResetStats();
+
+    // The heartbeat ticker is what drains the invalidation log mid-run.
+    std::atomic<bool> stop{false};
+    std::thread ticker([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        cluster->TickHeartbeats();
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+
+    wl::DriverOptions dopts;
+    dopts.num_threads = threads;
+    dopts.ops_per_thread = ops_per_thread;
+    dopts.seed = 11;
+    auto report = wl::RunDriver(
+        [&](int t) {
+          return wl::MakeHopsAdapter(
+              cluster->NewClient(fs::NamenodePolicy::kRoundRobin,
+                                 "ablate" + std::to_string(t),
+                                 70 + static_cast<uint64_t>(t)));
+        },
+        ns, mix, dopts);
+    stop.store(true);
+    ticker.join();
+    wl::FillHintStats(*cluster, report);
+
+    auto db = cluster->db().StatsSnapshot();
+    const auto& hint = *report.hint_stats;
+    std::printf("%-10s %10.0f %12.2f %8.1f%% %12llu %12llu %12llu\n", cfg.label,
+                report.ops_per_second,
+                report.ops > 0 ? static_cast<double>(db.round_trips) /
+                                     static_cast<double>(report.ops)
+                               : 0.0,
+                100.0 * hint.HitRate(),
+                static_cast<unsigned long long>(hint.cache.entries_invalidated),
+                static_cast<unsigned long long>(hint.proactive_applied),
+                static_cast<unsigned long long>(hint.cache.stale_put_rejections));
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
 
 int main() {
   using namespace hops;
@@ -72,5 +159,7 @@ int main() {
     std::printf("equivalent-hardware check: HopsFS 3NNx2NDB = %.0f ops/sec (%.2fx HDFS)\n",
                 r.ops_per_sec, r.ops_per_sec / hdfs.ops_per_sec);
   }
+
+  RunHintCacheAblation(mix);
   return 0;
 }

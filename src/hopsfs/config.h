@@ -56,6 +56,18 @@ struct FsConfig {
   // Inode hint cache capacity (entries) per namenode; 0 disables the cache
   // (used by the ablation benchmark).
   size_t hint_cache_capacity = 1 << 20;
+
+  // Proactive cross-namenode hint invalidation (§5.1 extension): mutating
+  // namenodes append (seq, prefix, op) records to the DB-backed
+  // hint_invalidations log and every namenode drains the log on its
+  // heartbeat tick, invalidating the affected prefixes locally. Off = the
+  // paper's lazy repair-on-miss only (kept for the ablation benchmark;
+  // correctness never depends on the log, only round trips do).
+  bool hint_proactive_invalidation = true;
+  // Leader GC: log records older than this are reaped on the leader's
+  // heartbeat. Namenodes that heartbeat slower than this simply fall back
+  // to lazy repair for the reaped records.
+  std::chrono::milliseconds hint_invalidation_ttl{10000};
 };
 
 }  // namespace hops::fs

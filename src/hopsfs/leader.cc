@@ -1,5 +1,7 @@
 #include "hopsfs/leader.h"
 
+#include "util/clock.h"
+
 namespace hops::fs {
 
 LeaderElection::LeaderElection(ndb::Cluster* db, const MetadataSchema* schema,
@@ -91,12 +93,50 @@ hops::Status LeaderElection::Heartbeat() {
     }
   }
 
-  // The leader lazily evicts rows of long-dead namenodes.
+  // The leader lazily evicts rows of long-dead namenodes...
   if (IsLeader()) {
     for (NamenodeId nn : dead) {
       auto tx = db_->Begin(ndb::TxHint{schema_->leader, static_cast<uint64_t>(nn)});
       if (tx->Delete(schema_->leader, {nn}).ok()) {
         (void)tx->Commit();
+      }
+    }
+    // ...and reaps expired hint-invalidation log records. Every namenode has
+    // had hint_invalidation_ttl worth of heartbeats to drain them; one that
+    // heartbeats slower than that falls back to lazy repair-on-miss, which
+    // stays correct (hints are advisory). The seq counter doubles as an
+    // emptiness check so an idle cluster pays one PK read, not a scan.
+    if (config_->hint_proactive_invalidation) {
+      auto tx = db_->Begin(ndb::TxHint{schema_->hint_invalidations, 0});
+      auto counter = tx->Read(schema_->variables, {kVarNextHintInvalidationSeq},
+                              ndb::LockMode::kReadCommitted);
+      const int64_t next = counter.ok() ? (*counter)[col::kVarValue].i64() : -1;
+      if (counter.ok() && next == gc_clean_through_) {
+        (void)tx->Commit();
+      } else {
+        auto rows = tx->FullTableScan(schema_->hint_invalidations);
+        if (rows.ok()) {
+          const int64_t cutoff =
+              MonotonicMicros() -
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  config_->hint_invalidation_ttl)
+                  .count();
+          bool residue = false;
+          for (const auto& row : *rows) {
+            if (row[col::kHintMtime].i64() >= cutoff) {
+              residue = true;  // not expired yet; scan again next round
+              continue;
+            }
+            if (!tx->Delete(schema_->hint_invalidations, {row[col::kHintSeq].i64()})
+                     .ok()) {
+              residue = true;
+              break;
+            }
+          }
+          if (tx->Commit().ok() && !residue && counter.ok()) {
+            gc_clean_through_ = next;
+          }
+        }
       }
     }
   }

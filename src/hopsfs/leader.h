@@ -62,6 +62,10 @@ class LeaderElection : public MembershipView {
   mutable std::mutex mu_;
   int64_t round_ = 0;
   std::map<NamenodeId, PeerState> peers_;
+  // Hint-invalidation log GC bookmark: the log was observed empty after a
+  // reap when the seq counter stood here, so until the counter moves there
+  // is nothing to scan. Touched only from Heartbeat.
+  int64_t gc_clean_through_ = -1;
 };
 
 }  // namespace hops::fs

@@ -62,6 +62,22 @@ Datanode* MiniCluster::FindDatanode(DatanodeId id) {
   return nullptr;
 }
 
+ClusterHintStats MiniCluster::AggregateHintStats() {
+  ClusterHintStats out;
+  for (auto& nn : namenodes_) {
+    if (!nn) continue;
+    InodeHintCache::Stats s = nn->hint_cache().stats();
+    out.cache.hits += s.hits;
+    out.cache.misses += s.misses;
+    out.cache.evictions += s.evictions;
+    out.cache.invalidations += s.invalidations;
+    out.cache.entries_invalidated += s.entries_invalidated;
+    out.cache.stale_put_rejections += s.stale_put_rejections;
+    out.proactive_applied += nn->proactive_invalidations_applied();
+  }
+  return out;
+}
+
 void MiniCluster::KillNamenode(int i) { namenodes_[static_cast<size_t>(i)]->Kill(); }
 
 hops::Status MiniCluster::RestartNamenode(int i) {

@@ -21,6 +21,20 @@ struct MiniClusterOptions {
   int num_datanodes = 3;
 };
 
+// Aggregate hint-cache counters across a cluster's namenodes, plus how many
+// remote invalidation-log records the heartbeat drains applied. Surfaced in
+// the workload driver report and the bench_fig06 hint-cache ablation.
+struct ClusterHintStats {
+  InodeHintCache::Stats cache;
+  uint64_t proactive_applied = 0;
+
+  double HitRate() const {
+    uint64_t lookups = cache.hits + cache.misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(cache.hits) / static_cast<double>(lookups);
+  }
+};
+
 class MiniCluster {
  public:
   // Builds the database, formats the schema, and starts the namenodes.
@@ -39,6 +53,10 @@ class MiniCluster {
   int num_datanodes() const { return static_cast<int>(datanodes_.size()); }
   Datanode& datanode(int i) { return *datanodes_[static_cast<size_t>(i)]; }
   Datanode* FindDatanode(DatanodeId id);
+
+  // Sums every namenode's hint-cache counters (dead ones included: their
+  // history is part of the run).
+  ClusterHintStats AggregateHintStats();
 
   // Kills namenode i (simulated process death; its id is retired).
   void KillNamenode(int i);

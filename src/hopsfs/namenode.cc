@@ -93,7 +93,132 @@ Namenode::~Namenode() = default;
 
 hops::Status Namenode::Start() {
   HOPS_RETURN_IF_ERROR(election_.Register());
-  return election_.Heartbeat();
+  PrimeHintInvalidationMark();
+  return Heartbeat();
+}
+
+void Namenode::PrimeHintInvalidationMark() {
+  // Runs before this namenode serves anything: the hint cache is empty, so
+  // no record published so far can name a stale hint here -- start the
+  // high-water mark at the current counter instead of replaying the
+  // retained backlog.
+  if (!config_->hint_proactive_invalidation) return;
+  const auto var_key = static_cast<uint64_t>(kVarNextHintInvalidationSeq);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    auto tx = db_->Begin(ndb::TxHint{schema_->variables, var_key});
+    auto counter = tx->Read(schema_->variables, {kVarNextHintInvalidationSeq},
+                            ndb::LockMode::kReadCommitted);
+    if (counter.ok()) {
+      (void)tx->Commit();
+      hint_log_applied_seq_.store((*counter)[col::kVarValue].i64() - 1,
+                                  std::memory_order_relaxed);
+      return;
+    }
+    if (tx->active()) tx->Abort();
+    if (!counter.status().IsRetryableTx()) break;
+  }
+  // Could not read the counter: leave the mark at 0. The first successful
+  // drain then replays the whole retained backlog -- over-invalidation,
+  // which is always safe, instead of skipping records this namenode might
+  // by then have needed.
+}
+
+hops::Status Namenode::Heartbeat() {
+  hops::Status st = election_.Heartbeat();  // leader side also GCs the hint log
+  if (alive_ && config_->hint_proactive_invalidation) DrainHintInvalidations();
+  return st;
+}
+
+void Namenode::PublishHintInvalidation(const std::vector<std::string>& prefixes,
+                                       SubtreeOp op) {
+  for (const std::string& prefix : prefixes) hint_cache_.InvalidatePrefix(prefix);
+  if (!config_->hint_proactive_invalidation || prefixes.empty()) return;
+  // No alive peers: nothing to invalidate remotely, so skip the log append
+  // and its global seq-row lock entirely (a peer joining inside the
+  // membership-staleness window simply lazy-repairs, which is always safe).
+  if (election_.AliveNamenodes().size() <= 1) return;
+  // Allocate the sequence numbers and insert the records in ONE transaction:
+  // the X lock on the counter row is held to commit, so a record with seq k
+  // becomes visible only after every record below k committed -- drainers
+  // can keep a plain high-water mark.
+  const auto var_key = static_cast<uint64_t>(kVarNextHintInvalidationSeq);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    auto tx = db_->Begin(ndb::TxHint{schema_->variables, var_key});
+    auto row = tx->Read(schema_->variables, {kVarNextHintInvalidationSeq},
+                        ndb::LockMode::kExclusive);
+    if (!row.ok()) {
+      if (row.status().IsRetryableTx()) continue;
+      return;  // best effort: remote namenodes fall back to lazy repair
+    }
+    const int64_t seq = (*row)[col::kVarValue].i64();
+    hops::Status st =
+        tx->Update(schema_->variables,
+                   ndb::Row{kVarNextHintInvalidationSeq,
+                            seq + static_cast<int64_t>(prefixes.size())});
+    // Monotonic stamp: the GC cutoff must never move backwards under an
+    // NTP step (namenodes share a process in this reproduction).
+    const int64_t now = MonotonicMicros();
+    for (size_t i = 0; i < prefixes.size() && st.ok(); ++i) {
+      st = tx->Insert(schema_->hint_invalidations,
+                      ndb::Row{seq + static_cast<int64_t>(i), id_safe(),
+                               static_cast<int64_t>(op), prefixes[i], now});
+    }
+    if (st.ok()) st = tx->Commit();
+    if (st.ok() || !st.IsRetryableTx()) return;  // best effort either way
+  }
+}
+
+void Namenode::DrainHintInvalidations() {
+  auto tx = db_->Begin(ndb::TxHint{schema_->hint_invalidations, 0});
+  // Shared lock on the seq counter: an in-flight publish holds it
+  // exclusively until its commit, so once this read returns, every record
+  // with seq < `next` is committed and the (unsnapshotted, per-partition)
+  // scan below cannot race past a gap -- without this, a two-record rename
+  // publish straddling the scan could advance the high-water mark over a
+  // record this namenode never applied.
+  auto counter = tx->Read(schema_->variables, {kVarNextHintInvalidationSeq},
+                          ndb::LockMode::kShared);
+  if (!counter.ok()) {
+    if (tx->active()) tx->Abort();
+    return;  // next tick retries
+  }
+  const int64_t next = (*counter)[col::kVarValue].i64();
+  const int64_t applied = hint_log_applied_seq_.load(std::memory_order_relaxed);
+  if (next - 1 <= applied) {  // nothing new: skip the fetch entirely
+    (void)tx->Commit();
+    return;
+  }
+  // Fetch only the new range [applied+1, next-1] by primary key -- records
+  // the leader already reaped come back as empty slots. A namenode that
+  // missed enough ticks to face an implausibly wide range falls back to
+  // one scan rather than a giant batch.
+  std::vector<ndb::Row> records;
+  if (next - 1 - applied <= 4096) {
+    std::vector<ndb::Key> keys;
+    keys.reserve(static_cast<size_t>(next - 1 - applied));
+    for (int64_t s = applied + 1; s < next; ++s) keys.push_back({s});
+    auto got = tx->BatchRead(schema_->hint_invalidations, keys,
+                             ndb::LockMode::kReadCommitted);
+    (void)tx->Commit();
+    if (!got.ok()) return;
+    for (auto& slot : *got) {
+      if (slot.has_value()) records.push_back(*std::move(slot));
+    }
+  } else {
+    auto rows = tx->FullTableScan(schema_->hint_invalidations);
+    (void)tx->Commit();
+    if (!rows.ok()) return;
+    for (auto& row : *rows) {
+      if (row[col::kHintSeq].i64() > applied) records.push_back(std::move(row));
+    }
+  }
+  for (const auto& row : records) {
+    // Our own records were applied locally when they were published.
+    if (row[col::kHintNn].i64() == id_safe()) continue;
+    hint_cache_.InvalidatePrefix(row[col::kHintPath].str());
+    proactive_applied_.fetch_add(1, std::memory_order_relaxed);
+  }
+  hint_log_applied_seq_.store(next - 1, std::memory_order_relaxed);
 }
 
 void Namenode::SetDatanodePicker(std::function<std::vector<DatanodeId>(int)> picker) {
@@ -278,7 +403,7 @@ hops::Status Namenode::CheckSubtreeLock(ndb::Transaction& tx, Inode& inode, uint
 
 hops::Status Namenode::ResolveSuffix(ndb::Transaction& tx,
                                      const std::vector<std::string>& components, size_t from,
-                                     std::vector<Inode>& chain) {
+                                     std::vector<Inode>& chain, uint64_t hint_epoch) {
   // chain holds [root, inode(components[0]) .. inode(components[from-1])];
   // resolves interior components only (the target is read in the lock phase).
   for (size_t i = from; i + 1 < components.size(); ++i) {
@@ -286,7 +411,7 @@ hops::Status Namenode::ResolveSuffix(ndb::Transaction& tx,
     auto out = ReadInode(tx, parent, components[i], static_cast<int>(i) + 1,
                          ndb::LockMode::kReadCommitted);
     if (!out.ok()) return out.status();
-    hint_cache_.Put(components, i, parent, out->inode.id);
+    hint_cache_.Put(components, i, parent, out->inode.id, hint_epoch);
     chain.push_back(std::move(out->inode));
   }
   return hops::Status::Ok();
@@ -298,6 +423,10 @@ hops::Result<Namenode::Resolved> Namenode::ResolveAndLock(
   r.components = components;
   r.chain.push_back(root_);
   r.chain_pvs.push_back(RootPartitionValue());
+  // Epoch snapshot BEFORE the first database read: any invalidation that
+  // lands after this point plants a barrier newer than the snapshot, so the
+  // hints this resolution later Puts cannot resurrect invalidated state.
+  r.hint_epoch = hint_cache_.epoch();
   const size_t n = components.size();
   if (n == 0) {
     r.target_exists = true;  // the root itself; immutable and never locked
@@ -313,9 +442,11 @@ hops::Result<Namenode::Resolved> Namenode::ResolveAndLock(
   Inode batched_target;
   uint64_t batched_target_pv = 0;
   bool target_from_batch = false;
+  bool had_target_hint = false;
   if (!interiors_ok) {
-    auto hints = hint_cache_.LookupChain(components);
-    bool try_target = hints.size() >= n && !spec.lock_parent;
+    auto hints = hint_cache_.LookupChain(components).hints;
+    had_target_hint = hints.size() >= n;
+    bool try_target = had_target_hint && !spec.lock_parent;
     if (hints.size() >= n - 1) {
       // Single batched primary-key read for the whole interior (1 round trip
       // instead of N-1), plus the target when its hint is cached too.
@@ -374,7 +505,7 @@ hops::Result<Namenode::Resolved> Namenode::ResolveAndLock(
     }
     if (!interiors_ok) {
       // Fall back to recursive resolution, repairing the cache (§5.1.1).
-      hops::Status st = ResolveSuffix(tx, components, 0, r.chain);
+      hops::Status st = ResolveSuffix(tx, components, 0, r.chain, r.hint_epoch);
       if (!st.ok()) return st;
       r.chain_pvs.resize(1);
       for (size_t i = 0; i + 1 < n; ++i) {
@@ -420,16 +551,34 @@ hops::Result<Namenode::Resolved> Namenode::ResolveAndLock(
                       spec.target_mode);
   if (target.ok()) {
     HOPS_RETURN_IF_ERROR(CheckSubtreeLock(tx, target->inode, target->pv));
-    hint_cache_.Put(components, n - 1, parent.id, target->inode.id);
+    hint_cache_.Put(components, n - 1, parent.id, target->inode.id, r.hint_epoch);
     r.chain.push_back(std::move(target->inode));
     r.chain_pvs.push_back(target->pv);
     r.target_exists = true;
     r.target_locked_in_batch = target_from_batch;
   } else if (target.status().code() != hops::StatusCode::kNotFound) {
     return target.status();
-  } else if (spec.target_must_exist) {
-    return hops::Status::NotFound(JoinPath(components) + " does not exist");
   } else {
+    // Depth-1 paths skip the hint lookup above entirely; probe so their
+    // dead hints are evicted too (they would otherwise keep feeding the
+    // speculative getBlockLocations rider a dead key).
+    bool stale_target_hint = had_target_hint;
+    if (!stale_target_hint && n == 1) {
+      stale_target_hint = !hint_cache_.PeekChain(components).hints.empty();
+    }
+    if (stale_target_hint) {
+      // A target hint existed but the path turned out NotFound: the hint
+      // points at a dead key. Evict it (and any descendants hanging off the
+      // dead inode) so the next resolution doesn't re-lock the same dead
+      // slot and fall back all over again. Adopting the planted barrier's
+      // epoch keeps THIS operation's later puts admissible (it proved the
+      // prefix dead under the slot lock; e.g. Create caches the inode it
+      // inserts) while still rejecting anything older or concurrent.
+      r.hint_epoch = hint_cache_.InvalidatePrefix(JoinPath(components));
+    }
+    if (spec.target_must_exist) {
+      return hops::Status::NotFound(JoinPath(components) + " does not exist");
+    }
     // The key lock taken by the failed locked read guards the insert slot.
     r.target_exists = false;
   }
@@ -579,7 +728,7 @@ hops::Status Namenode::Mkdirs(const std::string& path, const UserContext& user) 
             HOPS_RETURN_IF_ERROR(
                 tx.Update(schema_->inodes, ToRow(parent), r.parent_pv()));
           }
-          hint_cache_.Put(prefix, depth - 1, parent.id, id);
+          hint_cache_.Put(prefix, depth - 1, parent.id, id, r.hint_epoch);
           return hops::Status::Ok();
         });
     if (!st.ok()) return st;
@@ -631,7 +780,8 @@ hops::Status Namenode::Create(const std::string& path, const std::string& client
                    HOPS_RETURN_IF_ERROR(
                        tx.Update(schema_->inodes, ToRow(parent), r.parent_pv()));
                  }
-                 hint_cache_.Put(components, components.size() - 1, parent.id, id);
+                 hint_cache_.Put(components, components.size() - 1, parent.id, id,
+                                 r.hint_epoch);
                  return hops::Status::Ok();
                });
 }
@@ -833,7 +983,10 @@ hops::Result<std::vector<LocatedBlock>> Namenode::GetBlockLocations(
           // would run unlocked. Deeper cached paths resolve through a
           // locking batch, so the shared window takes the target lock
           // before any data work.
-          auto hints = hint_cache_.LookupChain(components);
+          // Non-counting probe: ResolveAndLock performs the counted lookup
+          // for this operation right below; a counting probe here would
+          // double-book every hit/miss and skew the reported hit rate.
+          auto hints = hint_cache_.PeekChain(components).hints;
           if (hints.size() >= components.size()) {
             InodeId candidate = hints[components.size() - 1].inode_id;
             // A stale hint may route to a partition whose node group is
@@ -1157,7 +1310,15 @@ hops::Status Namenode::Rename(const std::string& src, const std::string& dst,
     // Non-empty directory: go through the subtree operations protocol (§6).
     st = SubtreeRename(src_parts, dst_parts, user);
   }
-  if (st.ok()) hint_cache_.InvalidatePrefix(JoinPath(src_parts));
+  if (st.ok()) {
+    // Both prefixes go: everything under src moved away, and anything cached
+    // under dst (hints for a previously replaced/removed occupant, or
+    // planted by a resolution racing this rename) now names the wrong
+    // inode. Dropping only src used to leave those dst hints poisoning the
+    // batched locked reads until a miss repaired them.
+    PublishHintInvalidation({JoinPath(src_parts), JoinPath(dst_parts)},
+                            SubtreeOp::kMove);
+  }
   return st;
 }
 
@@ -1392,7 +1553,7 @@ hops::Status Namenode::Delete(const std::string& path, bool recursive,
   if (st.code() == hops::StatusCode::kNotEmpty && recursive) {
     st = SubtreeDelete(components, user);
   }
-  if (st.ok()) hint_cache_.InvalidatePrefix(JoinPath(components));
+  if (st.ok()) PublishHintInvalidation({JoinPath(components)}, SubtreeOp::kDelete);
   return st;
 }
 

@@ -75,8 +75,10 @@ class Namenode {
 
   // Joins the cluster: allocates the namenode id via leader election.
   hops::Status Start();
-  // One leader-election round; drives failure detection.
-  hops::Status Heartbeat() { return election_.Heartbeat(); }
+  // One leader-election round; drives failure detection and (when proactive
+  // hint invalidation is on) drains the hint-invalidation log, applying
+  // other namenodes' prefix invalidations to the local hint cache.
+  hops::Status Heartbeat();
 
   NamenodeId id() const { return election_.id(); }
   bool alive() const { return alive_; }
@@ -88,6 +90,11 @@ class Namenode {
 
   LeaderElection& election() { return election_; }
   InodeHintCache& hint_cache() { return hint_cache_; }
+  // Hint-invalidation log records from OTHER namenodes applied locally by
+  // the heartbeat drain.
+  uint64_t proactive_invalidations_applied() const {
+    return proactive_applied_.load(std::memory_order_relaxed);
+  }
   const FsConfig& config() const { return *config_; }
   // The request handler pool (null when FsConfig::num_handlers == 0 and
   // operations run inline on the calling thread).
@@ -169,6 +176,10 @@ class Namenode {
     // i.e. the lock was already held when that flush window's other
     // (pipelined) members ran. Speculative riders are only trustworthy then.
     bool target_locked_in_batch = false;
+    // Hint-cache epoch snapshotted before the resolution's first database
+    // read; callers must pass it to any hint Put derived from this
+    // resolution (a newer invalidation barrier then rejects the put).
+    uint64_t hint_epoch = 0;
     Inode& target() { return chain.back(); }
     uint64_t target_pv() const { return chain_pvs.back(); }
     Inode& parent_of_target() { return chain[chain.size() - (target_exists ? 2 : 1)]; }
@@ -202,8 +213,9 @@ class Namenode {
                                         const std::vector<std::string>& components,
                                         const LockSpec& spec);
   // Recursive (uncached) resolution of components [from..to); read-committed.
+  // Repairs the hint cache under `hint_epoch` (see Resolved::hint_epoch).
   hops::Status ResolveSuffix(ndb::Transaction& tx, const std::vector<std::string>& components,
-                             size_t from, std::vector<Inode>& chain);
+                             size_t from, std::vector<Inode>& chain, uint64_t hint_epoch);
   // Reads one inode by (parent, name) at `depth`, trying the alternate
   // partition rule if the primary one misses (post-move top-level rows).
   struct ReadInodeOut {
@@ -323,6 +335,20 @@ class Namenode {
   hops::Status DeleteBatchPerRow(const std::vector<SubtreeNode>& batch,
                                  const std::vector<Inode>& quota_ancestors);
 
+  // Proactive hint invalidation (§5.1 extension). PublishHintInvalidation
+  // invalidates `prefixes` in the local cache and appends one log record per
+  // prefix -- seq allocation and the inserts share one transaction, so
+  // sequence order equals commit order. Runs AFTER the mutation commits: a
+  // crash in between merely downgrades remote namenodes to lazy repair.
+  void PublishHintInvalidation(const std::vector<std::string>& prefixes, SubtreeOp op);
+  // Applies log records this namenode has not seen yet (skipping its own)
+  // to the local hint cache; called from Heartbeat.
+  void DrainHintInvalidations();
+  // Starts the drain's high-water mark at the current counter (the cache
+  // is empty before Start, so the backlog cannot concern us); on failure
+  // the mark stays 0 and the first drain replays the backlog (safe).
+  void PrimeHintInvalidationMark();
+
   hops::Status CheckAlive() const {
     return alive_ ? hops::Status::Ok() : hops::Status::Failover("namenode is down");
   }
@@ -346,6 +372,11 @@ class Namenode {
   IdAllocator inode_ids_;
   IdAllocator block_ids_;
   Inode root_;  // immutable, cached at every namenode (§4.2.1)
+  // Hint-invalidation log high-water mark (largest seq applied or skipped;
+  // primed to the counter by Start, before this namenode serves anything)
+  // and the count of remote records applied locally.
+  std::atomic<int64_t> hint_log_applied_seq_{0};
+  std::atomic<uint64_t> proactive_applied_{0};
   std::atomic<bool> alive_{true};
   DieAt die_at_;
   std::function<std::vector<DatanodeId>(int)> dn_picker_;

@@ -113,6 +113,19 @@ Schema VariablesSchema() {
   return s;
 }
 
+Schema HintInvalidationSchema() {
+  Schema s;
+  s.table_name = "hint_invalidations";
+  s.columns = {{"seq", ColumnType::kInt64},
+               {"nn_id", ColumnType::kInt64},
+               {"op", ColumnType::kInt64},
+               {"path", ColumnType::kString},
+               {"mtime", ColumnType::kInt64}};
+  s.primary_key = {0};
+  s.partition_key = {0};
+  return s;
+}
+
 }  // namespace
 
 hops::Result<MetadataSchema> MetadataSchema::Format(ndb::Cluster& cluster) {
@@ -147,6 +160,8 @@ hops::Result<MetadataSchema> MetadataSchema::Format(ndb::Cluster& cluster) {
   m.leader = leader;
   HOPS_ASSIGN_OR_RETURN(variables, cluster.CreateTable(VariablesSchema()));
   m.variables = variables;
+  HOPS_ASSIGN_OR_RETURN(hint_inv, cluster.CreateTable(HintInvalidationSchema()));
+  m.hint_invalidations = hint_inv;
 
   // Root inode (immutable, id 1) and id counters.
   auto tx = cluster.Begin();
@@ -162,6 +177,8 @@ hops::Result<MetadataSchema> MetadataSchema::Format(ndb::Cluster& cluster) {
       tx->Insert(m.variables, ndb::Row{kVarNextInodeId, kRootInode + 1}));
   HOPS_RETURN_IF_ERROR(tx->Insert(m.variables, ndb::Row{kVarNextBlockId, int64_t{1}}));
   HOPS_RETURN_IF_ERROR(tx->Insert(m.variables, ndb::Row{kVarNextNamenodeId, int64_t{1}}));
+  HOPS_RETURN_IF_ERROR(
+      tx->Insert(m.variables, ndb::Row{kVarNextHintInvalidationSeq, int64_t{1}}));
   HOPS_RETURN_IF_ERROR(tx->Commit());
   return m;
 }

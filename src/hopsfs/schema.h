@@ -13,6 +13,9 @@
 //   active_subtree_ops PK (inode_id)  (paper §6.1 phase 1)
 //   leader             PK (namenode_id) (election & membership, §3)
 //   variables          PK (var_id)    (id allocation counters)
+//   hint_invalidations PK (seq)       (proactive hint-cache invalidation log:
+//                      a mutating namenode appends (seq, nn, op, prefix) and
+//                      every namenode drains the log on its heartbeat tick)
 #pragma once
 
 #include "hopsfs/types.h"
@@ -46,17 +49,26 @@ inline constexpr size_t kSubtreeInode = 0, kSubtreeNn = 1, kSubtreeOp = 2, kSubt
 inline constexpr size_t kLeaderNn = 0, kLeaderCounter = 1, kLeaderLocation = 2;
 // variables
 inline constexpr size_t kVarId = 0, kVarValue = 1;
+// hint_invalidations
+inline constexpr size_t kHintSeq = 0, kHintNn = 1, kHintOp = 2, kHintPath = 3,
+    kHintMtime = 4;
 }  // namespace col
 
 // Well-known rows of the variables table.
 inline constexpr int64_t kVarNextInodeId = 0;
 inline constexpr int64_t kVarNextBlockId = 1;
 inline constexpr int64_t kVarNextNamenodeId = 2;
+// Next hint-invalidation log sequence number. Allocated and consumed inside
+// the same transaction as the log-row insert, so the X lock on this row makes
+// sequence order equal commit order (a drainer that saw seq k has seen every
+// record below k).
+inline constexpr int64_t kVarNextHintInvalidationSeq = 3;
 
 // Creates every table and owns their ids.
 struct MetadataSchema {
   ndb::TableId inodes{}, blocks{}, replicas{}, urb{}, prb{}, cr{}, ruc{}, er{}, inv{},
-      leases{}, quotas{}, block_lookup{}, active_subtree_ops{}, leader{}, variables{};
+      leases{}, quotas{}, block_lookup{}, active_subtree_ops{}, leader{}, variables{},
+      hint_invalidations{};
 
   // Creates all tables in `cluster` plus the root inode and id counters.
   static hops::Result<MetadataSchema> Format(ndb::Cluster& cluster);

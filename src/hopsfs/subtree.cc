@@ -393,6 +393,10 @@ hops::Status Namenode::SubtreeDelete(const std::vector<std::string>& components,
     pool.Wait();
     if (failed.load()) {
       (void)SubtreeAbort(snap);
+      // Some batches already committed their deletes: hints below the root
+      // are part-dead. Over-invalidate the whole prefix (locally and in the
+      // log) rather than leave them poisoning batched reads everywhere.
+      PublishHintInvalidation({JoinPath(components)}, SubtreeOp::kDelete);
       return first_error;
     }
   }

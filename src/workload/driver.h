@@ -9,6 +9,7 @@
 #include <chrono>
 #include <map>
 #include <memory>
+#include <optional>
 
 #include "hdfs/namesystem.h"
 #include "hopsfs/mini_cluster.h"
@@ -54,6 +55,9 @@ struct DriverReport {
   double ops_per_second = 0;
   std::map<OpType, hops::Histogram> latency;
   std::map<OpType, uint64_t> counts;
+  // Hint-cache counters of the HopsFS cluster under test (absent for the
+  // HDFS baseline); filled by FillHintStats after the run.
+  std::optional<hops::fs::ClusterHintStats> hint_stats;
 
   const hops::Histogram* LatencyOf(OpType op) const {
     auto it = latency.find(op);
@@ -65,5 +69,11 @@ struct DriverReport {
 DriverReport RunDriver(const std::function<std::unique_ptr<FsApi>(int thread)>& make_api,
                        const GeneratedNamespace& ns, const OpMix& mix,
                        const DriverOptions& options);
+
+// Attaches the cluster's aggregate hint-cache counters to a finished report
+// (the driver itself is system-agnostic, so the caller names the cluster).
+inline void FillHintStats(hops::fs::MiniCluster& cluster, DriverReport& report) {
+  report.hint_stats = cluster.AggregateHintStats();
+}
 
 }  // namespace hops::wl

@@ -270,6 +270,144 @@ TEST_F(ConcurrencyTest, HotspotDirectoryStillCorrectUnderContention) {
 }
 
 // ---------------------------------------------------------------------------
+// Multi-namenode hint staleness: a rename / subtree-rename on NN-A must be
+// survivable on NN-B immediately (lazy repair through the stale hint) and
+// *invalidated* on NN-B within one heartbeat drain of the invalidation log.
+// ---------------------------------------------------------------------------
+
+TEST_F(ConcurrencyTest, CrossNamenodeRenameStalenessRepairsLazilyBeforeTheTick) {
+  Namenode& a = cluster_->namenode(0);
+  Namenode& b = cluster_->namenode(1);
+  ASSERT_TRUE(a.Mkdirs("/stale").ok());
+  ASSERT_TRUE(a.Create("/stale/f", "c").ok());
+  ASSERT_TRUE(a.CompleteFile("/stale/f", "c").ok());
+  // NN-B caches the full chain for /stale/f.
+  ASSERT_TRUE(b.GetFileInfo("/stale/f").ok());
+  ASSERT_EQ(b.hint_cache().PeekChain({"stale", "f"}).hints.size(), 2u);
+  // Rename on NN-A. No heartbeat has run: NN-B still holds the stale hints.
+  ASSERT_TRUE(a.Rename("/stale/f", "/stale/g").ok());
+  ASSERT_EQ(b.hint_cache().PeekChain({"stale", "f"}).hints.size(), 2u);
+  // Lazy repair: NN-B must resolve correctly THROUGH the stale hint.
+  EXPECT_EQ(b.GetFileInfo("/stale/f").status().code(), hops::StatusCode::kNotFound);
+  EXPECT_TRUE(b.GetFileInfo("/stale/g").ok());
+  // Regression (stale-hint fallback): the NotFound resolution must have
+  // evicted the dead target hint -- the next resolution is not doomed to
+  // re-lock the same dead key.
+  EXPECT_LT(b.hint_cache().PeekChain({"stale", "f"}).hints.size(), 2u);
+}
+
+TEST_F(ConcurrencyTest, SubtreeRenameInvalidatesPeerHintsWithinOneTick) {
+  Namenode& a = cluster_->namenode(0);
+  ASSERT_TRUE(a.Mkdirs("/pro/dir").ok());
+  ASSERT_TRUE(a.Create("/pro/dir/f", "c").ok());
+  ASSERT_TRUE(a.CompleteFile("/pro/dir/f", "c").ok());
+  // Every peer namenode caches the 3-deep chain.
+  for (int i = 1; i < cluster_->num_namenodes(); ++i) {
+    ASSERT_TRUE(cluster_->namenode(i).GetFileInfo("/pro/dir/f").ok());
+    ASSERT_EQ(cluster_->namenode(i).hint_cache().PeekChain({"pro", "dir", "f"}).hints.size(),
+              3u);
+  }
+  // /pro/dir has a child, so this goes through the subtree protocol (§6).
+  ASSERT_TRUE(a.Rename("/pro/dir", "/pro/dir2").ok());
+  // Peers are stale until they drain the invalidation log...
+  ASSERT_EQ(cluster_->namenode(1).hint_cache().PeekChain({"pro", "dir", "f"}).hints.size(),
+            3u);
+  // ...and clean within ONE heartbeat tick.
+  cluster_->TickHeartbeats();
+  for (int i = 1; i < cluster_->num_namenodes(); ++i) {
+    Namenode& peer = cluster_->namenode(i);
+    EXPECT_LE(peer.hint_cache().PeekChain({"pro", "dir"}).hints.size(), 1u)
+        << "nn" << i << " must have dropped the /pro/dir prefix";
+    EXPECT_GT(peer.proactive_invalidations_applied(), 0u);
+    EXPECT_TRUE(peer.GetFileInfo("/pro/dir2/f").ok());
+    EXPECT_EQ(peer.GetFileInfo("/pro/dir/f").status().code(),
+              hops::StatusCode::kNotFound);
+  }
+  EXPECT_GT(cluster_->AggregateHintStats().proactive_applied, 0u);
+}
+
+TEST_F(ConcurrencyTest, DeleteOnOneNamenodeInvalidatesPeersWithinOneTick) {
+  Namenode& a = cluster_->namenode(0);
+  Namenode& b = cluster_->namenode(1);
+  ASSERT_TRUE(a.Mkdirs("/gone/sub").ok());
+  ASSERT_TRUE(a.Create("/gone/sub/f", "c").ok());
+  ASSERT_TRUE(a.CompleteFile("/gone/sub/f", "c").ok());
+  ASSERT_TRUE(b.GetFileInfo("/gone/sub/f").ok());
+  ASSERT_TRUE(a.Delete("/gone", true).ok());
+  ASSERT_EQ(b.hint_cache().PeekChain({"gone", "sub", "f"}).hints.size(), 3u);
+  cluster_->TickHeartbeats();
+  EXPECT_TRUE(b.hint_cache().PeekChain({"gone"}).hints.empty());
+  EXPECT_EQ(b.GetFileInfo("/gone/sub/f").status().code(), hops::StatusCode::kNotFound);
+}
+
+TEST_F(ConcurrencyTest, RenameInvalidatesDestinationPrefixHints) {
+  // Regression: Rename used to invalidate only the src prefix, leaving hints
+  // under the dst prefix pointing at a previous occupant's inode.
+  Namenode& nn = cluster_->namenode(0);
+  ASSERT_TRUE(nn.Mkdirs("/c").ok());
+  ASSERT_TRUE(nn.Create("/srcfile", "c").ok());
+  ASSERT_TRUE(nn.CompleteFile("/srcfile", "c").ok());
+  auto c_info = nn.GetFileInfo("/c");
+  ASSERT_TRUE(c_info.ok());
+  // A hint under the destination prefix, as a since-replaced occupant of
+  // /c/d would have left behind.
+  nn.hint_cache().Put({"c", "d"}, 1, c_info->inode_id, /*inode_id=*/999999,
+                      nn.hint_cache().epoch());
+  ASSERT_TRUE(nn.Rename("/srcfile", "/c/d").ok());
+  auto hints = nn.hint_cache().PeekChain({"c", "d"}).hints;
+  ASSERT_LT(hints.size(), 2u) << "the stale /c/d hint must be gone";
+  // And the renamed file is fully usable at its new path.
+  auto moved = nn.GetFileInfo("/c/d");
+  ASSERT_TRUE(moved.ok());
+  EXPECT_NE(moved->inode_id, 999999);
+}
+
+TEST_F(ConcurrencyTest, CreateOverStaleHintStillCachesTheNewInode) {
+  Namenode& a = cluster_->namenode(0);
+  Namenode& b = cluster_->namenode(1);
+  ASSERT_TRUE(a.Mkdirs("/adopt").ok());
+  ASSERT_TRUE(a.Create("/adopt/f", "c").ok());
+  ASSERT_TRUE(a.CompleteFile("/adopt/f", "c").ok());
+  ASSERT_TRUE(b.GetFileInfo("/adopt/f").ok());    // B caches the chain
+  ASSERT_TRUE(a.Delete("/adopt/f", false).ok());  // delete on A; no tick yet
+  ASSERT_EQ(b.hint_cache().PeekChain({"adopt", "f"}).hints.size(), 2u);
+  // Create over the stale hint on B: the NotFound fallback evicts the dead
+  // hint, and the create must still cache its own fresh inode -- the
+  // planted barrier admits the operation that planted it.
+  ASSERT_TRUE(b.Create("/adopt/f", "c2").ok());
+  auto info = b.GetFileInfo("/adopt/f");
+  ASSERT_TRUE(info.ok());
+  auto hints = b.hint_cache().PeekChain({"adopt", "f"}).hints;
+  ASSERT_EQ(hints.size(), 2u);
+  EXPECT_EQ(hints[1].inode_id, info->inode_id);
+  EXPECT_EQ(b.hint_cache().stats().stale_put_rejections, 0u);
+}
+
+TEST(HintInvalidationLogTest, LeaderReapsExpiredRecords) {
+  MiniClusterOptions options;
+  options.num_namenodes = 2;
+  options.fs.hint_invalidation_ttl = std::chrono::milliseconds(0);
+  auto cluster_or = MiniCluster::Start(options);
+  ASSERT_TRUE(cluster_or.ok());
+  auto& cluster = *cluster_or;
+  Namenode& a = cluster->namenode(0);
+  ASSERT_TRUE(a.Create("/f", "c").ok());
+  ASSERT_TRUE(a.CompleteFile("/f", "c").ok());
+  ASSERT_TRUE(a.Rename("/f", "/g").ok());
+  auto count_rows = [&] {
+    auto tx = cluster->db().Begin();
+    auto rows = tx->FullTableScan(cluster->schema().hint_invalidations);
+    (void)tx->Commit();
+    return rows.ok() ? rows->size() : size_t{0};
+  };
+  ASSERT_EQ(count_rows(), 2u) << "one record per invalidated prefix (src + dst)";
+  // ttl 0: the leader's next heartbeat reaps everything already drained or
+  // not -- staleness on slow peers degrades to lazy repair, never to error.
+  cluster->TickHeartbeats();
+  EXPECT_EQ(count_rows(), 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Handler-pool stress offensive: concurrent clients through a bounded
 // handler pool + completion mux, verified against a single-threaded oracle.
 // ---------------------------------------------------------------------------

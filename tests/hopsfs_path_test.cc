@@ -1,8 +1,6 @@
-// Path parsing, lock-order comparator, partition placement rules, and the
-// inode hint cache.
+// Path parsing, lock-order comparator, and partition placement rules.
 #include <gtest/gtest.h>
 
-#include "hopsfs/inode_cache.h"
 #include "hopsfs/partition.h"
 #include "hopsfs/path.h"
 
@@ -83,65 +81,8 @@ TEST(PartitionTest, ChildrenPruning) {
   EXPECT_TRUE(ChildrenArePruned(0, 0));
 }
 
-TEST(InodeCacheTest, ChainLookupStopsAtGap) {
-  InodeHintCache cache(128);
-  std::vector<std::string> path{"a", "b", "c"};
-  cache.Put(path, 0, kRootInode, 10);
-  cache.Put(path, 1, 10, 20);
-  auto chain = cache.LookupChain(path);
-  ASSERT_EQ(chain.size(), 2u);
-  EXPECT_EQ(chain[0].inode_id, 10);
-  EXPECT_EQ(chain[1].inode_id, 20);
-  EXPECT_EQ(chain[1].parent_id, 10);
-}
-
-TEST(InodeCacheTest, FullChainCountsAsHit) {
-  InodeHintCache cache(128);
-  std::vector<std::string> path{"a", "b"};
-  cache.Put(path, 0, kRootInode, 10);
-  cache.Put(path, 1, 10, 20);
-  ASSERT_EQ(cache.LookupChain(path).size(), 2u);
-  EXPECT_EQ(cache.hits(), 1u);
-  EXPECT_EQ(cache.misses(), 0u);
-  std::vector<std::string> other{"a", "z"};
-  EXPECT_EQ(cache.LookupChain(other).size(), 1u);
-  EXPECT_EQ(cache.misses(), 1u);
-}
-
-TEST(InodeCacheTest, PrefixInvalidation) {
-  InodeHintCache cache(128);
-  std::vector<std::string> p1{"a", "b", "c"};
-  std::vector<std::string> p2{"a", "bx"};
-  cache.Put(p1, 0, 1, 10);
-  cache.Put(p1, 1, 10, 20);
-  cache.Put(p1, 2, 20, 30);
-  cache.Put(p2, 1, 10, 40);
-  cache.InvalidatePrefix("/a/b");
-  auto chain = cache.LookupChain(p1);
-  EXPECT_EQ(chain.size(), 1u) << "/a survives, /a/b and /a/b/c are gone";
-  auto chain2 = cache.LookupChain(p2);
-  EXPECT_EQ(chain2.size(), 2u) << "/a/bx is not under the /a/b prefix";
-}
-
-TEST(InodeCacheTest, LruEviction) {
-  InodeHintCache cache(2);
-  std::vector<std::string> pa{"a"}, pb{"b"}, pc{"c"};
-  cache.Put(pa, 0, 1, 10);
-  cache.Put(pb, 0, 1, 11);
-  ASSERT_EQ(cache.LookupChain(pa).size(), 1u);  // touch /a
-  cache.Put(pc, 0, 1, 12);                      // evicts /b
-  EXPECT_EQ(cache.size(), 2u);
-  EXPECT_EQ(cache.LookupChain(pb).size(), 0u);
-  EXPECT_EQ(cache.LookupChain(pa).size(), 1u);
-}
-
-TEST(InodeCacheTest, ZeroCapacityDisables) {
-  InodeHintCache cache(0);
-  std::vector<std::string> pa{"a"};
-  cache.Put(pa, 0, 1, 10);
-  EXPECT_EQ(cache.size(), 0u);
-  EXPECT_TRUE(cache.LookupChain(pa).empty());
-}
+// The inode hint cache's own suite (trie layout, LRU, epochs, invalidation)
+// lives in hopsfs_cache_test.cc.
 
 }  // namespace
 }  // namespace hops::fs
