@@ -4,8 +4,11 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/model.h"
@@ -13,6 +16,50 @@
 #include "workload/trace.h"
 
 namespace hops::bench {
+
+// --- Machine-readable bench output ------------------------------------------
+// When HOPS_BENCH_JSON_DIR is set (the nightly workflow points it at its
+// artifact directory), each bench also writes BENCH_<name>.json there --
+// flat key -> number metrics mirroring the human-readable table -- so the
+// perf trajectory is diffable across runs without scraping stdout. Unset =
+// disabled; the bench prints exactly as before.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {
+    const char* dir = std::getenv("HOPS_BENCH_JSON_DIR");
+    if (dir != nullptr && dir[0] != '\0') {
+      path_ = std::string(dir) + "/BENCH_" + name_ + ".json";
+    }
+  }
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+  ~BenchJson() { Write(); }
+
+  bool enabled() const { return !path_.empty(); }
+  // Keys must be plain identifiers (letters, digits, ._-); values must be
+  // finite. Cheap no-op when disabled.
+  void Metric(const std::string& key, double value) {
+    if (enabled()) metrics_.emplace_back(key, value);
+  }
+
+ private:
+  void Write() const {
+    if (path_.empty()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) return;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": {", name_.c_str());
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": %.10g", i > 0 ? "," : "", metrics_[i].first.c_str(),
+                   metrics_[i].second);
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+  }
+
+  std::string name_;
+  std::string path_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 struct CaptureEnv {
   std::unique_ptr<hops::fs::MiniCluster> cluster;

@@ -19,7 +19,7 @@
 
 namespace {
 
-void RunHintCacheAblation(const hops::wl::OpMix& mix) {
+void RunHintCacheAblation(const hops::wl::OpMix& mix, hops::bench::BenchJson& json) {
   using namespace hops;
   const bool full = std::getenv("HOPS_BENCH_FULL") != nullptr;
   const int64_t files = full ? 4000 : 800;
@@ -89,6 +89,19 @@ void RunHintCacheAblation(const hops::wl::OpMix& mix) {
                 static_cast<unsigned long long>(hint.proactive_applied),
                 static_cast<unsigned long long>(hint.cache.stale_put_rejections));
     std::fflush(stdout);
+    std::string prefix = std::string("ablation_") + cfg.label + "_";
+    json.Metric(prefix + "ops_per_sec", report.ops_per_second);
+    json.Metric(prefix + "trips_per_op",
+                report.ops > 0 ? static_cast<double>(db.round_trips) /
+                                     static_cast<double>(report.ops)
+                               : 0.0);
+    json.Metric(prefix + "hit_rate", hint.HitRate());
+    json.Metric(prefix + "proactive_applied",
+                static_cast<double>(hint.proactive_applied));
+    json.Metric(prefix + "publish_events", static_cast<double>(hint.publish_events));
+    json.Metric(prefix + "publish_ops_coalesced",
+                static_cast<double>(hint.publish_ops_coalesced));
+    json.Metric(prefix + "gc_acked_reaps", static_cast<double>(hint.gc_acked_reaps));
   }
 }
 
@@ -112,6 +125,7 @@ int main() {
   std::printf(" %12s\n", "hotspot12");
 
   sim::Calibration cal;
+  bench::BenchJson json("fig06_spotify_throughput");
   for (int nn : nn_counts) {
     std::printf("%-10d", nn);
     for (int ndb : ndb_sizes) {
@@ -123,6 +137,9 @@ int main() {
       spec.warmup_s = 0.04;
       auto r = sim::SimulateHopsFs(sim::HopsTopology{nn, ndb}, spec, cal);
       std::printf(" %12.0f", r.ops_per_sec);
+      json.Metric("nn" + std::to_string(nn) + "_ndb" + std::to_string(ndb) +
+                      "_ops_per_sec",
+                  r.ops_per_sec);
     }
     {
       sim::WorkloadSpec spec;
@@ -144,6 +161,7 @@ int main() {
   hdfs_spec.duration_s = 0.3;
   hdfs_spec.warmup_s = 0.05;
   auto hdfs = sim::SimulateHdfs(hdfs_spec, cal);
+  json.Metric("hdfs_ops_per_sec", hdfs.ops_per_sec);
   std::printf("\nHDFS (5-server HA setup): %.0f ops/sec (paper: 78.9K)\n", hdfs.ops_per_sec);
   std::printf("paper reference points: 60 NN x 12-node NDB = 1.25M ops/sec;\n");
   std::printf("equivalent hardware (3 NN, 2-node NDB) ~ 1.1x HDFS; hotspot ~ 3x HDFS\n");
@@ -160,6 +178,6 @@ int main() {
                 r.ops_per_sec, r.ops_per_sec / hdfs.ops_per_sec);
   }
 
-  RunHintCacheAblation(mix);
+  RunHintCacheAblation(mix, json);
   return 0;
 }

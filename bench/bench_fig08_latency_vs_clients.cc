@@ -13,6 +13,7 @@ int main() {
   auto env = bench::MakeCapture(mix);
 
   sim::Calibration cal;
+  bench::BenchJson json("fig08_latency_vs_clients");
   const std::vector<int> client_counts = {100, 200, 500, 1000, 2000, 4000, 6000};
   std::printf("\n%-10s %16s %16s\n", "clients", "HopsFS avg (ms)", "HDFS avg (ms)");
   for (int clients : client_counts) {
@@ -32,6 +33,9 @@ int main() {
     std::printf("%-10d %16.2f %16.2f\n", clients, hops_result.latency_us.Mean() / 1000.0,
                 hdfs_result.latency_us.Mean() / 1000.0);
     std::fflush(stdout);
+    std::string prefix = "clients" + std::to_string(clients) + "_";
+    json.Metric(prefix + "hops_avg_ms", hops_result.latency_us.Mean() / 1000.0);
+    json.Metric(prefix + "hdfs_avg_ms", hdfs_result.latency_us.Mean() / 1000.0);
   }
   std::printf("\nshape to compare with Figure 8: HDFS latency grows steeply with client\n"
               "count (ops queue at the single namenode); HopsFS stays low and flat.\n");

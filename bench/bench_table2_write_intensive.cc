@@ -27,6 +27,7 @@ int main() {
   };
 
   sim::Calibration cal;
+  bench::BenchJson json("table2_write_intensive");
   std::printf("\n%-42s %12s %12s %8s %14s\n", "workload", "HopsFS op/s", "HDFS op/s",
               "factor", "paper factor");
   for (const auto& row : rows) {
@@ -51,6 +52,12 @@ int main() {
                 hdfs_result.ops_per_sec, hops_result.ops_per_sec / hdfs_result.ops_per_sec,
                 row.paper_factor);
     std::fflush(stdout);
+    char key[64];
+    std::snprintf(key, sizeof(key), "writes_%.1fpct", row.file_write_pct);
+    json.Metric(std::string(key) + "_hops_ops_per_sec", hops_result.ops_per_sec);
+    json.Metric(std::string(key) + "_hdfs_ops_per_sec", hdfs_result.ops_per_sec);
+    json.Metric(std::string(key) + "_factor",
+                hops_result.ops_per_sec / hdfs_result.ops_per_sec);
   }
   return 0;
 }

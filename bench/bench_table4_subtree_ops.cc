@@ -10,8 +10,10 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "hdfs/ha_cluster.h"
 #include "hopsfs/mini_cluster.h"
 #include "util/clock.h"
@@ -34,6 +36,7 @@ hops::wl::GeneratedNamespace SubtreeUnder(const std::string& base, int64_t files
 
 int main() {
   using namespace hops;
+  bench::BenchJson json("table4_subtree_ops");
   const bool full = std::getenv("HOPS_BENCH_FULL") != nullptr;
   const std::vector<int64_t> sizes = full
       ? std::vector<int64_t>{250000, 500000, 1000000}
@@ -127,6 +130,11 @@ int main() {
     std::printf("%-10s %12.0fms %12.0fms %12.0fms %12.0fms\n", label, hdfs_mv_ms,
                 hops_mv_ms, hdfs_rm_ms, hops_rm_ms);
     std::fflush(stdout);
+    std::string prefix = "files" + std::to_string(files) + "_";
+    json.Metric(prefix + "hops_mv_ms", hops_mv_ms);
+    json.Metric(prefix + "hops_rm_ms", hops_rm_ms);
+    json.Metric(prefix + "hdfs_mv_ms", hdfs_mv_ms);
+    json.Metric(prefix + "hdfs_rm_ms", hdfs_rm_ms);
   }
   std::printf("\n# Subtree delete, per-row vs pipelined phase 3 (same namespace):\n");
   std::printf("%-10s %16s %16s %12s %12s %14s\n", "dir size", "per-row trips",
@@ -140,6 +148,12 @@ int main() {
                 static_cast<double>(r.per_row.round_trips) /
                     static_cast<double>(std::max<uint64_t>(1, r.pipelined.round_trips)),
                 r.per_row.ms, r.pipelined.ms);
+    std::string prefix = "files" + std::to_string(r.files) + "_";
+    json.Metric(prefix + "per_row_trips", static_cast<double>(r.per_row.round_trips));
+    json.Metric(prefix + "pipelined_trips",
+                static_cast<double>(r.pipelined.round_trips));
+    json.Metric(prefix + "per_row_ms", r.per_row.ms);
+    json.Metric(prefix + "pipelined_ms", r.pipelined.ms);
   }
 
   std::printf("\npaper reference (1M files): HDFS mv 357ms / HopsFS mv 5870ms;\n");

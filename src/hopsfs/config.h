@@ -58,15 +58,31 @@ struct FsConfig {
   size_t hint_cache_capacity = 1 << 20;
 
   // Proactive cross-namenode hint invalidation (§5.1 extension): mutating
-  // namenodes append (seq, prefix, op) records to the DB-backed
-  // hint_invalidations log and every namenode drains the log on its
-  // heartbeat tick, invalidating the affected prefixes locally. Off = the
-  // paper's lazy repair-on-miss only (kept for the ablation benchmark;
-  // correctness never depends on the log, only round trips do).
+  // namenodes append publish-event records to the DB-backed, per-namenode
+  // sharded hint_invalidations log and every namenode drains all alive
+  // peers' partitions on its heartbeat tick, invalidating the affected
+  // prefixes locally. Off = the paper's lazy repair-on-miss only (kept for
+  // the ablation benchmark; correctness never depends on the log, only
+  // round trips do).
   bool hint_proactive_invalidation = true;
-  // Leader GC: log records older than this are reaped on the leader's
-  // heartbeat. Namenodes that heartbeat slower than this simply fall back
-  // to lazy repair for the reaped records.
+  // Async publish stage: each namenode appends its invalidation records
+  // from a background publisher thread, coalescing every op that queued
+  // while the previous append was in flight into ONE log record -- the
+  // mutation path pays an in-memory enqueue instead of a database round
+  // trip. false = the append runs synchronously on the mutating thread
+  // (the pre-sharding behavior, kept for the latency ablation).
+  bool hint_publish_async = true;
+  // Ablation: X-lock the legacy global kVarNextHintInvalidationSeq
+  // variables row in every publish transaction, reproducing the
+  // pre-sharding design where all publishers serialized on one row. No
+  // live path reads that row; this exists so the contended multi-namenode
+  // write bench can quantify what sharding the log removed.
+  bool hint_global_seq_lock = false;
+  // GC fallback: log records older than this are reaped on the leader's
+  // heartbeat even when unacked (a drainer that died or stalls forever
+  // must not pin the log). Records acked by every alive namenode are
+  // reaped precisely, well before the TTL. Namenodes that miss reaped
+  // records simply fall back to lazy repair.
   std::chrono::milliseconds hint_invalidation_ttl{10000};
 };
 

@@ -74,6 +74,10 @@ ClusterHintStats MiniCluster::AggregateHintStats() {
     out.cache.entries_invalidated += s.entries_invalidated;
     out.cache.stale_put_rejections += s.stale_put_rejections;
     out.proactive_applied += nn->proactive_invalidations_applied();
+    out.publish_events += nn->hint_publish_events();
+    out.publish_ops_coalesced += nn->hint_publish_ops_coalesced();
+    out.gc_acked_reaps += nn->election().hint_gc_acked_reaps();
+    out.gc_ttl_reaps += nn->election().hint_gc_ttl_reaps();
   }
   return out;
 }
@@ -92,9 +96,16 @@ hops::Status MiniCluster::RestartNamenode(int i) {
 
 void MiniCluster::TickHeartbeats(int rounds) {
   for (int r = 0; r < rounds; ++r) {
+    FlushHintPublishes();
     for (auto& nn : namenodes_) {
       if (nn && nn->alive()) (void)nn->Heartbeat();
     }
+  }
+}
+
+void MiniCluster::FlushHintPublishes() {
+  for (auto& nn : namenodes_) {
+    if (nn && nn->alive()) nn->FlushHintInvalidations();
   }
 }
 

@@ -21,12 +21,18 @@ struct MiniClusterOptions {
   int num_datanodes = 3;
 };
 
-// Aggregate hint-cache counters across a cluster's namenodes, plus how many
-// remote invalidation-log records the heartbeat drains applied. Surfaced in
-// the workload driver report and the bench_fig06 hint-cache ablation.
+// Aggregate hint-cache counters across a cluster's namenodes, plus the
+// sharded invalidation-log activity: prefixes the heartbeat drains applied,
+// publish events appended, ops coalesced into a shared append, and the
+// leader's acked-vs-TTL GC reaps. Surfaced in the workload driver report
+// and the bench_fig06 hint-cache ablation.
 struct ClusterHintStats {
   InodeHintCache::Stats cache;
   uint64_t proactive_applied = 0;
+  uint64_t publish_events = 0;
+  uint64_t publish_ops_coalesced = 0;
+  uint64_t gc_acked_reaps = 0;
+  uint64_t gc_ttl_reaps = 0;
 
   double HitRate() const {
     uint64_t lookups = cache.hits + cache.misses;
@@ -62,8 +68,14 @@ class MiniCluster {
   void KillNamenode(int i);
   // Replaces slot i with a fresh namenode (new id, empty caches).
   hops::Status RestartNamenode(int i);
-  // One election round on every alive namenode.
+  // One election round on every alive namenode. Each round first flushes
+  // every namenode's pending async hint publishes, so "invalidated within
+  // one tick" keeps meaning one call here even with the async publish
+  // stage.
   void TickHeartbeats(int rounds = 1);
+  // Blocks until every alive namenode's queued hint-invalidation publishes
+  // are in the log (tests that inspect the log tables directly call this).
+  void FlushHintPublishes();
 
   Client NewClient(NamenodePolicy policy, const std::string& name, uint64_t seed = 42);
 

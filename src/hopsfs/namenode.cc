@@ -87,40 +87,57 @@ Namenode::Namenode(ndb::Cluster* db, const MetadataSchema* schema, const FsConfi
   root_.is_dir = true;
   root_.owner = "hdfs";
   root_.group = "hdfs";
+  if (config->hint_proactive_invalidation && config->hint_publish_async) {
+    hint_publisher_ = std::thread([this] { HintPublisherLoop(); });
+  }
 }
 
-Namenode::~Namenode() = default;
+Namenode::~Namenode() {
+  {
+    std::lock_guard<std::mutex> lock(hint_pub_mu_);
+    hint_pub_stop_ = true;
+  }
+  hint_pub_cv_.notify_all();
+  if (hint_publisher_.joinable()) hint_publisher_.join();
+}
 
 hops::Status Namenode::Start() {
   HOPS_RETURN_IF_ERROR(election_.Register());
-  PrimeHintInvalidationMark();
+  PrimeHintApplied();
   return Heartbeat();
 }
 
-void Namenode::PrimeHintInvalidationMark() {
+void Namenode::PrimeHintApplied() {
   // Runs before this namenode serves anything: the hint cache is empty, so
-  // no record published so far can name a stale hint here -- start the
-  // high-water mark at the current counter instead of replaying the
-  // retained backlog.
+  // no record published so far can name a stale hint here -- start every
+  // publisher's applied mark at its current head instead of replaying the
+  // retained backlog, and ack those heads so this namenode's arrival does
+  // not hold back the leader's ack-based GC.
   if (!config_->hint_proactive_invalidation) return;
-  const auto var_key = static_cast<uint64_t>(kVarNextHintInvalidationSeq);
-  for (int attempt = 0; attempt < 8; ++attempt) {
-    auto tx = db_->Begin(ndb::TxHint{schema_->variables, var_key});
-    auto counter = tx->Read(schema_->variables, {kVarNextHintInvalidationSeq},
-                            ndb::LockMode::kReadCommitted);
-    if (counter.ok()) {
-      (void)tx->Commit();
-      hint_log_applied_seq_.store((*counter)[col::kVarValue].i64() - 1,
-                                  std::memory_order_relaxed);
-      return;
-    }
+  auto tx = db_->Begin(ndb::TxHint{schema_->hint_heads, 0});
+  auto heads = tx->FullTableScan(schema_->hint_heads);
+  if (!heads.ok()) {
     if (tx->active()) tx->Abort();
-    if (!counter.status().IsRetryableTx()) break;
+    return;  // first drain replays the backlog: over-invalidation, safe
   }
-  // Could not read the counter: leave the mark at 0. The first successful
-  // drain then replays the whole retained backlog -- over-invalidation,
-  // which is always safe, instead of skipping records this namenode might
-  // by then have needed.
+  const int64_t now = MonotonicMicros();
+  ndb::WriteBatch acks;
+  {
+    std::lock_guard<std::mutex> lock(hint_applied_mu_);
+    for (const auto& row : *heads) {
+      const NamenodeId publisher = row[col::kHintHeadNn].i64();
+      const int64_t head = row[col::kHintHeadNext].i64();
+      hint_applied_[publisher] = head - 1;
+      if (publisher != id_safe()) {
+        acks.Write(schema_->hint_acks, ndb::Row{id_safe(), publisher, head - 1, now});
+      }
+    }
+  }
+  if (acks.size() > 0 && !tx->Execute(acks).ok()) {
+    if (tx->active()) tx->Abort();
+    return;  // acks are an optimization; TTL GC covers their absence
+  }
+  (void)tx->Commit();
 }
 
 hops::Status Namenode::Heartbeat() {
@@ -134,91 +151,252 @@ void Namenode::PublishHintInvalidation(const std::vector<std::string>& prefixes,
   for (const std::string& prefix : prefixes) hint_cache_.InvalidatePrefix(prefix);
   if (!config_->hint_proactive_invalidation || prefixes.empty()) return;
   // No alive peers: nothing to invalidate remotely, so skip the log append
-  // and its global seq-row lock entirely (a peer joining inside the
-  // membership-staleness window simply lazy-repairs, which is always safe).
+  // entirely (a peer joining inside the membership-staleness window simply
+  // lazy-repairs, which is always safe).
   if (election_.AliveNamenodes().size() <= 1) return;
-  // Allocate the sequence numbers and insert the records in ONE transaction:
-  // the X lock on the counter row is held to commit, so a record with seq k
-  // becomes visible only after every record below k committed -- drainers
-  // can keep a plain high-water mark.
-  const auto var_key = static_cast<uint64_t>(kVarNextHintInvalidationSeq);
+  HintPublishEvent event{op, prefixes};
+  if (!config_->hint_publish_async) {
+    // Synchronous ablation path: the mutating thread pays the append.
+    std::vector<HintPublishEvent> events;
+    events.push_back(std::move(event));
+    AppendHintPublishes(std::move(events));
+    return;
+  }
+  // Async publish stage: enqueue and return -- the mutation path is done.
+  // Every event queued while the publisher thread's current append is in
+  // flight coalesces into its next log record.
+  {
+    std::lock_guard<std::mutex> lock(hint_pub_mu_);
+    if (!hint_pub_stop_) hint_pub_queue_.push_back(std::move(event));
+  }
+  hint_pub_cv_.notify_all();
+}
+
+void Namenode::HintPublisherLoop() {
+  std::unique_lock<std::mutex> lock(hint_pub_mu_);
+  for (;;) {
+    hint_pub_cv_.wait(lock, [&] {
+      return hint_pub_stop_ || (!hint_pub_queue_.empty() && !hint_pub_paused_);
+    });
+    if (hint_pub_stop_) return;
+    std::vector<HintPublishEvent> events = std::move(hint_pub_queue_);
+    hint_pub_queue_.clear();
+    hint_pub_inflight_ = true;
+    lock.unlock();
+    AppendHintPublishes(std::move(events));
+    lock.lock();
+    hint_pub_inflight_ = false;
+    hint_pub_cv_.notify_all();
+  }
+}
+
+void Namenode::FlushHintInvalidations() {
+  std::unique_lock<std::mutex> lock(hint_pub_mu_);
+  // A paused publisher (test hook) cannot drain its queue, so don't wait on
+  // that -- but an append already in flight completes on its own and MUST
+  // be waited out even when paused, or "paused means nothing reaches the
+  // log" would race with the straggler landing after this returns.
+  hint_pub_cv_.wait(lock, [&] {
+    return hint_pub_stop_ ||
+           ((hint_pub_queue_.empty() || hint_pub_paused_) && !hint_pub_inflight_);
+  });
+}
+
+void Namenode::SetHintPublisherPausedForTesting(bool paused) {
+  {
+    std::lock_guard<std::mutex> lock(hint_pub_mu_);
+    hint_pub_paused_ = paused;
+  }
+  hint_pub_cv_.notify_all();
+}
+
+void Namenode::AppendHintPublishes(std::vector<HintPublishEvent> events) {
+  if (events.empty() || !alive_) return;
+  // One record per publish event: all the coalesced ops' prefixes ride in a
+  // single row of THIS namenode's log partition. The op column keeps its
+  // meaning for a single-op event; a mixed coalesced event records 0.
+  std::vector<std::string> prefixes;
+  for (auto& e : events) {
+    for (auto& p : e.prefixes) prefixes.push_back(std::move(p));
+  }
+  const int64_t op =
+      events.size() == 1 ? static_cast<int64_t>(events[0].op) : int64_t{0};
+  const NamenodeId self = id_safe();
+  const std::string paths = EncodeHintPaths(prefixes);
   for (int attempt = 0; attempt < 8; ++attempt) {
-    auto tx = db_->Begin(ndb::TxHint{schema_->variables, var_key});
-    auto row = tx->Read(schema_->variables, {kVarNextHintInvalidationSeq},
-                        ndb::LockMode::kExclusive);
-    if (!row.ok()) {
-      if (row.status().IsRetryableTx()) continue;
-      return;  // best effort: remote namenodes fall back to lazy repair
+    auto tx = db_->Begin(ndb::TxHint{schema_->hint_heads, static_cast<uint64_t>(self)});
+    hops::Status st;
+    if (config_->hint_global_seq_lock) {
+      // Ablation: reproduce the pre-sharding global serialization point --
+      // every publisher X-locks this one variables row until commit.
+      auto legacy = tx->Read(schema_->variables, {kVarNextHintInvalidationSeq},
+                             ndb::LockMode::kExclusive);
+      if (!legacy.ok()) {
+        if (tx->active()) tx->Abort();
+        if (legacy.status().IsRetryableTx()) continue;
+        return;  // best effort: remote namenodes fall back to lazy repair
+      }
+      st = tx->Update(schema_->variables,
+                      ndb::Row{kVarNextHintInvalidationSeq,
+                               (*legacy)[col::kVarValue].i64() + 1});
+      if (!st.ok()) {
+        if (tx->active()) tx->Abort();
+        if (st.IsRetryableTx()) continue;
+        return;
+      }
     }
-    const int64_t seq = (*row)[col::kVarValue].i64();
-    hops::Status st =
-        tx->Update(schema_->variables,
-                   ndb::Row{kVarNextHintInvalidationSeq,
-                            seq + static_cast<int64_t>(prefixes.size())});
+    // Allocate the seq under the X lock on OUR OWN head row (a failed
+    // locked read still locks the key slot, guarding the first insert), so
+    // per-publisher sequence order equals commit order by construction: a
+    // drainer that read head h under a shared lock has every record below h
+    // committed. No other namenode ever X-locks this row.
+    int64_t seq = 1;
+    auto head = tx->Read(schema_->hint_heads, {self}, ndb::LockMode::kExclusive);
+    if (head.ok()) {
+      seq = (*head)[col::kHintHeadNext].i64();
+    } else if (head.status().code() != hops::StatusCode::kNotFound) {
+      if (tx->active()) tx->Abort();
+      if (head.status().IsRetryableTx()) continue;
+      return;
+    }
     // Monotonic stamp: the GC cutoff must never move backwards under an
     // NTP step (namenodes share a process in this reproduction).
-    const int64_t now = MonotonicMicros();
-    for (size_t i = 0; i < prefixes.size() && st.ok(); ++i) {
-      st = tx->Insert(schema_->hint_invalidations,
-                      ndb::Row{seq + static_cast<int64_t>(i), id_safe(),
-                               static_cast<int64_t>(op), prefixes[i], now});
-    }
+    st = tx->Insert(schema_->hint_invalidations,
+                    ndb::Row{self, seq, op, paths, MonotonicMicros()});
+    if (st.ok()) st = tx->Write(schema_->hint_heads, ndb::Row{self, seq + 1});
     if (st.ok()) st = tx->Commit();
-    if (st.ok() || !st.IsRetryableTx()) return;  // best effort either way
+    if (st.ok()) {
+      hint_publish_events_.fetch_add(1, std::memory_order_relaxed);
+      if (events.size() > 1) {
+        hint_publish_ops_coalesced_.fetch_add(events.size() - 1,
+                                              std::memory_order_relaxed);
+      }
+      return;
+    }
+    if (tx->active()) tx->Abort();
+    if (!st.IsRetryableTx()) return;  // best effort either way
   }
 }
 
 void Namenode::DrainHintInvalidations() {
-  auto tx = db_->Begin(ndb::TxHint{schema_->hint_invalidations, 0});
-  // Shared lock on the seq counter: an in-flight publish holds it
-  // exclusively until its commit, so once this read returns, every record
-  // with seq < `next` is committed and the (unsnapshotted, per-partition)
-  // scan below cannot race past a gap -- without this, a two-record rename
-  // publish straddling the scan could advance the high-water mark over a
-  // record this namenode never applied.
-  auto counter = tx->Read(schema_->variables, {kVarNextHintInvalidationSeq},
-                          ndb::LockMode::kShared);
-  if (!counter.ok()) {
-    if (tx->active()) tx->Abort();
-    return;  // next tick retries
+  // Which publishers do we care about? Every alive peer (our own records
+  // were applied locally at publish time; long-dead publishers' residue is
+  // the leader GC's business).
+  std::vector<NamenodeId> peers;
+  for (NamenodeId nn : election_.AliveNamenodes()) {
+    if (nn != id_safe()) peers.push_back(nn);
   }
-  const int64_t next = (*counter)[col::kVarValue].i64();
-  const int64_t applied = hint_log_applied_seq_.load(std::memory_order_relaxed);
-  if (next - 1 <= applied) {  // nothing new: skip the fetch entirely
+  if (peers.empty()) return;
+  std::lock_guard<std::mutex> applied_lock(hint_applied_mu_);
+  // Prune applied marks for publishers no longer alive in our view: ids are
+  // never reused, so entries for dead namenodes are pure leak under restart
+  // churn -- and if the peer was merely stalled and returns, restarting its
+  // mark at 0 just replays its partition (over-invalidation, always safe).
+  for (auto it = hint_applied_.begin(); it != hint_applied_.end();) {
+    const bool keep = it->first == id_safe() ||
+                      std::find(peers.begin(), peers.end(), it->first) != peers.end();
+    it = keep ? std::next(it) : hint_applied_.erase(it);
+  }
+  // Read every peer's head in ONE ReadBatch. The shared lock on a head row
+  // serializes against that publisher's in-flight append (which X-locks it
+  // to commit), so once this batch returns, every record below the head is
+  // committed and the per-key fetch below cannot race past a gap. The
+  // locks are dropped at commit right away -- before the record fetch --
+  // so publishers wait at most one batched read, not a whole drain.
+  struct PeerRange {
+    NamenodeId nn = 0;
+    int64_t from = 0;  // first seq to fetch
+    int64_t to = 0;    // head: one past the last committed seq
+  };
+  std::vector<PeerRange> ranges;
+  {
+    auto tx = db_->Begin(ndb::TxHint{schema_->hint_heads,
+                                     static_cast<uint64_t>(peers.front())});
+    ndb::ReadBatch heads;
+    for (NamenodeId nn : peers) {
+      heads.Get(schema_->hint_heads, {nn}, ndb::LockMode::kShared);
+    }
+    if (!tx->Execute(heads).ok()) {
+      if (tx->active()) tx->Abort();
+      return;  // next tick retries
+    }
     (void)tx->Commit();
-    return;
+    for (size_t i = 0; i < peers.size(); ++i) {
+      if (!heads.row(i).has_value()) continue;  // peer never published
+      const int64_t head = (*heads.row(i))[col::kHintHeadNext].i64();
+      auto it = hint_applied_.find(peers[i]);
+      int64_t applied = it == hint_applied_.end() ? 0 : it->second;
+      if (applied > head - 1) {
+        // Head regression: the leader buried this publisher's head row
+        // while it stalled and it has since restarted its log at seq 1.
+        // Everything it publishes would sit below our stale mark and be
+        // skipped forever -- reset and replay (over-invalidation is safe).
+        applied = 0;
+        hint_applied_[peers[i]] = 0;
+      }
+      if (head - 1 > applied) ranges.push_back({peers[i], applied + 1, head});
+    }
   }
-  // Fetch only the new range [applied+1, next-1] by primary key -- records
-  // the leader already reaped come back as empty slots. A namenode that
-  // missed enough ticks to face an implausibly wide range falls back to
-  // one scan rather than a giant batch.
+  if (ranges.empty()) return;
+  // Fetch all publishers' new records in one batched primary-key read --
+  // records the leader already reaped come back as empty slots. A namenode
+  // that missed enough ticks to face an implausibly wide range falls back
+  // to one pruned scan per oversized publisher partition.
+  auto tx = db_->Begin(ndb::TxHint{schema_->hint_invalidations,
+                                   static_cast<uint64_t>(ranges.front().nn)});
   std::vector<ndb::Row> records;
-  if (next - 1 - applied <= 4096) {
-    std::vector<ndb::Key> keys;
-    keys.reserve(static_cast<size_t>(next - 1 - applied));
-    for (int64_t s = applied + 1; s < next; ++s) keys.push_back({s});
+  std::vector<ndb::Key> keys;
+  for (const PeerRange& r : ranges) {
+    if (r.to - r.from > 4096) {
+      auto rows = tx->Ppis(schema_->hint_invalidations, {r.nn});
+      if (!rows.ok()) {
+        if (tx->active()) tx->Abort();
+        return;
+      }
+      for (auto& row : *rows) {
+        // Both bounds matter: records below `from` were applied already, and
+        // a record the publisher appended after our heads read (seq >= to)
+        // must wait for the next drain or it would be applied twice --
+        // hint_applied_ only advances to to-1.
+        const int64_t seq = row[col::kHintSeq].i64();
+        if (seq >= r.from && seq < r.to) records.push_back(std::move(row));
+      }
+      continue;
+    }
+    for (int64_t s = r.from; s < r.to; ++s) keys.push_back({r.nn, s});
+  }
+  if (!keys.empty()) {
     auto got = tx->BatchRead(schema_->hint_invalidations, keys,
                              ndb::LockMode::kReadCommitted);
-    (void)tx->Commit();
-    if (!got.ok()) return;
+    if (!got.ok()) {
+      if (tx->active()) tx->Abort();
+      return;
+    }
     for (auto& slot : *got) {
       if (slot.has_value()) records.push_back(*std::move(slot));
     }
-  } else {
-    auto rows = tx->FullTableScan(schema_->hint_invalidations);
-    (void)tx->Commit();
-    if (!rows.ok()) return;
-    for (auto& row : *rows) {
-      if (row[col::kHintSeq].i64() > applied) records.push_back(std::move(row));
-    }
   }
   for (const auto& row : records) {
-    // Our own records were applied locally when they were published.
-    if (row[col::kHintNn].i64() == id_safe()) continue;
-    hint_cache_.InvalidatePrefix(row[col::kHintPath].str());
-    proactive_applied_.fetch_add(1, std::memory_order_relaxed);
+    for (const std::string& prefix : DecodeHintPaths(row[col::kHintPaths].str())) {
+      hint_cache_.InvalidatePrefix(prefix);
+      proactive_applied_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
-  hint_log_applied_seq_.store(next - 1, std::memory_order_relaxed);
+  // Advance the applied vector and ack what we consumed -- the leader reaps
+  // a record once every alive namenode acked past it. The local advance
+  // must not depend on the ack commit (acks only gate GC; re-applying is
+  // idempotent, skipping is not).
+  const int64_t now = MonotonicMicros();
+  ndb::WriteBatch acks;
+  for (const PeerRange& r : ranges) {
+    hint_applied_[r.nn] = r.to - 1;
+    acks.Write(schema_->hint_acks, ndb::Row{id_safe(), r.nn, r.to - 1, now});
+  }
+  if (!tx->Execute(acks).ok()) {
+    if (tx->active()) tx->Abort();
+    return;
+  }
+  (void)tx->Commit();
 }
 
 void Namenode::SetDatanodePicker(std::function<std::vector<DatanodeId>(int)> picker) {
@@ -287,6 +465,27 @@ hops::Status Namenode::RunTxAttempt(
 }
 
 // --- Path resolution & locking (Figure 4, lines 1-6) -------------------------
+
+Namenode::SpeculativeRider Namenode::StageSpeculativeFanout(
+    ndb::Transaction& tx, const std::vector<std::string>& components,
+    std::initializer_list<ndb::TableId> tables) {
+  SpeculativeRider rider;
+  if (components.size() < 2) return rider;
+  // Non-counting probe: ResolveAndLock performs the counted lookup for the
+  // operation right after; a counting probe here would double-book every
+  // hit/miss and skew the reported hit rate.
+  auto hints = hint_cache_.PeekChain(components).hints;
+  if (hints.size() < components.size()) return rider;
+  const InodeId candidate = hints[components.size() - 1].inode_id;
+  const uint32_t part = db_->PartitionForValue(static_cast<uint64_t>(candidate));
+  if (!db_->PrimaryNode(part).has_value()) return rider;
+  rider.hinted = candidate;
+  rider.batch = std::make_unique<ndb::ReadBatch>();
+  for (ndb::TableId table : tables) rider.batch->Scan(table, {candidate});
+  rider.pending = tx.ExecuteAsync(*rider.batch);
+  rider.flushed_early = rider.pending.done();
+  return rider;
+}
 
 uint64_t Namenode::InodePv(int depth, InodeId parent, std::string_view name) const {
   return InodePartitionValue(depth, parent, name, config_->random_partition_depth);
@@ -965,47 +1164,12 @@ hops::Result<std::vector<LocatedBlock>> Namenode::GetBlockLocations(
   hops::Status st = RunTx(
       ndb::TxHint{schema_->inodes, hint_pv}, [&](ndb::Transaction& tx) -> hops::Status {
         blocks.clear();
-        // Speculative fan-out (§5.1 hint reuse): when the hint cache already
-        // names the target inode, the block + replica scans are put in
-        // flight *before* resolution, so they share one overlapped window
-        // with the resolve+lock batch -- a warm read costs one round-trip
-        // window instead of two. A stale hint wastes only the rider: the
-        // read-committed scans of the wrong shard lock nothing, and the
-        // fallback fan-out below re-reads under the confirmed id.
-        ndb::ReadBatch speculative;
-        ndb::PendingBatch spec_pending;
-        size_t spec_block_slot = 0;
-        size_t spec_replica_slot = 0;
-        InodeId hinted = kInvalidInode;
-        if (components.size() >= 2) {
-          // Depth 1 resolves through a per-row read, which flushes the
-          // window BEFORE taking the target lock -- the speculative scans
-          // would run unlocked. Deeper cached paths resolve through a
-          // locking batch, so the shared window takes the target lock
-          // before any data work.
-          // Non-counting probe: ResolveAndLock performs the counted lookup
-          // for this operation right below; a counting probe here would
-          // double-book every hit/miss and skew the reported hit rate.
-          auto hints = hint_cache_.PeekChain(components).hints;
-          if (hints.size() >= components.size()) {
-            InodeId candidate = hints[components.size() - 1].inode_id;
-            // A stale hint may route to a partition whose node group is
-            // down; that must waste the rider, not poison the whole window
-            // (a routing failure fails every member of a flush). Only
-            // speculate toward an available partition.
-            uint32_t part = db_->PartitionForValue(static_cast<uint64_t>(candidate));
-            if (db_->PrimaryNode(part).has_value()) {
-              hinted = candidate;
-              spec_block_slot = speculative.Scan(schema_->blocks, {hinted});
-              spec_replica_slot = speculative.Scan(schema_->replicas, {hinted});
-              spec_pending = tx.ExecuteAsync(speculative);
-            }
-          }
-        }
-        // If the engine auto-flushed the rider at prepare time (an
-        // in-flight window of one), it executed BEFORE resolution's lock --
-        // its results must not be served.
-        const bool spec_flushed_early = spec_pending.valid() && spec_pending.done();
+        // Speculative fan-out (§5.1 hint reuse): the block + replica scans
+        // go in flight before resolution and share its window -- a warm
+        // read costs one round-trip window instead of two (slot 0 = blocks,
+        // slot 1 = replicas).
+        SpeculativeRider rider = StageSpeculativeFanout(
+            tx, components, {schema_->blocks, schema_->replicas});
         LockSpec spec;
         spec.target_mode = ndb::LockMode::kShared;
         HOPS_ASSIGN_OR_RETURN(r, ResolveAndLock(tx, components, spec));
@@ -1018,21 +1182,12 @@ hops::Result<std::vector<LocatedBlock>> Namenode::GetBlockLocations(
         ndb::ReadBatch fanout;
         const std::vector<ndb::Row>* block_rows = nullptr;
         const std::vector<ndb::Row>* replica_rows = nullptr;
-        // The rider is only served when the target's lock was taken inside
-        // the cached-path batch, i.e. in the same flush window the
-        // speculative scans ran in (locks precede data work in a window).
-        // If resolution fell back -- alternate partition rule, stale or
-        // evicted hint chain -- the scans ran before the real lock and a
-        // concurrent mutation may sit between them; re-read under the lock.
-        if (hinted == file.id && r.target_locked_in_batch && spec_pending.valid() &&
-            !spec_flushed_early) {
-          HOPS_RETURN_IF_ERROR(spec_pending.Wait());
-          block_rows = &speculative.rows(spec_block_slot);
-          replica_rows = &speculative.rows(spec_replica_slot);
+        if (rider.Serveable(file.id, r.target_locked_in_batch)) {
+          HOPS_RETURN_IF_ERROR(rider.pending.Wait());
+          block_rows = &rider.batch->rows(0);
+          replica_rows = &rider.batch->rows(1);
         } else {
-          // Discard the rider; if its failure aborted the transaction the
-          // fallback fan-out below reports that on its own.
-          if (spec_pending.valid()) (void)spec_pending.Wait();
+          rider.Discard();  // re-read under the confirmed id + lock
           size_t block_slot = fanout.Scan(schema_->blocks, {file.id});
           size_t replica_slot = fanout.Scan(schema_->replicas, {file.id});
           HOPS_RETURN_IF_ERROR(tx.Execute(fanout));
@@ -1069,14 +1224,28 @@ hops::Result<FileStatus> Namenode::GetFileInfo(const std::string& path,
   uint64_t hint_pv = InodePv(static_cast<int>(components.size()), 0, components.back());
   hops::Status st =
       RunTx(ndb::TxHint{schema_->inodes, hint_pv}, [&](ndb::Transaction& tx) -> hops::Status {
+        // Speculative fan-out (the getBlockLocations pattern): the
+        // block-count scan rides the resolution window, so a warm stat of a
+        // file costs one overlapped round-trip window instead of two. A
+        // directory target simply discards the rider.
+        SpeculativeRider rider =
+            StageSpeculativeFanout(tx, components, {schema_->blocks});
         LockSpec spec;
         spec.target_mode = ndb::LockMode::kShared;
         HOPS_ASSIGN_OR_RETURN(r, ResolveAndLock(tx, components, spec));
         HOPS_RETURN_IF_ERROR(CheckPathTraversal(r, user));
         status = StatusFromInode(r.target(), JoinPath(components));
         if (!r.target().is_dir) {
-          HOPS_ASSIGN_OR_RETURN(block_rows, tx.Ppis(schema_->blocks, {r.target().id}));
-          status.num_blocks = static_cast<int64_t>(block_rows.size());
+          if (rider.Serveable(r.target().id, r.target_locked_in_batch)) {
+            HOPS_RETURN_IF_ERROR(rider.pending.Wait());
+            status.num_blocks = static_cast<int64_t>(rider.batch->rows(0).size());
+          } else {
+            rider.Discard();
+            HOPS_ASSIGN_OR_RETURN(block_rows, tx.Ppis(schema_->blocks, {r.target().id}));
+            status.num_blocks = static_cast<int64_t>(block_rows.size());
+          }
+        } else {
+          rider.Discard();
         }
         return hops::Status::Ok();
       });

@@ -9,12 +9,15 @@
 // them and retry on failure.
 #pragma once
 
+#include <condition_variable>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "hopsfs/config.h"
@@ -90,11 +93,29 @@ class Namenode {
 
   LeaderElection& election() { return election_; }
   InodeHintCache& hint_cache() { return hint_cache_; }
-  // Hint-invalidation log records from OTHER namenodes applied locally by
-  // the heartbeat drain.
+  // Prefixes from OTHER namenodes' hint-invalidation log records applied
+  // locally by the heartbeat drain.
   uint64_t proactive_invalidations_applied() const {
     return proactive_applied_.load(std::memory_order_relaxed);
   }
+  // Publish-side counters of the sharded invalidation log: records this
+  // namenode appended, and ops whose prefixes rode an append together with
+  // another op's (each such op is a log round trip the coalescing publisher
+  // saved).
+  uint64_t hint_publish_events() const {
+    return hint_publish_events_.load(std::memory_order_relaxed);
+  }
+  uint64_t hint_publish_ops_coalesced() const {
+    return hint_publish_ops_coalesced_.load(std::memory_order_relaxed);
+  }
+  // Blocks until every queued hint-invalidation publish has been appended
+  // to the log (no-op for the synchronous publish path). Tests and benches
+  // call this before inspecting the log or handing control to drainers.
+  void FlushHintInvalidations();
+  // Test hook: pausing keeps queued publish events from being appended so a
+  // test can deterministically force several ops to coalesce into one
+  // record; resume with false, then FlushHintInvalidations().
+  void SetHintPublisherPausedForTesting(bool paused);
   const FsConfig& config() const { return *config_; }
   // The request handler pool (null when FsConfig::num_handlers == 0 and
   // operations run inline on the calling thread).
@@ -243,6 +264,49 @@ class Namenode {
   // owns it; lazily clears locks owned by dead namenodes (§6.2).
   hops::Status CheckSubtreeLock(ndb::Transaction& tx, Inode& inode, uint64_t pv);
 
+  // Speculative hint-based fan-out (§5.1 hint reuse): when the hint cache
+  // already names a path's target inode, read-committed pruned scans of
+  // that inode's shard are put in flight BEFORE resolution, so they share
+  // one overlapped window with the resolve+lock batch -- a warm operation
+  // costs one round-trip window instead of two. A stale hint wastes only
+  // the rider: the scans of the wrong shard lock nothing, and the caller
+  // re-reads under the confirmed id.
+  struct SpeculativeRider {
+    // Heap-held: the engine keeps a pointer to the staged batch until its
+    // window flushes, so the batch address must survive the rider moving.
+    std::unique_ptr<ndb::ReadBatch> batch;
+    ndb::PendingBatch pending;
+    InodeId hinted = kInvalidInode;
+    bool flushed_early = false;
+    // The rider's rows may be served only when resolution confirmed the
+    // hinted inode AND took the target's lock inside the cached-path batch,
+    // i.e. in the same flush window the scans ran in (locks precede data
+    // work in a window). If resolution fell back -- alternate partition
+    // rule, stale or evicted hint chain -- the scans ran before the real
+    // lock and a concurrent mutation may sit between them; and an engine
+    // auto-flush at prepare time (in-flight window of one) also executed
+    // before the lock.
+    bool Serveable(InodeId resolved_id, bool target_locked_in_batch) const {
+      return pending.valid() && !flushed_early && hinted == resolved_id &&
+             target_locked_in_batch;
+    }
+    // Waits out an unserveable rider; if its failure aborted the
+    // transaction the caller's own reads report that on their own.
+    void Discard() {
+      if (pending.valid()) (void)pending.Wait();
+    }
+  };
+  // Stages one pruned scan per entry of `tables` (slot i = tables[i]) keyed
+  // by the hint-cache candidate for `components` and puts them in flight.
+  // Returns an inactive rider (pending invalid) when the path is depth 1
+  // (resolved through a per-row read that flushes the window BEFORE the
+  // target lock, so the scans would run unlocked), the chain is not fully
+  // cached, or the hinted shard's node group is down (a routing failure
+  // fails every member of a flush, so it must not ride a shared window).
+  SpeculativeRider StageSpeculativeFanout(ndb::Transaction& tx,
+                                          const std::vector<std::string>& components,
+                                          std::initializer_list<ndb::TableId> tables);
+
   uint64_t InodePv(int depth, InodeId parent, std::string_view name) const;
   // Both candidate partition rules for an inode row at `depth`: the current
   // rule plus the insert-time alternate (rows that crossed the
@@ -335,19 +399,41 @@ class Namenode {
   hops::Status DeleteBatchPerRow(const std::vector<SubtreeNode>& batch,
                                  const std::vector<Inode>& quota_ancestors);
 
-  // Proactive hint invalidation (§5.1 extension). PublishHintInvalidation
-  // invalidates `prefixes` in the local cache and appends one log record per
-  // prefix -- seq allocation and the inserts share one transaction, so
-  // sequence order equals commit order. Runs AFTER the mutation commits: a
-  // crash in between merely downgrades remote namenodes to lazy repair.
+  // Proactive hint invalidation (§5.1 extension), sharded per namenode.
+  // PublishHintInvalidation invalidates `prefixes` in the local cache and
+  // hands them to the publish stage, which appends ONE record per publish
+  // event to this namenode's own log partition -- the record insert and the
+  // bump of this namenode's hint_heads row share a transaction whose X lock
+  // on that head row makes per-publisher sequence order equal commit order,
+  // without any cross-publisher shared row. With hint_publish_async the
+  // append runs on the publisher thread and every op that queued while the
+  // previous append was in flight coalesces into the next record, so the
+  // mutation path never pays the append round trip. Runs AFTER the mutation
+  // commits: a crash in between merely downgrades remote namenodes to lazy
+  // repair.
+  struct HintPublishEvent {
+    SubtreeOp op;
+    std::vector<std::string> prefixes;
+  };
   void PublishHintInvalidation(const std::vector<std::string>& prefixes, SubtreeOp op);
-  // Applies log records this namenode has not seen yet (skipping its own)
-  // to the local hint cache; called from Heartbeat.
+  // Appends one coalesced log record for `events` (retrying transient
+  // failures; best effort -- a dropped append downgrades peers to lazy
+  // repair). Runs on the publisher thread, or inline when
+  // hint_publish_async is off.
+  void AppendHintPublishes(std::vector<HintPublishEvent> events);
+  void HintPublisherLoop();
+  // Reads every alive peer's head in one ReadBatch, fetches the records in
+  // [applied+1, head) of each publisher's partition, applies their prefixes
+  // to the local hint cache, advances the per-publisher applied vector and
+  // writes per-(drainer, publisher) ack rows the leader GCs by. Called from
+  // Heartbeat.
   void DrainHintInvalidations();
-  // Starts the drain's high-water mark at the current counter (the cache
-  // is empty before Start, so the backlog cannot concern us); on failure
-  // the mark stays 0 and the first drain replays the backlog (safe).
-  void PrimeHintInvalidationMark();
+  // Starts the per-publisher applied vector at the current heads (the cache
+  // is empty before Start, so the backlog cannot concern us) and acks those
+  // heads so this namenode does not hold back the leader's ack-based GC.
+  // On failure the vector stays empty and the first drain replays the
+  // retained backlog (over-invalidation, which is always safe).
+  void PrimeHintApplied();
 
   hops::Status CheckAlive() const {
     return alive_ ? hops::Status::Ok() : hops::Status::Failover("namenode is down");
@@ -372,11 +458,23 @@ class Namenode {
   IdAllocator inode_ids_;
   IdAllocator block_ids_;
   Inode root_;  // immutable, cached at every namenode (§4.2.1)
-  // Hint-invalidation log high-water mark (largest seq applied or skipped;
-  // primed to the counter by Start, before this namenode serves anything)
-  // and the count of remote records applied locally.
-  std::atomic<int64_t> hint_log_applied_seq_{0};
+  // Per-publisher applied high-water marks (largest seq of each publisher's
+  // log partition applied or skipped; primed to the heads by Start, before
+  // this namenode serves anything). Touched by Start and Heartbeat only.
+  std::mutex hint_applied_mu_;
+  std::map<NamenodeId, int64_t> hint_applied_;
   std::atomic<uint64_t> proactive_applied_{0};
+  std::atomic<uint64_t> hint_publish_events_{0};
+  std::atomic<uint64_t> hint_publish_ops_coalesced_{0};
+  // The async publish stage: mutating threads enqueue events, the publisher
+  // thread appends them (coalesced) to this namenode's log partition.
+  std::mutex hint_pub_mu_;
+  std::condition_variable hint_pub_cv_;
+  std::vector<HintPublishEvent> hint_pub_queue_;
+  bool hint_pub_stop_ = false;
+  bool hint_pub_paused_ = false;
+  bool hint_pub_inflight_ = false;
+  std::thread hint_publisher_;
   std::atomic<bool> alive_{true};
   DieAt die_at_;
   std::function<std::vector<DatanodeId>(int)> dn_picker_;

@@ -114,14 +114,47 @@ Schema VariablesSchema() {
 }
 
 Schema HintInvalidationSchema() {
+  // Sharded per publishing namenode: PK (nn_id, seq) partitioned by nn_id,
+  // so publishers append to disjoint partitions and never contend. One row
+  // per publish event; `paths` carries every coalesced prefix (see
+  // EncodeHintPaths).
   Schema s;
   s.table_name = "hint_invalidations";
-  s.columns = {{"seq", ColumnType::kInt64},
-               {"nn_id", ColumnType::kInt64},
+  s.columns = {{"nn_id", ColumnType::kInt64},
+               {"seq", ColumnType::kInt64},
                {"op", ColumnType::kInt64},
-               {"path", ColumnType::kString},
+               {"paths", ColumnType::kString},
                {"mtime", ColumnType::kInt64}};
+  s.primary_key = {0, 1};
+  s.partition_key = {0};
+  return s;
+}
+
+Schema HintHeadSchema() {
+  // A publisher's next log sequence number. Only the owning namenode ever
+  // X-locks its row (held to commit alongside the record insert, so a
+  // drainer that read head h has every record below h committed); drainers
+  // take brief S locks.
+  Schema s;
+  s.table_name = "hint_heads";
+  s.columns = {{"nn_id", ColumnType::kInt64}, {"next_seq", ColumnType::kInt64}};
   s.primary_key = {0};
+  s.partition_key = {0};
+  return s;
+}
+
+Schema HintAckSchema() {
+  // (drainer, publisher) -> highest seq of the publisher's log the drainer
+  // has applied. The leader reaps a record once every alive namenode other
+  // than the publisher acked past it; TTL stays as the fallback for rows no
+  // ack will ever cover.
+  Schema s;
+  s.table_name = "hint_acks";
+  s.columns = {{"drainer", ColumnType::kInt64},
+               {"publisher", ColumnType::kInt64},
+               {"acked_seq", ColumnType::kInt64},
+               {"mtime", ColumnType::kInt64}};
+  s.primary_key = {0, 1};
   s.partition_key = {0};
   return s;
 }
@@ -162,6 +195,10 @@ hops::Result<MetadataSchema> MetadataSchema::Format(ndb::Cluster& cluster) {
   m.variables = variables;
   HOPS_ASSIGN_OR_RETURN(hint_inv, cluster.CreateTable(HintInvalidationSchema()));
   m.hint_invalidations = hint_inv;
+  HOPS_ASSIGN_OR_RETURN(hint_heads, cluster.CreateTable(HintHeadSchema()));
+  m.hint_heads = hint_heads;
+  HOPS_ASSIGN_OR_RETURN(hint_acks, cluster.CreateTable(HintAckSchema()));
+  m.hint_acks = hint_acks;
 
   // Root inode (immutable, id 1) and id counters.
   auto tx = cluster.Begin();
@@ -181,6 +218,31 @@ hops::Result<MetadataSchema> MetadataSchema::Format(ndb::Cluster& cluster) {
       tx->Insert(m.variables, ndb::Row{kVarNextHintInvalidationSeq, int64_t{1}}));
   HOPS_RETURN_IF_ERROR(tx->Commit());
   return m;
+}
+
+std::string EncodeHintPaths(const std::vector<std::string>& prefixes) {
+  std::string out;
+  for (size_t i = 0; i < prefixes.size(); ++i) {
+    if (i > 0) out += '\0';
+    out += prefixes[i];
+  }
+  return out;
+}
+
+std::vector<std::string> DecodeHintPaths(const std::string& encoded) {
+  std::vector<std::string> out;
+  if (encoded.empty()) return out;
+  size_t i = 0;
+  for (;;) {
+    size_t j = encoded.find('\0', i);
+    if (j == std::string::npos) {
+      out.push_back(encoded.substr(i));
+      break;
+    }
+    out.push_back(encoded.substr(i, j - i));
+    i = j + 1;
+  }
+  return out;
 }
 
 ndb::Row ToRow(const Inode& n) {

@@ -13,9 +13,18 @@
 //   active_subtree_ops PK (inode_id)  (paper §6.1 phase 1)
 //   leader             PK (namenode_id) (election & membership, §3)
 //   variables          PK (var_id)    (id allocation counters)
-//   hint_invalidations PK (seq)       (proactive hint-cache invalidation log:
-//                      a mutating namenode appends (seq, nn, op, prefix) and
-//                      every namenode drains the log on its heartbeat tick)
+//   hint_invalidations PK (nn_id, seq)   partition nn_id
+//                      (proactive hint-cache invalidation log, sharded per
+//                      publishing namenode: one record per *publish event*
+//                      carrying every prefix of the coalesced ops; drained
+//                      by every namenode's heartbeat tick)
+//   hint_heads         PK (nn_id)        partition nn_id
+//                      (a publisher's next log seq; only its owner ever
+//                      X-locks it, so concurrent publishers share no rows)
+//   hint_acks          PK (drainer, publisher)  partition drainer
+//                      (high-water mark a drainer has applied of a
+//                      publisher's log; the leader GCs a record once every
+//                      alive namenode acked past it)
 #pragma once
 
 #include "hopsfs/types.h"
@@ -50,25 +59,32 @@ inline constexpr size_t kLeaderNn = 0, kLeaderCounter = 1, kLeaderLocation = 2;
 // variables
 inline constexpr size_t kVarId = 0, kVarValue = 1;
 // hint_invalidations
-inline constexpr size_t kHintSeq = 0, kHintNn = 1, kHintOp = 2, kHintPath = 3,
+inline constexpr size_t kHintNn = 0, kHintSeq = 1, kHintOp = 2, kHintPaths = 3,
     kHintMtime = 4;
+// hint_heads
+inline constexpr size_t kHintHeadNn = 0, kHintHeadNext = 1;
+// hint_acks
+inline constexpr size_t kAckDrainer = 0, kAckPublisher = 1, kAckSeq = 2, kAckMtime = 3;
 }  // namespace col
 
 // Well-known rows of the variables table.
 inline constexpr int64_t kVarNextInodeId = 0;
 inline constexpr int64_t kVarNextBlockId = 1;
 inline constexpr int64_t kVarNextNamenodeId = 2;
-// Next hint-invalidation log sequence number. Allocated and consumed inside
-// the same transaction as the log-row insert, so the X lock on this row makes
-// sequence order equal commit order (a drainer that saw seq k has seen every
-// record below k).
+// LEGACY global hint-invalidation sequence row. The sharded log keys
+// records by (publisher, per-publisher seq) and orders each partition with
+// the publisher's own hint_heads row, so no live path reads this row any
+// more -- it survives only as the contention injector for the
+// FsConfig::hint_global_seq_lock ablation, which X-locks it in every
+// publish transaction to reproduce the pre-sharding global serialization
+// point.
 inline constexpr int64_t kVarNextHintInvalidationSeq = 3;
 
 // Creates every table and owns their ids.
 struct MetadataSchema {
   ndb::TableId inodes{}, blocks{}, replicas{}, urb{}, prb{}, cr{}, ruc{}, er{}, inv{},
       leases{}, quotas{}, block_lookup{}, active_subtree_ops{}, leader{}, variables{},
-      hint_invalidations{};
+      hint_invalidations{}, hint_heads{}, hint_acks{};
 
   // Creates all tables in `cluster` plus the root inode and id counters.
   static hops::Result<MetadataSchema> Format(ndb::Cluster& cluster);
@@ -79,6 +95,13 @@ struct MetadataSchema {
 };
 
 // --- Codecs -----------------------------------------------------------------
+// A hint-invalidation record's paths column: every prefix of a coalesced
+// publish event in one string, NUL-separated ('\0' can appear in no legal
+// path component -- SplitPath splits on '/', and the filesystem never stores
+// NUL bytes in names).
+std::string EncodeHintPaths(const std::vector<std::string>& prefixes);
+std::vector<std::string> DecodeHintPaths(const std::string& encoded);
+
 ndb::Row ToRow(const Inode& inode);
 Inode InodeFromRow(const ndb::Row& row);
 ndb::Row ToRow(const Block& block);

@@ -181,12 +181,15 @@ ClusterStats Cluster::StatsSnapshot() const {
   s.rows_read = stats_.rows_read.load(std::memory_order_relaxed);
   s.rows_written = stats_.rows_written.load(std::memory_order_relaxed);
   s.lock_timeouts = stats_.lock_timeouts.load(std::memory_order_relaxed);
+  s.lock_waits = stats_.lock_waits.load(std::memory_order_relaxed);
   s.round_trips = stats_.round_trips.load(std::memory_order_relaxed);
   s.overlapped_round_trips = stats_.overlapped_round_trips.load(std::memory_order_relaxed);
   s.cross_tx_overlapped_round_trips =
       stats_.cross_tx_overlapped_round_trips.load(std::memory_order_relaxed);
   s.mux_rounds = stats_.mux_rounds.load(std::memory_order_relaxed);
   s.mux_windows = stats_.mux_windows.load(std::memory_order_relaxed);
+  s.mux_gather_waits = stats_.mux_gather_waits.load(std::memory_order_relaxed);
+  s.mux_gathered_windows = stats_.mux_gathered_windows.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -202,11 +205,14 @@ void Cluster::ResetStats() {
   stats_.rows_read = 0;
   stats_.rows_written = 0;
   stats_.lock_timeouts = 0;
+  stats_.lock_waits = 0;
   stats_.round_trips = 0;
   stats_.overlapped_round_trips = 0;
   stats_.cross_tx_overlapped_round_trips = 0;
   stats_.mux_rounds = 0;
   stats_.mux_windows = 0;
+  stats_.mux_gather_waits = 0;
+  stats_.mux_gathered_windows = 0;
 }
 
 size_t Cluster::TableRowCount(TableId id) const {

@@ -55,6 +55,14 @@ struct ClusterConfig {
   // (the conflict holder's handler is free to commit meanwhile; retries are
   // bounded by lock_wait_timeout).
   std::chrono::microseconds mux_retry_interval{100};
+  // Adaptive gather delay: when the previous mux round merged windows from
+  // more than one transaction, the loop waits up to mux_gather_delay for
+  // further submissions before flushing the next round -- under load the
+  // next window is usually microseconds away, and gathering it merges one
+  // more trip into the shared flush. Rounds after a no-merge round flush
+  // eagerly, so an idle or single-handler cluster never pays the delay.
+  bool mux_adaptive_gather = false;
+  std::chrono::microseconds mux_gather_delay{4};
 };
 
 // Distribution-aware transaction hint: start the coordinator on the primary
@@ -397,8 +405,9 @@ class Cluster {
   struct AtomicStats {
     std::atomic<uint64_t> pk_reads{0}, batch_reads{0}, batch_writes{0}, ppis_scans{0},
         index_scans{0}, full_table_scans{0}, commits{0}, aborts{0}, rows_read{0},
-        rows_written{0}, lock_timeouts{0}, round_trips{0}, overlapped_round_trips{0},
-        cross_tx_overlapped_round_trips{0}, mux_rounds{0}, mux_windows{0};
+        rows_written{0}, lock_timeouts{0}, lock_waits{0}, round_trips{0},
+        overlapped_round_trips{0}, cross_tx_overlapped_round_trips{0}, mux_rounds{0},
+        mux_windows{0}, mux_gather_waits{0}, mux_gathered_windows{0};
   };
   mutable AtomicStats stats_;
 };

@@ -87,6 +87,12 @@ struct ClusterStats {
   uint64_t rows_read = 0;
   uint64_t rows_written = 0;
   uint64_t lock_timeouts = 0;
+  // Row-lock acquisitions that found the row contended and had to block
+  // (whether eventually granted or timed out). A workload whose writers
+  // share no rows keeps this at 0; a global serialization point -- e.g. a
+  // counter row every transaction X-locks to commit -- shows up here first,
+  // long before lock_timeouts. The hint-log sharding win shows up here.
+  uint64_t lock_waits = 0;
   // Simulated namenode<->database round trips across all accesses (batched
   // operations count once however many rows/partitions they touch; commits
   // count their 2PC trips). The batching win shows up here.
@@ -108,9 +114,17 @@ struct ClusterStats {
   uint64_t cross_tx_overlapped_round_trips = 0;
   // Completion-mux activity: rounds that completed at least one window, and
   // windows flushed through the mux. windows > rounds means windows from
-  // concurrent transactions actually merged.
+  // concurrent transactions actually merged -- windows / rounds is the
+  // merge rate the adaptive gather delay exists to raise.
   uint64_t mux_rounds = 0;
   uint64_t mux_windows = 0;
+  // Adaptive gather (ClusterConfig::mux_adaptive_gather): rounds where the
+  // loop briefly held the door open for more windows because recent rounds
+  // merged, and the extra windows that actually arrived during those waits
+  // (each one is a round trip merged away that an eager flush would have
+  // paid).
+  uint64_t mux_gather_waits = 0;
+  uint64_t mux_gathered_windows = 0;
 };
 
 }  // namespace hops::ndb

@@ -59,13 +59,27 @@ void CompletionMux::Complete(const std::shared_ptr<Submission>& sub, hops::Statu
 
 void CompletionMux::Loop() {
   std::vector<std::shared_ptr<Submission>> active;
+  // Did the previous round merge windows from more than one transaction?
+  // Under the adaptive gather policy that is the evidence that handlers are
+  // submitting close together, so holding the door open a few microseconds
+  // will likely merge one more trip into the shared flush.
+  bool merged_recently = false;
   for (;;) {
     bool paused;
     {
       std::unique_lock<std::mutex> lk(mu_);
       auto ready = [&] { return stop_ || (!paused_ && !queue_.empty()); };
       if (active.empty()) {
+        const auto idle_start = std::chrono::steady_clock::now();
         wake_.wait(lk, ready);
+        // A long idle gap ends the burst the gather delay was betting on:
+        // the first submission after it must not pay a wait for trailing
+        // windows that cannot exist. Short blocks between back-to-back
+        // rounds (the bursty regime the gather exists for) keep the signal.
+        if (merged_recently &&
+            std::chrono::steady_clock::now() - idle_start > std::chrono::milliseconds(100)) {
+          merged_recently = false;
+        }
       } else if (!ready()) {
         // Deferred windows: retry soon; the conflicting holder's handler is
         // free and will release its locks at commit.
@@ -92,18 +106,46 @@ void CompletionMux::Loop() {
       }
       paused = paused_;
       if (!paused) {
+        size_t popped = 0;
         while (!queue_.empty()) {
           active.push_back(queue_.front());
           queue_.pop_front();
+          popped++;
+        }
+        // Gate on a fresh submission this wakeup: a retry pass over only
+        // deferred windows is waiting out a lock holder, not trailing
+        // submissions -- gathering there would just delay the retry and
+        // inflate the stat.
+        if (cluster_->config().mux_adaptive_gather && merged_recently && popped > 0) {
+          // Gather: recent rounds merged, so wait briefly for more windows
+          // before flushing. A submission, stop or pause wakes us early; an
+          // idle cluster (no recent merge) never reaches this wait.
+          cluster_->stats_.mux_gather_waits.fetch_add(1, std::memory_order_relaxed);
+          wake_.wait_for(lk, cluster_->config().mux_gather_delay,
+                         [&] { return stop_ || paused_ || !queue_.empty(); });
+          size_t gathered = 0;
+          if (!stop_ && !paused_) {
+            while (!queue_.empty()) {
+              active.push_back(queue_.front());
+              queue_.pop_front();
+              gathered++;
+            }
+          }
+          if (gathered > 0) {
+            cluster_->stats_.mux_gathered_windows.fetch_add(gathered,
+                                                            std::memory_order_relaxed);
+          }
+          paused = paused_;  // pausing mid-gather parks the round, not runs it
+          if (stop_) continue;  // the top of the loop runs the stop drain
         }
       }
     }
     if (paused || active.empty()) continue;
-    RunRound(active);
+    merged_recently = RunRound(active) > 1;
   }
 }
 
-void CompletionMux::RunRound(std::vector<std::shared_ptr<Submission>>& active) {
+size_t CompletionMux::RunRound(std::vector<std::shared_ptr<Submission>>& active) {
   const size_t n = active.size();
   constexpr size_t kNone = static_cast<size_t>(-1);
   struct RoundState {
@@ -272,6 +314,7 @@ void CompletionMux::RunRound(std::vector<std::shared_ptr<Submission>>& active) {
     }
   }
   active = std::move(remaining);
+  return flushed;
 }
 
 }  // namespace hops::ndb

@@ -86,8 +86,13 @@ class CompletionMux {
   // One reactor round over `active`: route, combined global-order try-lock
   // pass, per-window data work, group trip accounting. Completed (or failed)
   // submissions are signalled and removed; deferred ones stay for the next
-  // round.
-  void RunRound(std::vector<std::shared_ptr<Submission>>& active);
+  // round. Returns the number of windows that flushed (reached the data
+  // phase) this round. Each submission is one transaction's WHOLE in-flight
+  // window and SubmitAndWait parks the owning thread, so a transaction
+  // never has two submissions in a round: > 1 therefore means windows from
+  // different transactions merged -- the signal the adaptive gather delay
+  // keys off.
+  size_t RunRound(std::vector<std::shared_ptr<Submission>>& active);
   void Complete(const std::shared_ptr<Submission>& sub, hops::Status result);
 
   Cluster* const cluster_;

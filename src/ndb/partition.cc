@@ -27,13 +27,15 @@ bool Partition::Grantable(const LockState& ls, TxId tx, LockMode mode) const {
 }
 
 hops::Status Partition::AcquireLock(TxId tx, const std::string& ekey, LockMode mode,
-                                    std::chrono::steady_clock::time_point deadline) {
+                                    std::chrono::steady_clock::time_point deadline,
+                                    bool* waited) {
   if (mode == LockMode::kReadCommitted) return hops::Status::Ok();
   std::unique_lock<std::mutex> lock(mu_);
   // References into unordered_map stay valid across inserts; ReleaseLock
   // never erases an entry while waiters > 0.
   LockState& ls = locks_[ekey];
   while (!Grantable(ls, tx, mode)) {
+    if (waited != nullptr) *waited = true;
     ls.waiters++;
     auto wait_result = lock_released_.wait_until(lock, deadline);
     ls.waiters--;

@@ -41,8 +41,11 @@ class Partition {
   // Blocks until granted or until `deadline`; kReadCommitted is a no-op.
   // A holder of an exclusive lock is granted any further request on the same
   // row; upgrading shared->exclusive succeeds only for a sole holder.
+  // `waited`, when non-null, reports whether the request found the row
+  // contended and blocked at least once (lock-contention accounting).
   hops::Status AcquireLock(TxId tx, const std::string& ekey, LockMode mode,
-                           std::chrono::steady_clock::time_point deadline);
+                           std::chrono::steady_clock::time_point deadline,
+                           bool* waited = nullptr);
   // Grants the lock only if that is possible without waiting; returns false
   // (leaving the lock table untouched) otherwise. The completion mux uses
   // this so its shared loop never blocks on a row lock: a window that cannot

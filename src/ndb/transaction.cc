@@ -85,7 +85,9 @@ hops::Status Transaction::AcquireRowLock(TableId table, uint32_t partition,
   }
   auto deadline = std::chrono::steady_clock::now() + cluster_->config().lock_wait_timeout;
   Partition& p = *cluster_->table(table).partitions[partition];
-  hops::Status st = p.AcquireLock(id_, ekey, mode, deadline);
+  bool waited = false;
+  hops::Status st = p.AcquireLock(id_, ekey, mode, deadline, &waited);
+  if (waited) cluster_->stats_.lock_waits.fetch_add(1, std::memory_order_relaxed);
   if (!st.ok()) {
     cluster_->stats_.lock_timeouts.fetch_add(1, std::memory_order_relaxed);
     Abort();  // NDB aborts the transaction whose lock wait times out

@@ -326,8 +326,17 @@ TEST_F(HopsFsOpsTest, HintCacheTurnsResolutionIntoBatchedRead) {
   auto before = cluster_->db().StatsSnapshot();
   ASSERT_TRUE(nn.GetFileInfo("/w/x/y/z/f").ok());
   auto after = cluster_->db().StatsSnapshot();
-  EXPECT_EQ(after.batch_reads - before.batch_reads, 1u)
-      << "interior path components resolve in exactly one batched read";
+  // Two batched reads -- the resolve+lock batch over the cached chain plus
+  // the speculative block-count rider -- that flush as ONE overlapped
+  // round-trip window; the rider replaces the separate block scan a cold
+  // stat pays after resolution.
+  EXPECT_EQ(after.batch_reads - before.batch_reads, 2u);
+  EXPECT_EQ(after.ppis_scans - before.ppis_scans, 1u)
+      << "exactly the rider's scan member -- a discarded rider plus the "
+         "post-resolution fallback scan would count two";
+  EXPECT_EQ(after.round_trips - before.round_trips, 1u)
+      << "a warm stat costs a single round-trip window";
+  EXPECT_EQ(after.overlapped_round_trips - before.overlapped_round_trips, 1u);
   // Recursive resolution would have cost one PK read per interior component;
   // with hints the only extra PK reads are the locked target read.
   EXPECT_LE(after.pk_reads - before.pk_reads, 2u);

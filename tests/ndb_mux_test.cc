@@ -410,5 +410,102 @@ TEST_F(NdbMuxTest, LockingScanWindowsFlushOnTheSubmittingThread) {
       << "a locking-scan window must not enter the shared loop";
 }
 
+// Adaptive gather (ClusterConfig::mux_adaptive_gather): after a round that
+// merged windows from several transactions, the loop holds the door open up
+// to mux_gather_delay for trailing submissions, folding them into the same
+// shared trip instead of paying a fresh round.
+TEST_F(NdbMuxTest, AdaptiveGatherHoldsTheDoorForTrailingWindows) {
+  Cluster cluster(ClusterConfig{
+      .num_datanodes = 4,
+      .replication = 2,
+      .partitions_per_table = 8,
+      .lock_wait_timeout = std::chrono::milliseconds(400),
+      .use_completion_mux = true,
+      .mux_adaptive_gather = true,
+      .mux_gather_delay = std::chrono::milliseconds(300),
+  });
+  Schema s;
+  s.table_name = "t";
+  s.columns = {{"parent", ColumnType::kInt64},
+               {"name", ColumnType::kString},
+               {"id", ColumnType::kInt64}};
+  s.primary_key = {0, 1};
+  s.partition_key = {0};
+  TableId table = *cluster.CreateTable(s);
+  for (int64_t p = 0; p < 4; ++p) {
+    auto tx = cluster.Begin();
+    ASSERT_TRUE(tx->Insert(table, Row{p, "f", p}).ok());
+    ASSERT_TRUE(tx->Commit().ok());
+  }
+  auto submit_one = [&](int64_t key) {
+    auto tx = cluster.Begin();
+    ReadBatch b;
+    b.Get(table, {key, "f"});
+    ASSERT_TRUE(tx->ExecuteAsync(b).Wait().ok());
+    ASSERT_TRUE(tx->Commit().ok());
+  };
+  // Round 1, staged via the pause hook: two transactions' windows co-flush,
+  // arming the loop's merged-recently signal. No gather happens yet (the
+  // signal was off when the round started).
+  cluster.mux()->SetPausedForTesting(true);
+  std::thread t1([&] { submit_one(0); });
+  std::thread t2([&] { submit_one(1); });
+  for (int i = 0; i < 4000 && cluster.mux()->QueuedForTesting() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::microseconds(250));
+  }
+  ASSERT_GE(cluster.mux()->QueuedForTesting(), 2u);
+  cluster.mux()->SetPausedForTesting(false);
+  t1.join();
+  t2.join();
+  // Round 2: one window arrives, the loop gathers, and a second window
+  // submitted well inside the gather delay rides the same shared trip.
+  auto before = cluster.StatsSnapshot();
+  std::thread t3([&] { submit_one(2); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  std::thread t4([&] { submit_one(3); });
+  t3.join();
+  t4.join();
+  auto after = cluster.StatsSnapshot();
+  EXPECT_GE(after.mux_gather_waits - before.mux_gather_waits, 1u)
+      << "the loop must have held the door after the merged round";
+  EXPECT_GE(after.mux_gathered_windows - before.mux_gathered_windows, 1u)
+      << "the trailing window must have arrived during the gather wait";
+  EXPECT_EQ(after.cross_tx_overlapped_round_trips - before.cross_tx_overlapped_round_trips,
+            1u)
+      << "the gathered window's trip merged into the shared flush";
+  EXPECT_EQ((after.round_trips + after.overlapped_round_trips) -
+                (before.round_trips + before.overlapped_round_trips),
+            2u)
+      << "accounting invariant: sync-equivalent trips, gathered or not";
+}
+
+TEST_F(NdbMuxTest, AdaptiveGatherIsOffByDefault) {
+  for (int64_t p = 0; p < 4; ++p) MustInsert(p, "f", p);
+  // Force a merged round (which would arm the gather if it were enabled)...
+  cluster_->mux()->SetPausedForTesting(true);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      auto tx = cluster_->Begin();
+      ReadBatch b;
+      b.Get(table_, {int64_t{t}, "f"});
+      ASSERT_TRUE(tx->ExecuteAsync(b).Wait().ok());
+      ASSERT_TRUE(tx->Commit().ok());
+    });
+  }
+  AwaitQueued(2);
+  cluster_->mux()->SetPausedForTesting(false);
+  for (auto& t : threads) t.join();
+  // ...then another window: with the default config the loop never waits.
+  auto tx = cluster_->Begin();
+  ReadBatch b;
+  b.Get(table_, {int64_t{2}, "f"});
+  ASSERT_TRUE(tx->ExecuteAsync(b).Wait().ok());
+  ASSERT_TRUE(tx->Commit().ok());
+  auto stats = cluster_->StatsSnapshot();
+  EXPECT_EQ(stats.mux_gather_waits, 0u);
+  EXPECT_EQ(stats.mux_gathered_windows, 0u);
+}
+
 }  // namespace
 }  // namespace hops::ndb
