@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -117,17 +118,26 @@ struct HandlerLoadCapture {
   uint64_t cross_tx_saved = 0;      // trips merged away across transactions
   uint64_t mux_windows = 0;
   uint64_t mux_rounds = 0;
+  uint64_t mux_gather_waits = 0;     // adaptive-gather door-holds
+  uint64_t mux_gathered_windows = 0;  // extra windows those waits merged
   double co_scheduled_fraction = 0;  // co-scheduled windows / all flush windows
 };
 
-inline HandlerLoadCapture CaptureUnderHandlerLoad(int num_handlers, bool use_mux,
-                                                  int clients, int64_t ops_per_client,
-                                                  uint64_t seed) {
+// `adaptive_gather` overrides the mux gather-delay policy for the A/B sweep:
+// nullopt leaves MiniCluster's auto resolution (on at >= 4 handlers) in
+// charge, an explicit value pins it and disables the auto policy.
+inline HandlerLoadCapture CaptureUnderHandlerLoad(
+    int num_handlers, bool use_mux, int clients, int64_t ops_per_client, uint64_t seed,
+    std::optional<bool> adaptive_gather = std::nullopt) {
   HandlerLoadCapture cap;
   hops::fs::MiniClusterOptions options;
   options.db.num_datanodes = 4;
   options.db.replication = 2;
   options.db.use_completion_mux = use_mux;
+  if (adaptive_gather.has_value()) {
+    options.db.mux_adaptive_gather = *adaptive_gather;
+    options.db.mux_adaptive_gather_auto = false;
+  }
   options.fs.num_handlers = num_handlers;
   options.num_namenodes = 1;
   options.num_datanodes = 3;
@@ -164,6 +174,8 @@ inline HandlerLoadCapture CaptureUnderHandlerLoad(int num_handlers, bool use_mux
   cap.cross_tx_saved = stats.cross_tx_overlapped_round_trips;
   cap.mux_windows = stats.mux_windows;
   cap.mux_rounds = stats.mux_rounds;
+  cap.mux_gather_waits = stats.mux_gather_waits;
+  cap.mux_gathered_windows = stats.mux_gathered_windows;
   uint64_t windows = 0, co_scheduled = 0;
   for (const auto& t : traces) {
     for (const auto& a : t.accesses) {

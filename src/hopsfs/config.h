@@ -84,6 +84,27 @@ struct FsConfig {
   // reaped precisely, well before the TTL. Namenodes that miss reaped
   // records simply fall back to lazy repair.
   std::chrono::milliseconds hint_invalidation_ttl{10000};
+
+  // Asynchronous metadata commits (AsyncFS/SwitchFS direction): create,
+  // mkdirs and file setattr acknowledge once the op is validated, ordered
+  // and DURABLE in the per-namenode op_intents log; the real metadata
+  // transaction runs later on the namenode's applier thread through the
+  // normal RunTx/mux machinery. Reads and conflicting mutations on a path
+  // with unapplied intents block until the covering intent applies
+  // (read-your-writes per namenode; clients are sticky). Off = every op
+  // commits its full transaction before replying (the paper's behavior and
+  // the ablation baseline).
+  bool async_metadata_commit = false;
+  // Max adjacent intents the applier drains as one concurrent window
+  // (intents whose paths are prefix-disjoint apply in parallel and their
+  // transactions merge in the completion mux; same-path intents always
+  // apply in acknowledgment order).
+  int intent_apply_batch = 8;
+  // Upper bound a blocked reader waits for a covering intent to apply
+  // before proceeding against the committed state (a wedged applier must
+  // not hang every read forever; proceeding early is at worst a stale
+  // read, never a wrong namespace).
+  std::chrono::milliseconds intent_wait_timeout{30000};
 };
 
 }  // namespace hops::fs

@@ -125,7 +125,8 @@ InodeHintCache::Chain InodeHintCache::PeekChain(
 // --- Put ---------------------------------------------------------------------
 
 void InodeHintCache::Put(const std::vector<std::string>& components, size_t depth_index,
-                         InodeId parent_id, InodeId inode_id, uint64_t epoch) {
+                         InodeId parent_id, InodeId inode_id, uint64_t epoch,
+                         std::optional<bool> is_dir) {
   if (capacity_ == 0 || components.empty()) return;
   std::lock_guard<std::mutex> lock(mu_);
   if (root_.barrier_epoch > epoch) {
@@ -150,12 +151,19 @@ void InodeHintCache::Put(const std::vector<std::string>& components, size_t dept
     }
   }
   if (n == &root_) return;
+  Hint fresh{parent_id, inode_id, is_dir.value_or(false), is_dir.has_value()};
   if (n->has_hint) {
-    n->hint = Hint{parent_id, inode_id};
+    // A refresh that does not know the kind keeps a previously known one
+    // (the ids must still match for the kind to be about the same inode).
+    if (!fresh.is_dir_known && n->hint.is_dir_known && n->hint.inode_id == inode_id) {
+      fresh.is_dir = n->hint.is_dir;
+      fresh.is_dir_known = true;
+    }
+    n->hint = fresh;
     LruMoveFront(n);
     return;
   }
-  n->hint = Hint{parent_id, inode_id};
+  n->hint = fresh;
   n->has_hint = true;
   LruLinkFront(n);
   for (Node* a = n; a != nullptr; a = a->parent) a->subtree_hints++;

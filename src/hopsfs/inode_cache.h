@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -38,6 +39,12 @@ class InodeHintCache {
   struct Hint {
     InodeId parent_id = kInvalidInode;
     InodeId inode_id = kInvalidInode;
+    // Cached inode kind, when the producing resolution knew it. A known
+    // directory lets a warm stat skip staging the file-only fan-out rider
+    // it would always discard; `is_dir_known == false` (hints from older
+    // producers or probes) keeps the speculative behavior.
+    bool is_dir = false;
+    bool is_dir_known = false;
   };
 
   // A chain lookup result: hints for components[0..k) plus the epoch the
@@ -79,9 +86,11 @@ class InodeHintCache {
   // `inode_id` under `parent_id`. `epoch` must be the cache epoch observed
   // when the resolution producing this hint began (LookupChain's epoch, or
   // epoch() for resolutions that skipped the lookup); the put is dropped if
-  // the prefix was invalidated since.
+  // the prefix was invalidated since. `is_dir` records the inode kind when
+  // the producer knows it (nullopt leaves the kind unknown).
   void Put(const std::vector<std::string>& components, size_t depth_index,
-           InodeId parent_id, InodeId inode_id, uint64_t epoch);
+           InodeId parent_id, InodeId inode_id, uint64_t epoch,
+           std::optional<bool> is_dir = std::nullopt);
 
   // Drops every cached entry at/under `path_prefix` (move/delete
   // invalidation): O(depth) subtree detach + barrier, no cache scan.

@@ -7,6 +7,13 @@ MiniCluster::MiniCluster(MiniClusterOptions options, std::unique_ptr<ndb::Cluste
     : options_(std::move(options)), db_(std::move(db)), schema_(schema) {}
 
 hops::Result<std::unique_ptr<MiniCluster>> MiniCluster::Start(MiniClusterOptions options) {
+  if (options.db.mux_adaptive_gather_auto) {
+    // Default-on policy for the mux gather delay: with >= 4 handlers per
+    // namenode there is nearly always a trailing window microseconds away
+    // worth waiting for; below that the delay buys nothing and costs idle
+    // wakeups (bench_fig07's gather sweep is the justification).
+    options.db.mux_adaptive_gather = options.fs.num_handlers >= 4;
+  }
   auto db = std::make_unique<ndb::Cluster>(options.db);
   HOPS_ASSIGN_OR_RETURN(schema, MetadataSchema::Format(*db));
   std::unique_ptr<MiniCluster> cluster(
@@ -80,6 +87,30 @@ ClusterHintStats MiniCluster::AggregateHintStats() {
     out.gc_ttl_reaps += nn->election().hint_gc_ttl_reaps();
   }
   return out;
+}
+
+ClusterIntentStats MiniCluster::AggregateIntentStats() {
+  ClusterIntentStats out;
+  for (auto& nn : namenodes_) {
+    if (!nn) continue;
+    IntentLogStats s = nn->intent_stats();
+    out.log.intents_appended += s.intents_appended;
+    out.log.intents_applied += s.intents_applied;
+    out.log.intents_coalesced += s.intents_coalesced;
+    out.log.apply_failures += s.apply_failures;
+    out.log.acked_ops += s.acked_ops;
+    out.log.ack_latency_us += s.ack_latency_us;
+    out.log.apply_latency_us += s.apply_latency_us;
+    out.log.covering_waits += s.covering_waits;
+    out.intents_adopted += nn->intents_adopted();
+  }
+  return out;
+}
+
+void MiniCluster::DrainIntents() {
+  for (auto& nn : namenodes_) {
+    if (nn && nn->alive()) nn->FlushIntents();
+  }
 }
 
 void MiniCluster::KillNamenode(int i) { namenodes_[static_cast<size_t>(i)]->Kill(); }

@@ -41,9 +41,32 @@ struct ClusterHintStats {
   }
 };
 
+// Aggregate intent-log counters across a cluster's namenodes (async
+// metadata commits), plus the adoption sweeps that replayed dead
+// namenodes' orphaned intents. Surfaced in the workload driver report and
+// the bench_table2 async-ack ablation.
+struct ClusterIntentStats {
+  IntentLogStats log;
+  uint64_t intents_adopted = 0;
+
+  double MeanAckLatencyUs() const {
+    return log.acked_ops == 0 ? 0.0
+                              : static_cast<double>(log.ack_latency_us) /
+                                    static_cast<double>(log.acked_ops);
+  }
+  double MeanApplyLatencyUs() const {
+    return log.intents_applied == 0 ? 0.0
+                                    : static_cast<double>(log.apply_latency_us) /
+                                          static_cast<double>(log.intents_applied);
+  }
+};
+
 class MiniCluster {
  public:
   // Builds the database, formats the schema, and starts the namenodes.
+  // Resolves ClusterConfig::mux_adaptive_gather_auto here: the gather delay
+  // goes on once the handler pool is wide enough (>= 4 handlers per
+  // namenode) that trailing windows are usually in flight to merge with.
   static hops::Result<std::unique_ptr<MiniCluster>> Start(MiniClusterOptions options);
 
   ndb::Cluster& db() { return *db_; }
@@ -63,6 +86,11 @@ class MiniCluster {
   // Sums every namenode's hint-cache counters (dead ones included: their
   // history is part of the run).
   ClusterHintStats AggregateHintStats();
+  // Sums every namenode's intent-log counters (async metadata commits).
+  ClusterIntentStats AggregateIntentStats();
+  // Blocks until every alive namenode's acknowledged intents are applied
+  // (async commits only; a no-op cluster-wide when the mode is off).
+  void DrainIntents();
 
   // Kills namenode i (simulated process death; its id is retired).
   void KillNamenode(int i);

@@ -77,6 +77,9 @@ Namenode::Namenode(ndb::Cluster* db, const MetadataSchema* schema, const FsConfi
       config_(config),
       handlers_(config->num_handlers > 0 ? std::make_unique<HandlerPool>(config->num_handlers)
                                          : nullptr),
+      intents_(config->async_metadata_commit
+                   ? std::make_unique<IntentLog>(db, schema, config)
+                   : nullptr),
       election_(db, schema, config, std::move(location)),
       hint_cache_(config->hint_cache_capacity),
       inode_ids_(db, schema, kVarNextInodeId, config->id_chunk_size),
@@ -93,6 +96,9 @@ Namenode::Namenode(ndb::Cluster* db, const MetadataSchema* schema, const FsConfi
 }
 
 Namenode::~Namenode() {
+  // The applier issues transactions through the handler pool and may publish
+  // acknowledgments to waiting clients: stop it before anything else.
+  if (intents_) intents_->Stop();
   {
     std::lock_guard<std::mutex> lock(hint_pub_mu_);
     hint_pub_stop_ = true;
@@ -104,7 +110,40 @@ Namenode::~Namenode() {
 hops::Status Namenode::Start() {
   HOPS_RETURN_IF_ERROR(election_.Register());
   PrimeHintApplied();
+  if (intents_) {
+    intents_->Start(id_safe(),
+                    [this](const IntentRecord& rec) { return ApplyIntent(rec); });
+    // Restart recovery: durable intents left by namenodes now dead (this
+    // slot's previous incarnation included) are replayed before serving.
+    AdoptOrphanedIntents();
+  }
   return Heartbeat();
+}
+
+void Namenode::FlushIntents() {
+  if (intents_) intents_->Flush();
+}
+
+void Namenode::SetIntentApplierPausedForTesting(bool paused) {
+  if (intents_) intents_->SetApplierPausedForTesting(paused);
+}
+
+void Namenode::SetIntentAppendHoldForTesting(bool hold) {
+  if (intents_) intents_->SetAppendHoldForTesting(hold);
+}
+
+size_t Namenode::IntentQueuedAppendsForTesting() const {
+  return intents_ ? intents_->QueuedAppendsForTesting() : 0;
+}
+
+IntentLogStats Namenode::intent_stats() const {
+  return intents_ ? intents_->stats() : IntentLogStats{};
+}
+
+void Namenode::SetTraceSink(TraceSink sink) {
+  if (intents_) intents_->SetTraceSink(sink);
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  trace_sink_ = std::move(sink);
 }
 
 void Namenode::PrimeHintApplied() {
@@ -143,6 +182,9 @@ void Namenode::PrimeHintApplied() {
 hops::Status Namenode::Heartbeat() {
   hops::Status st = election_.Heartbeat();  // leader side also GCs the hint log
   if (alive_ && config_->hint_proactive_invalidation) DrainHintInvalidations();
+  // Failover adoption: once the membership view ages a dead namenode out,
+  // the leader replays its acknowledged-but-unapplied intents.
+  if (alive_ && intents_ && election_.IsLeader()) AdoptOrphanedIntents();
   return st;
 }
 
@@ -407,13 +449,17 @@ void Namenode::SetDatanodePicker(std::function<std::vector<DatanodeId>(int)> pic
 // --- Transaction runner ------------------------------------------------------
 
 hops::Status Namenode::RunTx(std::optional<ndb::TxHint> hint,
-                             const std::function<hops::Status(ndb::Transaction&)>& body) {
+                             const std::function<hops::Status(ndb::Transaction&)>& body,
+                             bool inline_read) {
   int subtree_waits = 0;
   bool want_trace;
   {
     std::lock_guard<std::mutex> lock(trace_mu_);
     want_trace = trace_sink_ != nullptr;
   }
+  // Captured here, NOT in the attempt: a handler-pool dispatch moves the
+  // attempt onto a thread where the applier's thread-local marker is unset.
+  const bool background = IntentLog::OnApplierThread();
   // With a handler pool, each ATTEMPT is enqueued and a handler thread owns
   // that transaction end to end, while the retry loop -- and in particular
   // its subtree-wait backoff sleeps -- stays on the caller's thread. A
@@ -421,12 +467,20 @@ hops::Status Namenode::RunTx(std::optional<ndb::TxHint> hint,
   // operation it is waiting out enqueues its own phase transactions behind
   // the pool, and sleeping waiters would starve it (priority inversion).
   // Work already running on a handler (an operation issuing several
-  // transactions) stays on its handler.
-  const bool dispatch = handlers_ != nullptr && !HandlerPool::OnHandlerThread();
+  // transactions) stays on its handler. Applier-issued work stays on its
+  // claimer thread: the apply pool already bounds its own concurrency, and
+  // funneling it through the handler pool would both cap the drain at
+  // num_handlers and let background applies crowd client ops out of the
+  // pool.
+  const bool dispatch =
+      !inline_read && !background && handlers_ != nullptr && !HandlerPool::OnHandlerThread();
   for (int attempt = 0; attempt < config_->max_tx_retries;) {
-    hops::Status st = dispatch
-                          ? handlers_->Run([&] { return RunTxAttempt(hint, body, want_trace); })
-                          : RunTxAttempt(hint, body, want_trace);
+    hops::Status st =
+        dispatch
+            ? handlers_->Run([&] { return RunTxAttempt(hint, body, want_trace, background,
+                                                       /*latency_sensitive=*/false); })
+            : RunTxAttempt(hint, body, want_trace, background,
+                           /*latency_sensitive=*/inline_read);
     if (st.ok()) return st;
     if (st.code() == hops::StatusCode::kSubtreeLocked) {
       // An active subtree operation owns part of the path: voluntarily back
@@ -447,10 +501,13 @@ hops::Status Namenode::RunTx(std::optional<ndb::TxHint> hint,
 
 hops::Status Namenode::RunTxAttempt(
     std::optional<ndb::TxHint> hint,
-    const std::function<hops::Status(ndb::Transaction&)>& body, bool want_trace) {
+    const std::function<hops::Status(ndb::Transaction&)>& body, bool want_trace,
+    bool background, bool latency_sensitive) {
   HOPS_RETURN_IF_ERROR(CheckAlive());
   auto tx = db_->Begin(hint);
   if (want_trace) tx->EnableTrace();
+  if (background) tx->SetBackground(true);
+  if (latency_sensitive) tx->SetLatencySensitive(true);
   hops::Status st = body(*tx);
   if (st.ok()) {
     st = tx->Commit();
@@ -476,12 +533,44 @@ Namenode::SpeculativeRider Namenode::StageSpeculativeFanout(
   // hit/miss and skew the reported hit rate.
   auto hints = hint_cache_.PeekChain(components).hints;
   if (hints.size() < components.size()) return rider;
-  const InodeId candidate = hints[components.size() - 1].inode_id;
+  const InodeHintCache::Hint& target_hint = hints[components.size() - 1];
+  // Every rider table is a file satellite (blocks, replicas, leases): when
+  // the hint knows the target is a directory, the scans would come back
+  // empty and be discarded -- skip staging them at all, so a warm directory
+  // stat pays no wasted fan-out.
+  if (target_hint.is_dir_known && target_hint.is_dir) return rider;
+  const InodeId candidate = target_hint.inode_id;
   const uint32_t part = db_->PartitionForValue(static_cast<uint64_t>(candidate));
   if (!db_->PrimaryNode(part).has_value()) return rider;
   rider.hinted = candidate;
   rider.batch = std::make_unique<ndb::ReadBatch>();
   for (ndb::TableId table : tables) rider.batch->Scan(table, {candidate});
+  rider.pending = tx.ExecuteAsync(*rider.batch);
+  rider.flushed_early = rider.pending.done();
+  return rider;
+}
+
+Namenode::SpeculativeRider Namenode::StageAddBlockFanout(
+    ndb::Transaction& tx, const std::vector<std::string>& components) {
+  SpeculativeRider rider;
+  if (components.size() < 2) return rider;
+  auto hints = hint_cache_.PeekChain(components).hints;
+  if (hints.size() < components.size()) return rider;
+  const InodeHintCache::Hint& target_hint = hints[components.size() - 1];
+  if (target_hint.is_dir_known && target_hint.is_dir) return rider;
+  const InodeId candidate = target_hint.inode_id;
+  const uint32_t part = db_->PartitionForValue(static_cast<uint64_t>(candidate));
+  if (!db_->PrimaryNode(part).has_value()) return rider;
+  rider.hinted = candidate;
+  rider.batch = std::make_unique<ndb::ReadBatch>();
+  // The lease X-lock rides ahead of the inode lock. The lease protocol
+  // admits one writer per file, so no two writers race this file's lease
+  // row, and a reader never locks it -- the inverted lock order cannot
+  // produce a deadlock that a lock timeout + retry does not already cover.
+  // A stale hint's discard must UnlockRow the hinted lease (the caller's
+  // job) because, unlike the read-only riders, this one locks what it read.
+  rider.batch->Get(schema_->leases, {candidate}, ndb::LockMode::kExclusive);
+  rider.batch->Scan(schema_->blocks, {candidate});
   rider.pending = tx.ExecuteAsync(*rider.batch);
   rider.flushed_early = rider.pending.done();
   return rider;
@@ -610,7 +699,7 @@ hops::Status Namenode::ResolveSuffix(ndb::Transaction& tx,
     auto out = ReadInode(tx, parent, components[i], static_cast<int>(i) + 1,
                          ndb::LockMode::kReadCommitted);
     if (!out.ok()) return out.status();
-    hint_cache_.Put(components, i, parent, out->inode.id, hint_epoch);
+    hint_cache_.Put(components, i, parent, out->inode.id, hint_epoch, out->inode.is_dir);
     chain.push_back(std::move(out->inode));
   }
   return hops::Status::Ok();
@@ -750,7 +839,8 @@ hops::Result<Namenode::Resolved> Namenode::ResolveAndLock(
                       spec.target_mode);
   if (target.ok()) {
     HOPS_RETURN_IF_ERROR(CheckSubtreeLock(tx, target->inode, target->pv));
-    hint_cache_.Put(components, n - 1, parent.id, target->inode.id, r.hint_epoch);
+    hint_cache_.Put(components, n - 1, parent.id, target->inode.id, r.hint_epoch,
+                    target->inode.is_dir);
     r.chain.push_back(std::move(target->inode));
     r.chain_pvs.push_back(target->pv);
     r.target_exists = true;
@@ -889,6 +979,12 @@ hops::Result<std::vector<ndb::Row>> Namenode::ScanChildren(ndb::Transaction& tx,
 hops::Status Namenode::Mkdirs(const std::string& path, const UserContext& user) {
   HOPS_RETURN_IF_ERROR(CheckAlive());
   HOPS_ASSIGN_OR_RETURN(components, SplitPath(path));
+  if (UseAsyncCommit()) return MkdirsAsync(components, user);
+  return MkdirsSync(components, user);
+}
+
+hops::Status Namenode::MkdirsSync(const std::vector<std::string>& components,
+                                  const UserContext& user) {
   // Create missing directories top-down, one transaction per level (each
   // level is an ordinary "mkdir" inode operation).
   for (size_t depth = 1; depth <= components.size(); ++depth) {
@@ -927,7 +1023,7 @@ hops::Status Namenode::Mkdirs(const std::string& path, const UserContext& user) 
             HOPS_RETURN_IF_ERROR(
                 tx.Update(schema_->inodes, ToRow(parent), r.parent_pv()));
           }
-          hint_cache_.Put(prefix, depth - 1, parent.id, id, r.hint_epoch);
+          hint_cache_.Put(prefix, depth - 1, parent.id, id, r.hint_epoch, true);
           return hops::Status::Ok();
         });
     if (!st.ok()) return st;
@@ -940,6 +1036,13 @@ hops::Status Namenode::Create(const std::string& path, const std::string& client
   HOPS_RETURN_IF_ERROR(CheckAlive());
   HOPS_ASSIGN_OR_RETURN(components, SplitPath(path));
   if (components.empty()) return hops::Status::IsDirectory("/");
+  if (UseAsyncCommit()) return CreateAsync(components, client_name, user);
+  return CreateSync(components, client_name, user);
+}
+
+hops::Status Namenode::CreateSync(const std::vector<std::string>& components,
+                                  const std::string& client_name, const UserContext& user) {
+  const std::string path = JoinPath(components);
   uint64_t hint_pv = InodePv(static_cast<int>(components.size()), 0, components.back());
   return RunTx(ndb::TxHint{schema_->inodes, hint_pv},
                [&](ndb::Transaction& tx) -> hops::Status {
@@ -980,9 +1083,341 @@ hops::Status Namenode::Create(const std::string& path, const std::string& client
                        tx.Update(schema_->inodes, ToRow(parent), r.parent_pv()));
                  }
                  hint_cache_.Put(components, components.size() - 1, parent.id, id,
-                                 r.hint_epoch);
+                                 r.hint_epoch, false);
                  return hops::Status::Ok();
                });
+}
+
+// --- Asynchronous metadata commits (ordered intent log + apply stage) --------
+
+hops::Status Namenode::MkdirsAsync(const std::vector<std::string>& components,
+                                   const UserContext& user) {
+  if (components.empty()) return hops::Status::Ok();
+  const int64_t start = MonotonicMicros();
+  const size_t n = components.size();
+  // Phase 1 -- walk the path against acknowledged state: a pending entry
+  // decides a level without touching the database (everything below an
+  // unapplied directory cannot exist committed), the committed walk covers
+  // the rest with read-committed probes. `known` = leading levels that
+  // exist, acknowledged or committed.
+  size_t known = 0;
+  bool pending_mode = false;
+  bool resolved_fast = false;
+  // Fast path -- nothing pending on the path: one hint-batched resolution
+  // settles the whole walk when at most the leaf is missing (the common
+  // mkdirs). A deeper missing interior falls back to the per-level walk,
+  // which is the only way to learn how much of the chain exists.
+  if (!intents_->HasPendingPrefix(JoinPath(components))) {
+    hops::Status fast = RunTx(
+        std::nullopt,
+        [&](ndb::Transaction& tx) -> hops::Status {
+          LockSpec spec;
+          spec.target_mode = ndb::LockMode::kReadCommitted;
+          spec.lock_parent = false;
+          spec.target_must_exist = false;
+          HOPS_ASSIGN_OR_RETURN(r, ResolveAndLock(tx, components, spec));
+          HOPS_RETURN_IF_ERROR(CheckPathTraversal(r, user));
+          if (r.target_exists) {
+            if (!r.target().is_dir) return hops::Status::NotDirectory(components.back());
+            known = n;
+            return hops::Status::Ok();
+          }
+          known = n - 1;
+          return CheckAccess(r.parent_of_target(), user, kWrite);
+        },
+        /*inline_read=*/true);
+    if (fast.ok()) {
+      resolved_fast = true;
+    } else if (fast.code() != hops::StatusCode::kNotFound) {
+      return fast;
+    }
+  }
+  if (!resolved_fast) {
+    // Committed state first at every level: a pending mkdirs entry may be
+    // an idempotent duplicate of an already-committed directory, so only a
+    // pending dir with NO committed row stops the walk in pending mode
+    // (see the same reasoning in CreateAsync's slow path).
+    std::vector<Inode> chain;
+    hops::Status st = RunTx(
+        std::nullopt,
+        [&](ndb::Transaction& tx) -> hops::Status {
+          known = 0;
+          pending_mode = false;
+          chain.clear();
+          chain.push_back(root_);
+          std::string prefix;
+          for (size_t i = 0; i < n; ++i) {
+            prefix += "/" + components[i];
+            auto p = intents_->LookupPending(prefix);
+            if (p && !p->is_dir) return hops::Status::NotDirectory(prefix);
+            auto out = ReadInode(tx, chain.back().id, components[i], static_cast<int>(i) + 1,
+                                 ndb::LockMode::kReadCommitted);
+            if (out.ok()) {
+              if (!out->inode.is_dir) return hops::Status::NotDirectory(prefix);
+              HOPS_RETURN_IF_ERROR(CheckAccess(chain.back(), user, kExec));
+              chain.push_back(std::move(out->inode));
+              known = i + 1;
+              continue;
+            }
+            if (out.status().code() != hops::StatusCode::kNotFound) return out.status();
+            if (p) {
+              known = i + 1;
+              pending_mode = true;
+            }
+            return hops::Status::Ok();
+          }
+          return hops::Status::Ok();
+        },
+        /*inline_read=*/true);
+    if (!st.ok()) return st;
+    if (known < n && !pending_mode) {
+      // Creating under a committed parent: the write check runs here, on the
+      // acknowledged path (the apply re-checks under locks either way).
+      HOPS_RETURN_IF_ERROR(CheckAccess(chain.back(), user, kWrite));
+    }
+  }
+  // Phase 2 -- reserve + append one intent per missing level, top-down, so
+  // the applier (FIFO, ancestor-related intents never batched together)
+  // materializes parents before children.
+  bool submitted = false;
+  std::string prefix;
+  for (size_t i = 0; i < n; ++i) {
+    prefix += "/" + components[i];
+    if (i < known) continue;
+    if (auto p = intents_->LookupPending(prefix)) {
+      // Acknowledged by a concurrent mkdirs since the walk; idempotent.
+      if (!p->is_dir) return hops::Status::NotDirectory(prefix);
+      continue;
+    }
+    HOPS_RETURN_IF_ERROR(intents_->ReserveDir(prefix, user.user));
+    IntentRecord rec;
+    rec.op = IntentOp::kMkdirs;
+    rec.path = prefix;
+    rec.user = user.user;
+    rec.superuser = user.superuser;
+    HOPS_RETURN_IF_ERROR(intents_->Submit(std::move(rec)));  // releases on failure
+    submitted = true;
+  }
+  if (submitted) {
+    intents_->RecordAck(static_cast<uint64_t>(MonotonicMicros() - start));
+  }
+  return hops::Status::Ok();
+}
+
+hops::Status Namenode::CreateAsync(const std::vector<std::string>& components,
+                                   const std::string& client_name, const UserContext& user) {
+  const int64_t start = MonotonicMicros();
+  const size_t n = components.size();
+  const std::string target = JoinPath(components);
+  // Validation FIRST, reservation second: reserving up front would make a
+  // racing second create fail with AlreadyExists even when this one is
+  // about to fail validation.
+  if (auto p = intents_->LookupPending(target)) {
+    return p->is_dir ? hops::Status::IsDirectory(target)
+                     : hops::Status::AlreadyExists(target);
+  }
+  // Fast path -- nothing pending anywhere on the path, so committed state is
+  // the whole truth: validate with the same hint-batched resolution the
+  // sync path uses (one round trip on a warm cache, and the Puts it makes
+  // pre-warm the applier's own resolution).
+  bool validated = false;
+  if (!intents_->HasPendingPrefix(target)) {
+    uint64_t hint_pv = InodePv(static_cast<int>(n), 0, components.back());
+    hops::Status st = RunTx(
+        ndb::TxHint{schema_->inodes, hint_pv},
+        [&](ndb::Transaction& tx) -> hops::Status {
+          LockSpec spec;
+          spec.target_mode = ndb::LockMode::kReadCommitted;
+          spec.lock_parent = false;
+          spec.target_must_exist = false;
+          HOPS_ASSIGN_OR_RETURN(r, ResolveAndLock(tx, components, spec));
+          HOPS_RETURN_IF_ERROR(CheckPathTraversal(r, user));
+          if (r.target_exists) {
+            return r.target().is_dir ? hops::Status::IsDirectory(target)
+                                     : hops::Status::AlreadyExists(target);
+          }
+          return CheckAccess(r.parent_of_target(), user, kWrite);
+        },
+        /*inline_read=*/true);
+    if (st.ok()) {
+      validated = true;
+    } else if (st.code() != hops::StatusCode::kNotFound ||
+               !intents_->HasPendingPrefix(target)) {
+      return st;
+    }
+    // else: an intent was acknowledged on this path during the resolution,
+    // so the committed view is incomplete -- re-validate on the slow path.
+  }
+  if (!validated) {
+    // Slow path -- something is pending on the path. Committed state is
+    // probed FIRST at every level: a pending mkdirs entry may be an
+    // idempotent duplicate of a directory that is already committed (via
+    // another namenode or an earlier op), so "pending" alone must never
+    // shortcut the walk. Only a pending dir with NO committed row governs
+    // the chain below it (an uncommitted parent cannot have committed
+    // children). If that chain applies mid-walk the pending index goes
+    // silent while our transaction already read the older state; that shows
+    // up as a miss below an uncommitted dir, and the walk restarts against
+    // the now-committed rows.
+    hops::Status st;
+    for (int restart = 0;; ++restart) {
+      if (restart == 64) return hops::Status::TxAborted("create validation kept racing applies");
+      bool applied_mid_walk = false;
+      st = RunTx(std::nullopt, [&](ndb::Transaction& tx) -> hops::Status {
+        applied_mid_walk = false;
+        std::vector<Inode> chain;
+        chain.push_back(root_);
+        std::string prefix;
+        bool below_uncommitted = false;
+        for (size_t i = 0; i + 1 < n; ++i) {
+          std::string parent_prefix = prefix;
+          prefix += "/" + components[i];
+          auto p = intents_->LookupPending(prefix);
+          if (p && !p->is_dir) return hops::Status::NotDirectory(prefix);
+          if (below_uncommitted) {
+            if (p) continue;  // pending dir, still governed by the index
+            if (intents_->LookupPending(parent_prefix)) {
+              // Parent is still pending-and-uncommitted, so this level can
+              // be neither committed nor (as just checked) pending.
+              return hops::Status::NotFound(prefix + " does not exist");
+            }
+            applied_mid_walk = true;
+            return hops::Status::Ok();
+          }
+          auto out = ReadInode(tx, chain.back().id, components[i], static_cast<int>(i) + 1,
+                               ndb::LockMode::kReadCommitted);
+          if (out.ok()) {
+            if (!out->inode.is_dir) return hops::Status::NotDirectory(prefix);
+            HOPS_RETURN_IF_ERROR(CheckAccess(chain.back(), user, kExec));
+            chain.push_back(std::move(out->inode));
+            continue;
+          }
+          if (out.status().code() != hops::StatusCode::kNotFound) return out.status();
+          if (p) {
+            below_uncommitted = true;
+            continue;
+          }
+          return hops::Status::NotFound(prefix + " does not exist");
+        }
+        if (below_uncommitted) return hops::Status::Ok();
+        // Full committed parent chain: probe the target's committed row too.
+        HOPS_RETURN_IF_ERROR(CheckAccess(chain.back(), user, kWrite));
+        auto out = ReadInode(tx, chain.back().id, components[n - 1], static_cast<int>(n),
+                             ndb::LockMode::kReadCommitted);
+        if (out.ok()) {
+          return out->inode.is_dir ? hops::Status::IsDirectory(target)
+                                   : hops::Status::AlreadyExists(target);
+        }
+        if (out.status().code() != hops::StatusCode::kNotFound) return out.status();
+        return hops::Status::Ok();
+      }, /*inline_read=*/true);
+      if (!applied_mid_walk) break;
+    }
+    if (!st.ok()) return st;
+  }
+  // Reservation is the atomic conflict gate: two racing validated creates
+  // of one path serialize here, the loser gets AlreadyExists.
+  HOPS_RETURN_IF_ERROR(intents_->ReserveCreate(target, user.user));
+  IntentRecord rec;
+  rec.op = IntentOp::kCreate;
+  rec.path = target;
+  rec.client = client_name;
+  rec.user = user.user;
+  rec.superuser = user.superuser;
+  HOPS_RETURN_IF_ERROR(intents_->Submit(std::move(rec)));
+  intents_->RecordAck(static_cast<uint64_t>(MonotonicMicros() - start));
+  return hops::Status::Ok();
+}
+
+hops::Status Namenode::SubmitSetattrIntent(IntentRecord rec, bool is_dir,
+                                           const std::string& owner, int64_t start_micros) {
+  intents_->ReserveTouch(rec.path, is_dir, owner);
+  hops::Status st = intents_->Submit(std::move(rec));
+  if (!st.ok()) return st;
+  intents_->RecordAck(static_cast<uint64_t>(MonotonicMicros() - start_micros));
+  return hops::Status::Ok();
+}
+
+hops::Status Namenode::ApplyIntent(const IntentRecord& rec) {
+  IntentLog::ApplierScope scope;
+  UserContext user{rec.user, rec.superuser};
+  HOPS_ASSIGN_OR_RETURN(components, SplitPath(rec.path));
+  switch (rec.op) {
+    case IntentOp::kMkdirs:
+      return MkdirsSync(components, user);
+    case IntentOp::kCreate: {
+      hops::Status st = CreateSync(components, rec.client, user);
+      // At-least-once replay: a re-applied create finds the inode it made.
+      if (st.code() == hops::StatusCode::kAlreadyExists) return hops::Status::Ok();
+      return st;
+    }
+    case IntentOp::kSetPermission:
+      return SetPermissionFileTx(components, rec.perm, user);
+    case IntentOp::kSetOwner:
+      return SetOwnerFileTx(components, rec.owner, rec.group, user);
+  }
+  return hops::Status::InvalidArgument("unknown intent op");
+}
+
+void Namenode::AdoptOrphanedIntents() {
+  if (intents_ == nullptr || !alive_) return;
+  std::vector<ndb::Row> rows;
+  {
+    auto tx = db_->Begin(ndb::TxHint{schema_->op_intents, static_cast<uint64_t>(id_safe())});
+    auto scan = tx->FullTableScan(schema_->op_intents);
+    if (!scan.ok()) {
+      if (tx->active()) tx->Abort();
+      return;  // next heartbeat retries
+    }
+    (void)tx->Commit();
+    rows = std::move(*scan);
+  }
+  std::map<NamenodeId, std::vector<IntentRecord>> orphans;
+  for (const auto& row : rows) {
+    IntentRecord rec = IntentFromRow(row);
+    // Skip our own partition (our applier owns it) and alive publishers
+    // (their appliers are draining; the membership view must age a dead one
+    // out before its log is adopted -- the same rule subtree-lock cleanup
+    // follows).
+    if (rec.nn == id_safe() || election_.IsNamenodeAlive(rec.nn)) continue;
+    orphans[rec.nn].push_back(std::move(rec));
+  }
+  for (auto& [publisher, recs] : orphans) {
+    // Per-publisher seq order is acknowledgment order; replay preserves it.
+    std::sort(recs.begin(), recs.end(),
+              [](const IntentRecord& a, const IntentRecord& b) { return a.seq < b.seq; });
+    for (const IntentRecord& rec : recs) {
+      hops::Status st;
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        st = ApplyIntent(rec);
+        if (!st.IsRetryableTx()) break;
+      }
+      if (st.code() == hops::StatusCode::kFailover) return;  // we died mid-sweep
+      // A terminal failure still consumes the record: replaying it forever
+      // would wedge the partition behind one poisoned intent.
+      intents_adopted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Consume the partition: delete the replayed rows and the dead
+    // publisher's head row, tolerating rows a racing adopter already took.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      auto tx =
+          db_->Begin(ndb::TxHint{schema_->op_intents, static_cast<uint64_t>(publisher)});
+      hops::Status st = hops::Status::Ok();
+      for (const IntentRecord& rec : recs) {
+        st = tx->Delete(schema_->op_intents, {rec.nn, rec.seq});
+        if (st.code() == hops::StatusCode::kNotFound) st = hops::Status::Ok();
+        if (!st.ok()) break;
+      }
+      if (st.ok()) {
+        st = tx->Delete(schema_->intent_heads, {publisher});
+        if (st.code() == hops::StatusCode::kNotFound) st = hops::Status::Ok();
+      }
+      if (st.ok()) st = tx->Commit();
+      if (st.ok()) break;
+      if (tx->active()) tx->Abort();
+      if (!st.IsRetryableTx()) break;  // leaked rows re-adopt idempotently
+    }
+  }
 }
 
 hops::Result<LocatedBlock> Namenode::AddBlock(const std::string& path,
@@ -991,10 +1426,17 @@ hops::Result<LocatedBlock> Namenode::AddBlock(const std::string& path,
   HOPS_RETURN_IF_ERROR(CheckAlive());
   HOPS_ASSIGN_OR_RETURN(components, SplitPath(path));
   if (components.empty()) return hops::Status::IsDirectory("/");
+  // The file may exist only as an acknowledged intent; block until it is
+  // applied (read-your-writes for a create-then-write client).
+  WaitForPendingIntents(JoinPath(components));
   LocatedBlock result;
   uint64_t hint_pv = InodePv(static_cast<int>(components.size()), 0, components.back());
   hops::Status st = RunTx(
       ndb::TxHint{schema_->inodes, hint_pv}, [&](ndb::Transaction& tx) -> hops::Status {
+        // Speculative fan-out (§5.1 hint reuse): the lease X-lock (slot 0)
+        // and the blocks scan (slot 1) ride the resolution window, so a warm
+        // addBlock costs one round-trip window before its write batch.
+        SpeculativeRider rider = StageAddBlockFanout(tx, components);
         LockSpec spec;
         spec.target_mode = ndb::LockMode::kExclusive;
         HOPS_ASSIGN_OR_RETURN(r, ResolveAndLock(tx, components, spec));
@@ -1004,32 +1446,48 @@ hops::Result<LocatedBlock> Namenode::AddBlock(const std::string& path,
         if (!file.under_construction) {
           return hops::Status::LeaseConflict(path + " is not under construction");
         }
-        // The lease lock and the block fan-out are independent; the two
-        // batches pipeline into one overlapped round-trip window instead of
-        // chaining two trips.
         ndb::ReadBatch lease_read;
-        size_t lease_slot =
-            lease_read.Get(schema_->leases, {file.id}, ndb::LockMode::kExclusive);
-        auto lease_pending = tx.ExecuteAsync(lease_read);
         ndb::ReadBatch block_fan;
-        // File-inode-related data lives in the file's shard: pruned scan.
-        size_t blocks_slot = block_fan.Scan(schema_->blocks, {file.id});
-        auto blocks_pending = tx.ExecuteAsync(block_fan);
-        HOPS_RETURN_IF_ERROR(lease_pending.Wait());
-        HOPS_RETURN_IF_ERROR(blocks_pending.Wait());
-        if (!lease_read.row(lease_slot).has_value()) {
+        const std::optional<ndb::Row>* lease_row = nullptr;
+        const std::vector<ndb::Row>* block_rows = nullptr;
+        if (rider.Serveable(file.id, r.target_locked_in_batch)) {
+          HOPS_RETURN_IF_ERROR(rider.pending.Wait());
+          lease_row = &rider.batch->row(0);
+          block_rows = &rider.batch->rows(1);
+        } else {
+          if (rider.pending.valid()) {
+            const InodeId hinted = rider.hinted;
+            rider.Discard();
+            // Unlike the read-only riders this one locked what it read: a
+            // stale hint leaves an X-lock on the wrong file's lease row.
+            tx.UnlockRow(schema_->leases, {hinted});
+          }
+          // The lease lock and the block fan-out are independent; the two
+          // batches pipeline into one overlapped round-trip window instead
+          // of chaining two trips.
+          size_t lease_slot =
+              lease_read.Get(schema_->leases, {file.id}, ndb::LockMode::kExclusive);
+          auto lease_pending = tx.ExecuteAsync(lease_read);
+          // File-inode-related data lives in the file's shard: pruned scan.
+          size_t blocks_slot = block_fan.Scan(schema_->blocks, {file.id});
+          auto blocks_pending = tx.ExecuteAsync(block_fan);
+          HOPS_RETURN_IF_ERROR(lease_pending.Wait());
+          HOPS_RETURN_IF_ERROR(blocks_pending.Wait());
+          lease_row = &lease_read.row(lease_slot);
+          block_rows = &block_fan.rows(blocks_slot);
+        }
+        if (!lease_row->has_value()) {
           return hops::Status::NotFound("no lease on " + path);
         }
-        if (LeaseFromRow(*lease_read.row(lease_slot)).holder != client_name) {
+        if (LeaseFromRow(**lease_row).holder != client_name) {
           return hops::Status::LeaseConflict(path + " is held by another client");
         }
-        const std::vector<ndb::Row>& block_rows = block_fan.rows(blocks_slot);
         // Commit the previous block (the client finished writing it) and
         // stage the new block + lookup + replica-under-construction rows in
         // one write batch.
         ndb::WriteBatch writes;
         int64_t next_index = 0;
-        for (const auto& row : block_rows) {
+        for (const auto& row : *block_rows) {
           Block b = BlockFromRow(row);
           next_index = std::max(next_index, b.block_index + 1);
           if (b.state == BlockState::kUnderConstruction) {
@@ -1076,6 +1534,7 @@ hops::Status Namenode::CompleteFile(const std::string& path, const std::string& 
   HOPS_RETURN_IF_ERROR(CheckAlive());
   HOPS_ASSIGN_OR_RETURN(components, SplitPath(path));
   if (components.empty()) return hops::Status::IsDirectory("/");
+  WaitForPendingIntents(JoinPath(components));
   uint64_t hint_pv = InodePv(static_cast<int>(components.size()), 0, components.back());
   return RunTx(
       ndb::TxHint{schema_->inodes, hint_pv}, [&](ndb::Transaction& tx) -> hops::Status {
@@ -1134,6 +1593,7 @@ hops::Status Namenode::Append(const std::string& path, const std::string& client
   HOPS_RETURN_IF_ERROR(CheckAlive());
   HOPS_ASSIGN_OR_RETURN(components, SplitPath(path));
   if (components.empty()) return hops::Status::IsDirectory("/");
+  WaitForPendingIntents(JoinPath(components));
   uint64_t hint_pv = InodePv(static_cast<int>(components.size()), 0, components.back());
   return RunTx(ndb::TxHint{schema_->inodes, hint_pv},
                [&](ndb::Transaction& tx) -> hops::Status {
@@ -1159,6 +1619,7 @@ hops::Result<std::vector<LocatedBlock>> Namenode::GetBlockLocations(
   HOPS_RETURN_IF_ERROR(CheckAlive());
   HOPS_ASSIGN_OR_RETURN(components, SplitPath(path));
   if (components.empty()) return hops::Status::IsDirectory("/");
+  WaitForPendingIntents(JoinPath(components));
   std::vector<LocatedBlock> blocks;
   uint64_t hint_pv = InodePv(static_cast<int>(components.size()), 0, components.back());
   hops::Status st = RunTx(
@@ -1220,6 +1681,7 @@ hops::Result<FileStatus> Namenode::GetFileInfo(const std::string& path,
   HOPS_RETURN_IF_ERROR(CheckAlive());
   HOPS_ASSIGN_OR_RETURN(components, SplitPath(path));
   if (components.empty()) return StatusFromInode(root_, "/");
+  WaitForPendingIntents(JoinPath(components));
   FileStatus status;
   uint64_t hint_pv = InodePv(static_cast<int>(components.size()), 0, components.back());
   hops::Status st =
@@ -1257,6 +1719,9 @@ hops::Result<std::vector<FileStatus>> Namenode::ListStatus(const std::string& pa
                                                            const UserContext& user) {
   HOPS_RETURN_IF_ERROR(CheckAlive());
   HOPS_ASSIGN_OR_RETURN(components, SplitPath(path));
+  // A listing must include acknowledged children; "/" is covered by ANY
+  // pending intent, so a root listing waits for a full drain.
+  WaitForPendingIntents(JoinPath(components));
   std::vector<FileStatus> listing;
   uint64_t hint_pv = components.empty()
                          ? RootPartitionValue()
@@ -1303,6 +1768,40 @@ hops::Status Namenode::SetPermission(const std::string& path, int64_t perm,
   if (components.empty()) {
     return hops::Status::PermissionDenied("the root inode is immutable");
   }
+  if (UseAsyncCommit()) {
+    const int64_t start = MonotonicMicros();
+    const std::string target = JoinPath(components);
+    // A chmod of an acknowledged-but-unapplied file validates against the
+    // pending entry and rides the log -- no wait, no database trip.
+    if (auto p = intents_->LookupPending(target); p && !p->is_dir) {
+      if (!user.superuser && user.user != p->user) {
+        return hops::Status::PermissionDenied("only the owner may chmod");
+      }
+      IntentRecord rec;
+      rec.op = IntentOp::kSetPermission;
+      rec.path = target;
+      rec.user = user.user;
+      rec.superuser = user.superuser;
+      rec.perm = perm;
+      return SubmitSetattrIntent(std::move(rec), /*is_dir=*/false, p->user, start);
+    }
+    // Committed (or pending-dir) target: GetFileInfo waits out any covering
+    // intent, then a directory quiesces synchronously and a file acks at
+    // intent durability.
+    auto info = GetFileInfo(target, user);
+    if (!info.ok()) return info.status();
+    if (info->is_dir) return SubtreeSetAttr(components, perm, std::nullopt, user);
+    if (!user.superuser && user.user != info->owner) {
+      return hops::Status::PermissionDenied("only the owner may chmod");
+    }
+    IntentRecord rec;
+    rec.op = IntentOp::kSetPermission;
+    rec.path = target;
+    rec.user = user.user;
+    rec.superuser = user.superuser;
+    rec.perm = perm;
+    return SubmitSetattrIntent(std::move(rec), /*is_dir=*/false, info->owner, start);
+  }
   // Directories take the subtree path (§5: chmod on non-empty directories may
   // invalidate operations running below; quiesce first).
   auto info = GetFileInfo(path, user);
@@ -1310,6 +1809,11 @@ hops::Status Namenode::SetPermission(const std::string& path, int64_t perm,
   if (info->is_dir) {
     return SubtreeSetAttr(components, perm, std::nullopt, user);
   }
+  return SetPermissionFileTx(components, perm, user);
+}
+
+hops::Status Namenode::SetPermissionFileTx(const std::vector<std::string>& components,
+                                           int64_t perm, const UserContext& user) {
   uint64_t hint_pv = InodePv(static_cast<int>(components.size()), 0, components.back());
   return RunTx(ndb::TxHint{schema_->inodes, hint_pv},
                [&](ndb::Transaction& tx) -> hops::Status {
@@ -1335,11 +1839,46 @@ hops::Status Namenode::SetOwner(const std::string& path, const std::string& owne
     return hops::Status::PermissionDenied("the root inode is immutable");
   }
   if (!user.superuser) return hops::Status::PermissionDenied("chown requires superuser");
+  if (UseAsyncCommit()) {
+    const int64_t start = MonotonicMicros();
+    const std::string target = JoinPath(components);
+    if (auto p = intents_->LookupPending(target); p && !p->is_dir) {
+      IntentRecord rec;
+      rec.op = IntentOp::kSetOwner;
+      rec.path = target;
+      rec.user = user.user;
+      rec.superuser = user.superuser;
+      rec.owner = owner;
+      rec.group = group;
+      // The pending entry records the owner-to-be so a follow-up chmod by
+      // the new owner validates against the acknowledged state.
+      return SubmitSetattrIntent(std::move(rec), /*is_dir=*/false, owner, start);
+    }
+    auto info = GetFileInfo(target, user);
+    if (!info.ok()) return info.status();
+    if (info->is_dir) {
+      return SubtreeSetAttr(components, std::nullopt, std::make_pair(owner, group), user);
+    }
+    IntentRecord rec;
+    rec.op = IntentOp::kSetOwner;
+    rec.path = target;
+    rec.user = user.user;
+    rec.superuser = user.superuser;
+    rec.owner = owner;
+    rec.group = group;
+    return SubmitSetattrIntent(std::move(rec), /*is_dir=*/false, owner, start);
+  }
   auto info = GetFileInfo(path, user);
   if (!info.ok()) return info.status();
   if (info->is_dir) {
     return SubtreeSetAttr(components, std::nullopt, std::make_pair(owner, group), user);
   }
+  return SetOwnerFileTx(components, owner, group, user);
+}
+
+hops::Status Namenode::SetOwnerFileTx(const std::vector<std::string>& components,
+                                      const std::string& owner, const std::string& group,
+                                      const UserContext& /*user*/) {
   uint64_t hint_pv = InodePv(static_cast<int>(components.size()), 0, components.back());
   return RunTx(ndb::TxHint{schema_->inodes, hint_pv},
                [&](ndb::Transaction& tx) -> hops::Status {
@@ -1360,6 +1899,7 @@ hops::Status Namenode::SetReplication(const std::string& path, int64_t replicati
   if (replication < 1) return hops::Status::InvalidArgument("replication must be >= 1");
   HOPS_ASSIGN_OR_RETURN(components, SplitPath(path));
   if (components.empty()) return hops::Status::IsDirectory("/");
+  WaitForPendingIntents(JoinPath(components));
   uint64_t hint_pv = InodePv(static_cast<int>(components.size()), 0, components.back());
   return RunTx(
       ndb::TxHint{schema_->inodes, hint_pv}, [&](ndb::Transaction& tx) -> hops::Status {
@@ -1474,6 +2014,10 @@ hops::Status Namenode::Rename(const std::string& src, const std::string& dst,
   if (IsPrefixPath(JoinPath(src_parts), JoinPath(dst_parts))) {
     return hops::Status::InvalidArgument("cannot move a directory into its own subtree");
   }
+  // Rename stays a synchronous transaction; it must observe every
+  // acknowledged op on both endpoints first.
+  WaitForPendingIntents(JoinPath(src_parts));
+  WaitForPendingIntents(JoinPath(dst_parts));
   hops::Status st = RenameInTx(src_parts, dst_parts, user);
   if (st.code() == hops::StatusCode::kNotEmpty) {
     // Non-empty directory: go through the subtree operations protocol (§6).
@@ -1682,6 +2226,10 @@ hops::Status Namenode::Delete(const std::string& path, bool recursive,
   HOPS_RETURN_IF_ERROR(CheckAlive());
   HOPS_ASSIGN_OR_RETURN(components, SplitPath(path));
   if (components.empty()) return hops::Status::PermissionDenied("the root inode is immutable");
+  // Deletes are synchronous and must not race an unapplied intent on or
+  // under this path (deleting a dir whose acknowledged child has not
+  // materialized would lose the child).
+  WaitForPendingIntents(JoinPath(components));
   uint64_t hint_pv = InodePv(static_cast<int>(components.size()), 0, components.back());
   hops::Status st = RunTx(
       ndb::TxHint{schema_->inodes, hint_pv}, [&](ndb::Transaction& tx) -> hops::Status {

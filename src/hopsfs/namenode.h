@@ -23,6 +23,7 @@
 #include "hopsfs/config.h"
 #include "hopsfs/handler_pool.h"
 #include "hopsfs/inode_cache.h"
+#include "hopsfs/intent_log.h"
 #include "hopsfs/leader.h"
 #include "hopsfs/path.h"
 #include "hopsfs/schema.h"
@@ -88,8 +89,12 @@ class Namenode {
   bool IsLeader() const { return election_.IsLeader(); }
   // Simulates a crash: subsequent calls fail with kFailover, heartbeats stop,
   // and any subtree locks this namenode held are left behind for lazy
-  // cleanup by the surviving namenodes.
-  void Kill() { alive_ = false; }
+  // cleanup by the surviving namenodes. Acknowledged-but-unapplied intents
+  // stay durable in op_intents for adoption by the surviving namenodes.
+  void Kill() {
+    alive_ = false;
+    if (intents_) intents_->Abandon();
+  }
 
   LeaderElection& election() { return election_; }
   InodeHintCache& hint_cache() { return hint_cache_; }
@@ -116,6 +121,25 @@ class Namenode {
   // test can deterministically force several ops to coalesce into one
   // record; resume with false, then FlushHintInvalidations().
   void SetHintPublisherPausedForTesting(bool paused);
+
+  // --- Asynchronous metadata commits (FsConfig::async_metadata_commit) ------
+  // Blocks until every acknowledged intent of this namenode has been applied
+  // (no-op when async commits are off or after Kill).
+  void FlushIntents();
+  // Test hook: a paused applier lets acknowledged-but-unapplied intents
+  // accumulate durably in the log (the crash-replay tests' setup).
+  void SetIntentApplierPausedForTesting(bool paused);
+  // Test hook: parks submissions in the append queue so releasing the hold
+  // coalesces them deterministically into one group-commit transaction.
+  void SetIntentAppendHoldForTesting(bool hold);
+  // Submissions currently parked in the append queue (0 when async is off).
+  size_t IntentQueuedAppendsForTesting() const;
+  // Counters of the intent log's two stages (zeros when async is off).
+  IntentLogStats intent_stats() const;
+  // Intents this namenode replayed from dead namenodes' log partitions.
+  uint64_t intents_adopted() const {
+    return intents_adopted_.load(std::memory_order_relaxed);
+  }
   const FsConfig& config() const { return *config_; }
   // The request handler pool (null when FsConfig::num_handlers == 0 and
   // operations run inline on the calling thread).
@@ -127,11 +151,10 @@ class Namenode {
 
   // When set, every committed transaction's database-access trace is
   // delivered to the sink (used by the benchmark calibration pipeline).
+  // Forwarded to the intent log so an async op's traces cover both the
+  // acknowledged append trip and the background apply drain.
   using TraceSink = std::function<void(const ndb::CostTrace&)>;
-  void SetTraceSink(TraceSink sink) {
-    std::lock_guard<std::mutex> lock(trace_mu_);
-    trace_sink_ = std::move(sink);
-  }
+  void SetTraceSink(TraceSink sink);
 
   // --- Client API (HDFS-compatible set; Table 1's operations) --------------
   hops::Status Mkdirs(const std::string& path, const UserContext& user = {});
@@ -221,12 +244,23 @@ class Namenode {
   // the result like an RPC client would while backoff sleeps stay on the
   // caller's thread (a sleeping waiter must not occupy a handler slot);
   // nested calls already on a handler run inline.
+  // `inline_read` keeps the transaction on the calling thread even when a
+  // handler pool exists: right for lock-free read-committed validation
+  // transactions, whose cross-thread dispatch would cost more wall time
+  // than their reads (they gain nothing from the completion mux).
   hops::Status RunTx(std::optional<ndb::TxHint> hint,
-                     const std::function<hops::Status(ndb::Transaction&)>& body);
+                     const std::function<hops::Status(ndb::Transaction&)>& body,
+                     bool inline_read = false);
   // One attempt: begin, body, commit-or-abort; no retry classification.
+  // `background` marks the transaction's cost-trace accesses as intent-apply
+  // work (captured at RunTx entry, before the attempt hops onto a handler
+  // thread where the applier's thread-local marker is invisible).
+  // `latency_sensitive` flushes solo instead of through the completion mux
+  // (the inline validation reads: queueing behind throughput work would
+  // dominate their cost).
   hops::Status RunTxAttempt(std::optional<ndb::TxHint> hint,
                             const std::function<hops::Status(ndb::Transaction&)>& body,
-                            bool want_trace);
+                            bool want_trace, bool background, bool latency_sensitive);
 
   // Figure 4 lines 1-6: resolve the path (hint cache + batched read, with
   // recursive fallback), then lock the last component(s) in total order.
@@ -296,6 +330,49 @@ class Namenode {
       if (pending.valid()) (void)pending.Wait();
     }
   };
+  // --- Asynchronous metadata commits ----------------------------------------
+  // True when this operation should acknowledge at intent durability: async
+  // commits are configured AND the caller is a client, not the intent
+  // applier (whose ops must run the real transactions).
+  bool UseAsyncCommit() const {
+    return intents_ != nullptr && !IntentLog::OnApplierThread();
+  }
+  // Read-your-writes barrier: blocks while an acknowledged-but-unapplied
+  // intent covers `path` (equals it, is an ancestor, or lies below it).
+  void WaitForPendingIntents(const std::string& path) const {
+    if (intents_) intents_->WaitCovering(path);
+  }
+  // The synchronous op bodies (the pre-async behavior, and what the applier
+  // executes); public wrappers dispatch here when async commits are off.
+  hops::Status MkdirsSync(const std::vector<std::string>& components,
+                          const UserContext& user);
+  hops::Status CreateSync(const std::vector<std::string>& components,
+                          const std::string& client_name, const UserContext& user);
+  // The single-file setattr transactions (directories go through the
+  // subtree protocol and never commit asynchronously).
+  hops::Status SetPermissionFileTx(const std::vector<std::string>& components, int64_t perm,
+                                   const UserContext& user);
+  hops::Status SetOwnerFileTx(const std::vector<std::string>& components,
+                              const std::string& owner, const std::string& group,
+                              const UserContext& user);
+  // Acknowledge-at-intent-durability paths: validate against pending +
+  // committed state, reserve the path in the pending index, group-commit
+  // the intent, return. The real transaction runs on the applier.
+  hops::Status MkdirsAsync(const std::vector<std::string>& components,
+                           const UserContext& user);
+  hops::Status CreateAsync(const std::vector<std::string>& components,
+                           const std::string& client_name, const UserContext& user);
+  hops::Status SubmitSetattrIntent(IntentRecord rec, bool is_dir, const std::string& owner,
+                                   int64_t start_micros);
+  // Applier callback: routes one intent to its synchronous op body under an
+  // ApplierScope. At-least-once replay is idempotent (a re-applied create
+  // maps AlreadyExists to applied).
+  hops::Status ApplyIntent(const IntentRecord& rec);
+  // Replays dead namenodes' durable intents in (publisher, seq) order and
+  // deletes the consumed rows + head rows. Runs at Start (restart recovery)
+  // and on the leader's heartbeat (failover adoption).
+  void AdoptOrphanedIntents();
+
   // Stages one pruned scan per entry of `tables` (slot i = tables[i]) keyed
   // by the hint-cache candidate for `components` and puts them in flight.
   // Returns an inactive rider (pending invalid) when the path is depth 1
@@ -306,6 +383,12 @@ class Namenode {
   SpeculativeRider StageSpeculativeFanout(ndb::Transaction& tx,
                                           const std::vector<std::string>& components,
                                           std::initializer_list<ndb::TableId> tables);
+  // AddBlock's pre-resolution rider: the lease X-lock (slot 0, a Get) and
+  // the blocks scan (slot 1) ride the resolution window. Unlike the
+  // read-only riders this one takes a lock keyed by the hint, so a stale
+  // hint's discard must also UnlockRow the hinted lease.
+  SpeculativeRider StageAddBlockFanout(ndb::Transaction& tx,
+                                       const std::vector<std::string>& components);
 
   uint64_t InodePv(int depth, InodeId parent, std::string_view name) const;
   // Both candidate partition rules for an inode row at `depth`: the current
@@ -453,6 +536,11 @@ class Namenode {
   const MetadataSchema* const schema_;
   const FsConfig* const config_;
   std::unique_ptr<HandlerPool> handlers_;
+  // The async-commit intent log (null when async_metadata_commit is off).
+  // Declared after handlers_: its applier issues transactions through the
+  // handler pool, so it must stop first.
+  std::unique_ptr<IntentLog> intents_;
+  std::atomic<uint64_t> intents_adopted_{0};
   LeaderElection election_;
   InodeHintCache hint_cache_;
   IdAllocator inode_ids_;

@@ -159,6 +159,38 @@ Schema HintAckSchema() {
   return s;
 }
 
+Schema OpIntentSchema() {
+  // Asynchronous metadata commit intent log (one row per acknowledged
+  // mutation), sharded per acknowledging namenode like hint_invalidations:
+  // PK (nn_id, seq) partitioned by nn_id, seq allocated under the owner's
+  // intent_heads row so per-namenode seq order == acknowledgment order. A
+  // row is deleted once its apply transaction commits; replay is therefore
+  // at-least-once and every intent op is idempotent (a re-applied create
+  // maps AlreadyExists to applied).
+  Schema s;
+  s.table_name = "op_intents";
+  s.columns = {{"nn_id", ColumnType::kInt64}, {"seq", ColumnType::kInt64},
+               {"op", ColumnType::kInt64},    {"path", ColumnType::kString},
+               {"client", ColumnType::kString}, {"user", ColumnType::kString},
+               {"superuser", ColumnType::kInt64}, {"perm", ColumnType::kInt64},
+               {"owner", ColumnType::kString},  {"grp", ColumnType::kString},
+               {"mtime", ColumnType::kInt64}};
+  s.primary_key = {0, 1};
+  s.partition_key = {0};
+  return s;
+}
+
+Schema IntentHeadSchema() {
+  // A namenode's next intent sequence number; only the owner X-locks it
+  // (held to commit alongside the intent inserts), mirroring hint_heads.
+  Schema s;
+  s.table_name = "intent_heads";
+  s.columns = {{"nn_id", ColumnType::kInt64}, {"next_seq", ColumnType::kInt64}};
+  s.primary_key = {0};
+  s.partition_key = {0};
+  return s;
+}
+
 }  // namespace
 
 hops::Result<MetadataSchema> MetadataSchema::Format(ndb::Cluster& cluster) {
@@ -199,6 +231,10 @@ hops::Result<MetadataSchema> MetadataSchema::Format(ndb::Cluster& cluster) {
   m.hint_heads = hint_heads;
   HOPS_ASSIGN_OR_RETURN(hint_acks, cluster.CreateTable(HintAckSchema()));
   m.hint_acks = hint_acks;
+  HOPS_ASSIGN_OR_RETURN(op_intents, cluster.CreateTable(OpIntentSchema()));
+  m.op_intents = op_intents;
+  HOPS_ASSIGN_OR_RETURN(intent_heads, cluster.CreateTable(IntentHeadSchema()));
+  m.intent_heads = intent_heads;
 
   // Root inode (immutable, id 1) and id counters.
   auto tx = cluster.Begin();

@@ -25,6 +25,15 @@
 //                      (high-water mark a drainer has applied of a
 //                      publisher's log; the leader GCs a record once every
 //                      alive namenode acked past it)
+//   op_intents         PK (nn_id, seq)   partition nn_id
+//                      (asynchronous metadata commit intent log, sharded per
+//                      acknowledging namenode: one row per acknowledged
+//                      mutation, deleted once the apply transaction commits;
+//                      rows left by a dead namenode are adopted by the
+//                      leader in seq order)
+//   intent_heads       PK (nn_id)        partition nn_id
+//                      (a namenode's next intent seq; only its owner ever
+//                      X-locks it, mirroring hint_heads)
 #pragma once
 
 #include "hopsfs/types.h"
@@ -65,6 +74,12 @@ inline constexpr size_t kHintNn = 0, kHintSeq = 1, kHintOp = 2, kHintPaths = 3,
 inline constexpr size_t kHintHeadNn = 0, kHintHeadNext = 1;
 // hint_acks
 inline constexpr size_t kAckDrainer = 0, kAckPublisher = 1, kAckSeq = 2, kAckMtime = 3;
+// op_intents
+inline constexpr size_t kIntentNn = 0, kIntentSeq = 1, kIntentOp = 2, kIntentPath = 3,
+    kIntentClient = 4, kIntentUser = 5, kIntentSuper = 6, kIntentPerm = 7, kIntentOwner = 8,
+    kIntentGroup = 9, kIntentMtime = 10;
+// intent_heads
+inline constexpr size_t kIntentHeadNn = 0, kIntentHeadNext = 1;
 }  // namespace col
 
 // Well-known rows of the variables table.
@@ -84,7 +99,7 @@ inline constexpr int64_t kVarNextHintInvalidationSeq = 3;
 struct MetadataSchema {
   ndb::TableId inodes{}, blocks{}, replicas{}, urb{}, prb{}, cr{}, ruc{}, er{}, inv{},
       leases{}, quotas{}, block_lookup{}, active_subtree_ops{}, leader{}, variables{},
-      hint_invalidations{}, hint_heads{}, hint_acks{};
+      hint_invalidations{}, hint_heads{}, hint_acks{}, op_intents{}, intent_heads{};
 
   // Creates all tables in `cluster` plus the root inode and id counters.
   static hops::Result<MetadataSchema> Format(ndb::Cluster& cluster);

@@ -62,6 +62,14 @@ struct ClusterConfig {
   // more trip into the shared flush. Rounds after a no-merge round flush
   // eagerly, so an idle or single-handler cluster never pays the delay.
   bool mux_adaptive_gather = false;
+  // When true (the default), mux_adaptive_gather above is a placeholder the
+  // embedding layer may resolve from its own concurrency knowledge --
+  // fs::MiniCluster turns the gather delay on once the namenode handler pool
+  // is wide enough that trailing windows are usually microseconds away (see
+  // bench_fig07's sweep). Code that sets mux_adaptive_gather explicitly
+  // should clear this so the policy leaves the choice alone. The raw mux
+  // loop only ever reads mux_adaptive_gather.
+  bool mux_adaptive_gather_auto = true;
   std::chrono::microseconds mux_gather_delay{4};
 };
 
@@ -186,6 +194,18 @@ class Transaction {
   // --- Cost trace -------------------------------------------------------------
   void EnableTrace() { trace_enabled_ = true; }
   const CostTrace& trace() const { return trace_; }
+  // Marks every access this transaction records from here on as background
+  // work (the asynchronous intent-apply stage): already acknowledged to the
+  // client, so the DES model stops the op's latency clock at the first
+  // background access while the drain still occupies database stations.
+  void SetBackground(bool background) { background_ = background; }
+  // Keeps this transaction's flush windows on the calling thread instead of
+  // the shared completion loop: no merging with other transactions' round
+  // trips, but also no queueing behind them. For latency-critical
+  // control-path transactions (e.g. the intent log's acknowledged append)
+  // whose wait in the mux line would dwarf their own work. Lock waits then
+  // block the calling thread, exactly like a mux-less cluster.
+  void SetLatencySensitive(bool v) { latency_sensitive_ = v; }
 
  private:
   friend class Cluster;
@@ -310,6 +330,8 @@ class Transaction {
   hops::Status pipeline_error_;
   uint64_t next_batch_seq_ = 1;
   bool trace_enabled_ = false;
+  bool background_ = false;
+  bool latency_sensitive_ = false;  // flush solo, never through the mux
   CostTrace trace_;
 };
 

@@ -47,6 +47,12 @@ struct Access {
   // own scatter wave. The DES model costs such co-scheduled windows as max,
   // not sum, of the merged trips.
   bool co_scheduled = false;
+  // True when this access ran on the asynchronous intent-apply stage rather
+  // than on the acknowledged client path: the op was already acknowledged at
+  // intent durability, so the DES model records the op's latency at the
+  // first background access and lets the remaining accesses drain without
+  // extending the acknowledged latency (they still occupy database stations).
+  bool background = false;
   std::vector<PartTouch> parts;
 
   uint32_t TotalRows() const {

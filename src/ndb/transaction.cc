@@ -140,6 +140,7 @@ void Transaction::RecordAccess(AccessKind kind, TableId table, std::vector<PartT
   a.kind = kind;
   a.table = table;
   a.round_trips = round_trips;
+  a.background = background_;
   a.parts = std::move(parts);
   trace_.accesses.push_back(std::move(a));
 }
@@ -560,8 +561,12 @@ hops::Status Transaction::FlushPending() {
   // A mux-eligible window registers with the cluster's shared completion
   // loop, where it may merge with other transactions' windows into one
   // overlapped round trip. Staged-order and locking-scan windows keep the
-  // per-transaction path (their lock waits must happen on this thread).
-  if (mux_ != nullptr && WindowMuxEligible()) return mux_->SubmitAndWait(this);
+  // per-transaction path (their lock waits must happen on this thread), as
+  // do latency-sensitive transactions (their wait in the mux line would
+  // dwarf their own work).
+  if (mux_ != nullptr && !latency_sensitive_ && WindowMuxEligible()) {
+    return mux_->SubmitAndWait(this);
+  }
   std::vector<InFlightBatch> flight = std::move(in_flight_);
   in_flight_.clear();
 

@@ -1,6 +1,7 @@
 #include "workload/trace.h"
 
 #include <cassert>
+#include <mutex>
 
 namespace hops::wl {
 
@@ -28,15 +29,31 @@ TracePools CollectTraces(hops::fs::MiniCluster& cluster, const GeneratedNamespac
 
   OpTrace current;
   bool tracing = false;
+  // The intent-log applier delivers its traces from its own thread, so the
+  // sink must be synchronized with the capture loop's.
+  std::mutex trace_mu;
   nn.SetTraceSink([&](const ndb::CostTrace& trace) {
+    std::lock_guard<std::mutex> lock(trace_mu);
     if (!tracing) return;
     current.accesses.insert(current.accesses.end(), trace.accesses.begin(),
                             trace.accesses.end());
   });
   auto traced = [&](const std::function<void()>& op) {
-    current.accesses.clear();
-    tracing = true;
+    // Async metadata commits: drain any intents a setup op acknowledged so
+    // their applies do not bleed into this op's trace ...
+    nn.FlushIntents();
+    {
+      std::lock_guard<std::mutex> lock(trace_mu);
+      current.accesses.clear();
+      tracing = true;
+    }
     op();
+    // ... and drain this op's own intents INSIDE the traced window, so the
+    // captured trace carries the acknowledged foreground trips first and
+    // the background-marked apply accesses after them (the simulator
+    // records the op's latency at the first background access).
+    nn.FlushIntents();
+    std::lock_guard<std::mutex> lock(trace_mu);
     tracing = false;
   };
 

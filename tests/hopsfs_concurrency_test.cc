@@ -957,5 +957,94 @@ TEST_F(HandlerPoolTest, ConflictingClientsThroughThePoolKeepInvariants) {
   }
 }
 
+// Asynchronous metadata commits under the handler pool: many concurrent
+// clients whose ops ack at intent durability, each immediately re-reading
+// its own write. Read-your-writes must hold (the stat blocks on the covering
+// intent, never reports NotFound), and after a drain the namespace matches
+// what a synchronous cluster produces for the same ops.
+TEST(AsyncCommitConcurrencyTest, ReadYourWritesUnderAsyncAck) {
+  MiniClusterOptions options;
+  options.db.num_datanodes = 4;
+  options.db.replication = 2;
+  options.db.lock_wait_timeout = std::chrono::milliseconds(500);
+  options.fs.async_metadata_commit = true;
+  options.fs.num_handlers = 3;
+  options.num_namenodes = 2;
+  auto made = MiniCluster::Start(options);
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  auto cluster = *std::move(made);
+
+  {
+    Client setup = cluster->NewClient(NamenodePolicy::kSticky, "setup");
+    ASSERT_TRUE(setup.Mkdirs("/ryw").ok());
+    cluster->DrainIntents();
+  }
+  constexpr int kThreads = 6;
+  constexpr int kFilesEach = 12;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Sticky clients: read-your-writes is a per-namenode guarantee.
+      Client c = cluster->NewClient(NamenodePolicy::kSticky, "c" + std::to_string(t),
+                                    200 + static_cast<uint64_t>(t));
+      const std::string dir = "/ryw/t" + std::to_string(t);
+      if (!c.Mkdirs(dir).ok()) failures.fetch_add(1);
+      for (int i = 0; i < kFilesEach; ++i) {
+        std::string path = dir + "/f" + std::to_string(i);
+        if (!c.CreateFile(path).ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        // The create may be acknowledged-but-unapplied; its own stat and
+        // chmod must still observe it.
+        auto st = c.Stat(path);
+        if (!st.ok() || st->is_dir) failures.fetch_add(1);
+        if (!c.SetPermission(path, 0700).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  cluster->DrainIntents();
+
+  ClusterIntentStats stats = cluster->AggregateIntentStats();
+  EXPECT_EQ(stats.log.intents_applied, stats.log.intents_appended);
+  EXPECT_EQ(stats.log.apply_failures, 0u);
+  EXPECT_GT(stats.log.acked_ops, 0u);
+
+  // The drained namespace is exactly what the synchronous baseline builds.
+  MiniClusterOptions sync_options = options;
+  sync_options.fs.async_metadata_commit = false;
+  auto oracle_made = MiniCluster::Start(sync_options);
+  ASSERT_TRUE(oracle_made.ok());
+  auto oracle = *std::move(oracle_made);
+  Client oc = oracle->NewClient(NamenodePolicy::kSticky, "oracle");
+  ASSERT_TRUE(oc.Mkdirs("/ryw").ok());
+  for (int t = 0; t < kThreads; ++t) {
+    const std::string dir = "/ryw/t" + std::to_string(t);
+    ASSERT_TRUE(oc.Mkdirs(dir).ok());
+    for (int i = 0; i < kFilesEach; ++i) {
+      std::string path = dir + "/f" + std::to_string(i);
+      ASSERT_TRUE(oc.CreateFile(path).ok());
+      ASSERT_TRUE(oc.SetPermission(path, 0700).ok());
+    }
+  }
+  Client ac = cluster->NewClient(NamenodePolicy::kSticky, "verify");
+  for (int t = 0; t < kThreads; ++t) {
+    const std::string dir = "/ryw/t" + std::to_string(t);
+    auto async_listing = ac.List(dir);
+    auto sync_listing = oc.List(dir);
+    ASSERT_TRUE(async_listing.ok());
+    ASSERT_TRUE(sync_listing.ok());
+    ASSERT_EQ(async_listing->size(), sync_listing->size()) << dir;
+    for (size_t i = 0; i < async_listing->size(); ++i) {
+      EXPECT_EQ((*async_listing)[i].name, (*sync_listing)[i].name);
+      EXPECT_EQ((*async_listing)[i].perm, (*sync_listing)[i].perm);
+      EXPECT_EQ((*async_listing)[i].is_dir, (*sync_listing)[i].is_dir);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace hops::fs

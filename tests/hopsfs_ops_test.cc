@@ -342,6 +342,24 @@ TEST_F(HopsFsOpsTest, HintCacheTurnsResolutionIntoBatchedRead) {
   EXPECT_LE(after.pk_reads - before.pk_reads, 2u);
 }
 
+TEST_F(HopsFsOpsTest, WarmDirectoryStatSkipsBlockRider) {
+  ASSERT_TRUE(client_->Mkdirs("/w/x/y/dir").ok());
+  Namenode& nn = cluster_->namenode(0);
+  // Warm the cache; the hint chain now records the target's kind.
+  ASSERT_TRUE(nn.GetFileInfo("/w/x/y/dir").ok());
+  auto before = cluster_->db().StatsSnapshot();
+  auto info = nn.GetFileInfo("/w/x/y/dir");
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->is_dir);
+  auto after = cluster_->db().StatsSnapshot();
+  // The hint knows the target is a directory, so the speculative blocks
+  // rider is not staged at all: no pruned scan anywhere, and the whole warm
+  // stat is the single resolve+lock window.
+  EXPECT_EQ(after.ppis_scans - before.ppis_scans, 0u)
+      << "a dir-known hint must not stage (and then discard) a blocks scan";
+  EXPECT_EQ(after.round_trips - before.round_trips, 1u);
+}
+
 TEST_F(HopsFsOpsTest, OperationsSpreadAcrossNamenodes) {
   // Both namenodes serve the same namespace with no coordination beyond NDB.
   Namenode& nn0 = cluster_->namenode(0);
