@@ -3,10 +3,103 @@
 // killing namenodes in a round-robin fashion only nudges throughput --
 // clients transparently fail over to the surviving namenodes (restarted
 // namenodes receive fewer requests because clients are sticky).
+//
+// Part 2 extends the figure past the paper: recovery under load per fault
+// class. Each class gets one pinned chaos event against a live MiniCluster
+// (seeded schedule, same workload), and the acked-op timeline is binned into
+// 100 ms buckets to measure the throughput dip it carves -- depth (1 -
+// min/baseline) and width (time spent below 90% of baseline).
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "bench_common.h"
+#include "chaos/chaos.h"
+
+namespace {
+
+struct Dip {
+  double baseline = 0;  // mean pre-fault bucket rate (ops per bucket)
+  double depth = 0;     // 1 - min/baseline over the post-fault window
+  double width_ms = 0;  // time below 0.9 * baseline from fault apply on
+};
+
+// Bins the report's ok-samples into `bucket_ms` buckets and measures the dip
+// the fault carved relative to the pre-fault throughput.
+Dip MeasureDip(const hops::chaos::ChaosReport& report, int64_t duration_ms,
+               int64_t bucket_ms) {
+  Dip dip;
+  size_t buckets = static_cast<size_t>((duration_ms + bucket_ms - 1) / bucket_ms);
+  std::vector<double> rate(buckets, 0);
+  for (const auto& s : report.samples) {
+    if (!s.ok) continue;
+    size_t b = static_cast<size_t>(s.at_us / (bucket_ms * 1000));
+    if (b < buckets) rate[b] += 1;
+  }
+  const auto& ev = report.plan.events.at(0);
+  size_t fault_bucket =
+      std::min(buckets - 1, static_cast<size_t>(ev.applied_us / (bucket_ms * 1000)));
+  // Baseline: mean over full buckets strictly before the fault (skip bucket 0,
+  // which carries thread start-up).
+  double sum = 0;
+  size_t n = 0;
+  for (size_t b = 1; b < fault_bucket; ++b) {
+    sum += rate[b];
+    ++n;
+  }
+  if (n == 0) return dip;
+  dip.baseline = sum / static_cast<double>(n);
+  if (dip.baseline <= 0) return dip;
+  double min_rate = dip.baseline;
+  for (size_t b = fault_bucket; b < buckets; ++b) min_rate = std::min(min_rate, rate[b]);
+  dip.depth = 1.0 - min_rate / dip.baseline;
+  for (size_t b = fault_bucket; b < buckets; ++b) {
+    if (rate[b] < 0.9 * dip.baseline) dip.width_ms += static_cast<double>(bucket_ms);
+  }
+  return dip;
+}
+
+void RunRecoveryUnderLoad(hops::bench::BenchJson& json) {
+  using hops::chaos::ChaosOptions;
+  using hops::chaos::FaultClass;
+  using hops::chaos::FaultClassName;
+  constexpr int64_t kDurationMs = 3000;
+  constexpr int64_t kBucketMs = 100;
+
+  std::printf("\n# recovery under load: one pinned fault per class, 100ms buckets\n");
+  std::printf("%-24s %10s %10s %12s %10s %10s\n", "fault class", "baseline", "depth",
+              "width (ms)", "acked", "oracles");
+  for (int c = 0; c < hops::chaos::kNumFaultClasses; ++c) {
+    ChaosOptions options;
+    options.seed = 10;
+    options.duration = std::chrono::milliseconds(kDurationMs);
+    options.num_faults = 1;
+    options.only_class = static_cast<FaultClass>(c);
+    options.pin_at_ms = 1200;   // after a ~steady first second of baseline
+    options.pin_dwell_ms = 400;
+    auto report = hops::chaos::RunChaos(options);
+    Dip dip = MeasureDip(report, kDurationMs, kBucketMs);
+    std::string name(FaultClassName(static_cast<FaultClass>(c)));
+    std::printf("%-24s %10.1f %10.3f %12.0f %10llu %10s\n", name.c_str(), dip.baseline,
+                dip.depth, dip.width_ms,
+                static_cast<unsigned long long>(report.ops_acked),
+                report.ok() ? "pass" : "FAIL");
+    for (const auto& v : report.violations) std::printf("  violation: %s\n", v.c_str());
+    json.Metric("recovery." + name + ".baseline_ops_per_bucket", dip.baseline);
+    json.Metric("recovery." + name + ".dip_depth", dip.depth);
+    json.Metric("recovery." + name + ".dip_width_ms", dip.width_ms);
+    json.Metric("recovery." + name + ".ops_acked",
+                static_cast<double>(report.ops_acked));
+    json.Metric("recovery." + name + ".violations",
+                static_cast<double>(report.violations.size()));
+  }
+}
+
+}  // namespace
 
 int main() {
   using namespace hops;
+  bench::BenchJson json("fig10_failover");
   auto mix = wl::OpMix::Spotify();
   std::printf("# Figure 10: throughput timeline under namenode failures\n");
   std::printf("# capturing traces...\n");
@@ -57,5 +150,8 @@ int main() {
               "throughput); HopsFS namenodes killed at t=9,18,27,36s (expect dips\n"
               "proportional to 1/8 of capacity, no outage).\n",
               cal.hdfs_failover_s);
+
+  // Part 2: live-cluster recovery dips per fault class (chaos harness).
+  RunRecoveryUnderLoad(json);
   return 0;
 }

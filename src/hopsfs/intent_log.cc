@@ -247,6 +247,32 @@ size_t IntentLog::QueuedAppendsForTesting() const {
   return append_queue_.size();
 }
 
+void IntentLog::SetCrashHookForTesting(CrashHook hook) {
+  std::lock_guard<std::mutex> lock(hook_mu_);
+  crash_hook_ = std::move(hook);
+}
+
+void IntentLog::SetCleanerPausedForTesting(bool paused) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cleaner_paused_ = paused;
+  }
+  cv_.notify_all();
+}
+
+bool IntentLog::CrashAt(std::string_view point) {
+  CrashHook hook;
+  {
+    std::lock_guard<std::mutex> lock(hook_mu_);
+    hook = crash_hook_;
+  }
+  if (!hook || !hook(point)) return false;
+  // A crash here is process death: park every stage without cleanup, exactly
+  // like Kill(). Durable rows stay for replay/adoption.
+  Abandon();
+  return true;
+}
+
 // --- Append stage ------------------------------------------------------------
 
 hops::Status IntentLog::Submit(IntentRecord rec) {
@@ -345,7 +371,17 @@ hops::Status IntentLog::AppendBatchTx(std::vector<std::shared_ptr<AppendWaiter>>
       if (!st.ok()) break;
     }
     if (st.ok()) st = tx->Write(schema_->intent_heads, ndb::Row{self_, seq});
+    if (st.ok() && CrashAt("append:pre-commit")) {
+      // Nothing durable yet: the waiters fail un-acked and nothing replays.
+      if (tx->active()) tx->Abort();
+      return hops::Status::Failover("crash injected before intent append commit");
+    }
     if (st.ok()) st = tx->Commit();
+    if (st.ok() && CrashAt("append:post-commit")) {
+      // Durable but never acknowledged: replay applies the rows idempotently
+      // even though the submitters saw a failure.
+      return hops::Status::Failover("crash injected after intent append commit");
+    }
     if (st.ok()) {
       if (sink) sink(tx->trace());
       return st;
@@ -412,6 +448,11 @@ void IntentLog::ApplyClaimLoop() {
     lock.unlock();
 
     hops::Status result = ApplyOneWithRetry(rec);
+    if (result.ok() && CrashAt("apply:applied")) {
+      // Applied but the row survives (no cleanup ran): the replay after
+      // restart must map the already-applied mutation to success.
+      result = hops::Status::Failover("crash injected after intent apply");
+    }
     const int64_t now = MonotonicMicros();
 
     lock.lock();
@@ -459,6 +500,9 @@ hops::Status IntentLog::ApplyOneWithRetry(const IntentRecord& rec) {
   // Only terminal statuses fall through; if the log is shutting down
   // mid-retry, park via the failover path so the rows survive for
   // replay/adoption.
+  if (CrashAt("apply:claimed")) {
+    return hops::Status::Failover("crash injected before intent apply");
+  }
   for (int attempt = 0;; ++attempt) {
     st = apply_(rec);
     if (!st.IsRetryableTx()) break;
@@ -477,7 +521,9 @@ void IntentLog::CleanerLoop() {
   ApplierScope scope;  // cleanup trips are background work in cost traces
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    cv_.wait(lock, [&] { return stop_ || abandoned_ || !cleanup_queue_.empty(); });
+    cv_.wait(lock, [&] {
+      return stop_ || abandoned_ || (!cleanup_queue_.empty() && !cleaner_paused_);
+    });
     if (stop_ || abandoned_) return;  // leftover rows replay idempotently
     // Merge everything applied since the last pass -- dozens of intents
     // under load -- into chunked delete transactions.
@@ -485,13 +531,17 @@ void IntentLog::CleanerLoop() {
     cleanup_queue_.clear();
     cleaning_ = true;
     lock.unlock();
+    if (CrashAt("cleanup:pre")) return;  // every applied row survives
     constexpr size_t kChunk = 64;
     for (size_t off = 0; off < recs.size(); off += kChunk) {
       std::vector<IntentRecord> chunk(
           recs.begin() + static_cast<ptrdiff_t>(off),
           recs.begin() + static_cast<ptrdiff_t>(std::min(off + kChunk, recs.size())));
       DeleteIntentRows(chunk);
+      // Mid-pass crash: some chunks deleted, the rest replay idempotently.
+      if (off + kChunk < recs.size() && CrashAt("cleanup:mid")) return;
     }
+    if (CrashAt("cleanup:post")) return;  // all rows gone; nothing replays
     lock.lock();
     cleaning_ = false;
     cv_.notify_all();  // Flush waiters

@@ -45,6 +45,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -189,6 +190,18 @@ class IntentLog {
   // in the append queue, and releasing the hold lets one leader drain them
   // all in a single transaction (deterministic coalescing for tests).
   void SetAppendHoldForTesting(bool hold);
+  // Crash-point hook for the chaos sweep: invoked at the named append/apply/
+  // cleanup boundaries ("append:pre-commit", "append:post-commit",
+  // "apply:claimed", "apply:applied", "cleanup:pre", "cleanup:mid",
+  // "cleanup:post") on whatever thread runs the stage. Returning true
+  // simulates the namenode process dying right there: the log abandons
+  // exactly as Kill() would and the stage stops without cleanup, so durable
+  // rows survive for replay/adoption.
+  using CrashHook = std::function<bool(std::string_view point)>;
+  void SetCrashHookForTesting(CrashHook hook);
+  // Pauses/resumes the cleaner: applied intents' rows linger in op_intents
+  // (the paused-cleaner fault class; adoption must tolerate the residue).
+  void SetCleanerPausedForTesting(bool paused);
   // Submissions currently parked in the append queue.
   size_t QueuedAppendsForTesting() const;
 
@@ -237,6 +250,9 @@ class IntentLog {
   bool CoveredLocked(const std::string& path) const;
   // mu_ held. Drops one reserved op from `path`'s entry.
   void ReleaseOneLocked(const std::string& path);
+  // True -- after abandoning the log -- when the test hook elects to crash
+  // at `point`. Must be called without mu_ held.
+  bool CrashAt(std::string_view point);
 
   ndb::Cluster* db_;
   const MetadataSchema* schema_;
@@ -245,6 +261,8 @@ class IntentLog {
   ApplyFn apply_;
   mutable std::mutex trace_mu_;
   std::function<void(const ndb::CostTrace&)> trace_fn_;
+  mutable std::mutex hook_mu_;
+  CrashHook crash_hook_;
 
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
@@ -255,6 +273,7 @@ class IntentLog {
   bool append_hold_ = false;  // test hook: park submissions in the queue
   int applying_ = 0;  // intents currently being applied
   bool applier_paused_ = false;
+  bool cleaner_paused_ = false;
   bool stop_ = false;
   bool abandoned_ = false;
   std::atomic<int64_t> pending_count_{0};

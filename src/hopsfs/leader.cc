@@ -36,6 +36,31 @@ hops::Status LeaderElection::Register() {
   return hops::Status::TxAborted("could not register namenode");
 }
 
+hops::Status LeaderElection::Resume(NamenodeId id) {
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    auto tx = db_->Begin(ndb::TxHint{schema_->leader, static_cast<uint64_t>(id)});
+    int64_t counter = 0;
+    auto row = tx->Read(schema_->leader, {id}, ndb::LockMode::kExclusive);
+    if (row.ok()) {
+      counter = (*row)[col::kLeaderCounter].i64();
+    } else if (row.status().code() != hops::StatusCode::kNotFound) {
+      // A long-dead row may have been evicted by the leader; re-create it
+      // (counter continuity only matters while the old row survives).
+      if (row.status().IsRetryableTx()) continue;
+      return row.status();
+    }
+    hops::Status st = tx->Write(schema_->leader, ndb::Row{id, counter + 1, location_});
+    if (!st.ok()) continue;
+    st = tx->Commit();
+    if (st.ok()) {
+      id_ = id;
+      return hops::Status::Ok();
+    }
+    if (!st.IsRetryableTx()) return st;
+  }
+  return hops::Status::TxAborted("could not resume namenode identity");
+}
+
 hops::Status LeaderElection::Heartbeat() {
   // Bump our counter and snapshot the whole (small) leader table.
   std::vector<ndb::Row> rows;

@@ -37,6 +37,13 @@ class LeaderElection : public MembershipView {
 
   // Allocates a fresh namenode id and joins the group. Must be called once.
   hops::Status Register();
+  // Rejoins under an existing identity (a restart that kept its nn_id),
+  // instead of Register. The counter CONTINUES from the old row: peers
+  // detect liveness by counter advancement, so a counter restarting at zero
+  // would read as missed heartbeats until it caught up past the previous
+  // incarnation's value -- a false-death window inviting wrongful adoption
+  // and GC of the resumed namenode's log partitions.
+  hops::Status Resume(NamenodeId id);
   // One election round: bump own counter, refresh the membership view,
   // and (when leader) garbage-collect rows of dead namenodes.
   hops::Status Heartbeat();

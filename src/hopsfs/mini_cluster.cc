@@ -29,6 +29,7 @@ hops::Result<std::unique_ptr<MiniCluster>> MiniCluster::Start(MiniClusterOptions
     cluster->InstallDatanodePicker(*nn);
     cluster->namenodes_.push_back(std::move(nn));
   }
+  cluster->num_namenode_slots_ = static_cast<int>(cluster->namenodes_.size());
   cluster->TickHeartbeats();
   return cluster;
 }
@@ -47,7 +48,13 @@ void MiniCluster::InstallDatanodePicker(Namenode& nn) {
   });
 }
 
+Namenode& MiniCluster::namenode(int i) {
+  std::lock_guard<std::mutex> lock(nn_mu_);
+  return *namenodes_[static_cast<size_t>(i)];
+}
+
 std::vector<Namenode*> MiniCluster::AliveNamenodes() {
+  std::lock_guard<std::mutex> lock(nn_mu_);
   std::vector<Namenode*> alive;
   for (auto& nn : namenodes_) {
     if (nn && nn->alive()) alive.push_back(nn.get());
@@ -56,6 +63,7 @@ std::vector<Namenode*> MiniCluster::AliveNamenodes() {
 }
 
 Namenode* MiniCluster::leader() {
+  std::lock_guard<std::mutex> lock(nn_mu_);
   for (auto& nn : namenodes_) {
     if (nn && nn->alive() && nn->IsLeader()) return nn.get();
   }
@@ -70,30 +78,36 @@ Datanode* MiniCluster::FindDatanode(DatanodeId id) {
 }
 
 ClusterHintStats MiniCluster::AggregateHintStats() {
+  std::lock_guard<std::mutex> lock(nn_mu_);
   ClusterHintStats out;
-  for (auto& nn : namenodes_) {
-    if (!nn) continue;
-    InodeHintCache::Stats s = nn->hint_cache().stats();
+  auto add = [&out](Namenode& nn) {
+    InodeHintCache::Stats s = nn.hint_cache().stats();
     out.cache.hits += s.hits;
     out.cache.misses += s.misses;
     out.cache.evictions += s.evictions;
     out.cache.invalidations += s.invalidations;
     out.cache.entries_invalidated += s.entries_invalidated;
     out.cache.stale_put_rejections += s.stale_put_rejections;
-    out.proactive_applied += nn->proactive_invalidations_applied();
-    out.publish_events += nn->hint_publish_events();
-    out.publish_ops_coalesced += nn->hint_publish_ops_coalesced();
-    out.gc_acked_reaps += nn->election().hint_gc_acked_reaps();
-    out.gc_ttl_reaps += nn->election().hint_gc_ttl_reaps();
+    out.proactive_applied += nn.proactive_invalidations_applied();
+    out.publish_events += nn.hint_publish_events();
+    out.publish_ops_coalesced += nn.hint_publish_ops_coalesced();
+    out.gc_acked_reaps += nn.election().hint_gc_acked_reaps();
+    out.gc_ttl_reaps += nn.election().hint_gc_ttl_reaps();
+  };
+  for (auto& nn : namenodes_) {
+    if (nn) add(*nn);
+  }
+  for (auto& nn : retired_) {
+    if (nn) add(*nn);
   }
   return out;
 }
 
 ClusterIntentStats MiniCluster::AggregateIntentStats() {
+  std::lock_guard<std::mutex> lock(nn_mu_);
   ClusterIntentStats out;
-  for (auto& nn : namenodes_) {
-    if (!nn) continue;
-    IntentLogStats s = nn->intent_stats();
+  auto add = [&out](Namenode& nn) {
+    IntentLogStats s = nn.intent_stats();
     out.log.intents_appended += s.intents_appended;
     out.log.intents_applied += s.intents_applied;
     out.log.intents_coalesced += s.intents_coalesced;
@@ -102,18 +116,33 @@ ClusterIntentStats MiniCluster::AggregateIntentStats() {
     out.log.ack_latency_us += s.ack_latency_us;
     out.log.apply_latency_us += s.apply_latency_us;
     out.log.covering_waits += s.covering_waits;
-    out.intents_adopted += nn->intents_adopted();
+    out.intents_adopted += nn.intents_adopted();
+  };
+  for (auto& nn : namenodes_) {
+    if (nn) add(*nn);
+  }
+  for (auto& nn : retired_) {
+    if (nn) add(*nn);
   }
   return out;
 }
 
 void MiniCluster::DrainIntents() {
-  for (auto& nn : namenodes_) {
-    if (nn && nn->alive()) nn->FlushIntents();
-  }
+  // Snapshot outside the namenode calls: FlushIntents blocks on the apply
+  // pipeline, and holding nn_mu_ there would stall client threads picking
+  // namenodes. The pointers stay valid (graveyard) even if a slot restarts
+  // mid-drain.
+  for (Namenode* nn : AliveNamenodes()) nn->FlushIntents();
 }
 
-void MiniCluster::KillNamenode(int i) { namenodes_[static_cast<size_t>(i)]->Kill(); }
+void MiniCluster::KillNamenode(int i) {
+  Namenode* nn;
+  {
+    std::lock_guard<std::mutex> lock(nn_mu_);
+    nn = namenodes_[static_cast<size_t>(i)].get();
+  }
+  nn->Kill();
+}
 
 hops::Status MiniCluster::RestartNamenode(int i) {
   // A restarted namenode gets a new id from the election service (§3).
@@ -121,23 +150,50 @@ hops::Status MiniCluster::RestartNamenode(int i) {
                                        "nn-slot-" + std::to_string(i));
   HOPS_RETURN_IF_ERROR(nn->Start());
   InstallDatanodePicker(*nn);
-  namenodes_[static_cast<size_t>(i)] = std::move(nn);
+  std::lock_guard<std::mutex> lock(nn_mu_);
+  auto& slot = namenodes_[static_cast<size_t>(i)];
+  if (slot) {
+    // Retire, don't destroy: clients may hold raw pointers (sticky policy)
+    // or be mid-call on the old instance. Kill first so every such call
+    // fails over instead of mutating state under a replaced identity.
+    slot->Kill();
+    retired_.push_back(std::move(slot));
+  }
+  slot = std::move(nn);
+  return hops::Status::Ok();
+}
+
+hops::Status MiniCluster::RestartNamenodeSameId(int i) {
+  NamenodeId old_id;
+  {
+    std::lock_guard<std::mutex> lock(nn_mu_);
+    auto& slot = namenodes_[static_cast<size_t>(i)];
+    old_id = slot->id();
+    slot->Kill();
+  }
+  auto nn = std::make_unique<Namenode>(db_.get(), &schema_, &options_.fs,
+                                       "nn-slot-" + std::to_string(i));
+  // Resume the old identity: election counter continues (no false-death
+  // window) and the start-up sweep replays this id's own surviving intent
+  // partition, so ops acked by the previous incarnation are not stranded.
+  HOPS_RETURN_IF_ERROR(nn->Start(old_id));
+  InstallDatanodePicker(*nn);
+  std::lock_guard<std::mutex> lock(nn_mu_);
+  auto& slot = namenodes_[static_cast<size_t>(i)];
+  if (slot) retired_.push_back(std::move(slot));
+  slot = std::move(nn);
   return hops::Status::Ok();
 }
 
 void MiniCluster::TickHeartbeats(int rounds) {
   for (int r = 0; r < rounds; ++r) {
     FlushHintPublishes();
-    for (auto& nn : namenodes_) {
-      if (nn && nn->alive()) (void)nn->Heartbeat();
-    }
+    for (Namenode* nn : AliveNamenodes()) (void)nn->Heartbeat();
   }
 }
 
 void MiniCluster::FlushHintPublishes() {
-  for (auto& nn : namenodes_) {
-    if (nn && nn->alive()) nn->FlushHintInvalidations();
-  }
+  for (Namenode* nn : AliveNamenodes()) nn->FlushHintInvalidations();
 }
 
 Client MiniCluster::NewClient(NamenodePolicy policy, const std::string& name,

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -73,8 +74,11 @@ class MiniCluster {
   const MetadataSchema& schema() const { return schema_; }
   const FsConfig& fs_config() const { return options_.fs; }
 
-  int num_namenodes() const { return static_cast<int>(namenodes_.size()); }
-  Namenode& namenode(int i) { return *namenodes_[static_cast<size_t>(i)]; }
+  int num_namenodes() const { return num_namenode_slots_; }
+  // The slot's current occupant. The returned reference stays valid across a
+  // concurrent restart (replaced namenodes retire to a graveyard destroyed
+  // at teardown), but names the occupant at call time.
+  Namenode& namenode(int i);
   std::vector<Namenode*> AliveNamenodes();
   // The current leader among alive namenodes (by the election's view).
   Namenode* leader();
@@ -94,8 +98,15 @@ class MiniCluster {
 
   // Kills namenode i (simulated process death; its id is retired).
   void KillNamenode(int i);
-  // Replaces slot i with a fresh namenode (new id, empty caches).
+  // Replaces slot i with a fresh namenode (new id, empty caches). Safe under
+  // concurrent client traffic: the dead instance retires to the graveyard so
+  // in-flight calls on it finish with kFailover instead of use-after-free.
   hops::Status RestartNamenode(int i);
+  // Replaces slot i with a fresh namenode that RESUMES the old instance's
+  // nn_id (a process restart keeping its identity): the election counter
+  // continues, and the start-up sweep replays the previous incarnation's
+  // surviving intent partition. Kills the old instance first if needed.
+  hops::Status RestartNamenodeSameId(int i);
   // One election round on every alive namenode. Each round first flushes
   // every namenode's pending async hint publishes, so "invalidated within
   // one tick" keeps meaning one call here even with the async publish
@@ -119,7 +130,16 @@ class MiniCluster {
   MiniClusterOptions options_;
   std::unique_ptr<ndb::Cluster> db_;
   MetadataSchema schema_;
+  // Guards namenodes_/retired_ against the chaos conductor restarting slots
+  // while client threads pick namenodes. Held only for slot access; the
+  // namenode calls themselves run outside it.
+  mutable std::mutex nn_mu_;
   std::vector<std::unique_ptr<Namenode>> namenodes_;
+  // Dead instances replaced by a restart. Kept until teardown so raw
+  // Namenode* held by clients (sticky policies, in-flight calls) stay valid;
+  // a retired namenode is Killed, so every call on it fails with kFailover.
+  std::vector<std::unique_ptr<Namenode>> retired_;
+  int num_namenode_slots_ = 0;
   std::vector<std::unique_ptr<Datanode>> datanodes_;
   std::atomic<uint64_t> dn_rr_{0};
 };

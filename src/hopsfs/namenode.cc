@@ -107,15 +107,22 @@ Namenode::~Namenode() {
   if (hint_publisher_.joinable()) hint_publisher_.join();
 }
 
-hops::Status Namenode::Start() {
-  HOPS_RETURN_IF_ERROR(election_.Register());
+hops::Status Namenode::Start(std::optional<NamenodeId> resume_id) {
+  if (resume_id) {
+    HOPS_RETURN_IF_ERROR(election_.Resume(*resume_id));
+  } else {
+    HOPS_RETURN_IF_ERROR(election_.Register());
+  }
   PrimeHintApplied();
   if (intents_) {
     intents_->Start(id_safe(),
                     [this](const IntentRecord& rec) { return ApplyIntent(rec); });
-    // Restart recovery: durable intents left by namenodes now dead (this
-    // slot's previous incarnation included) are replayed before serving.
-    AdoptOrphanedIntents();
+    // Restart recovery: durable intents left by namenodes now dead are
+    // replayed before serving. A resumed identity replays its OWN partition
+    // too -- the previous incarnation's acknowledged-but-unapplied ops would
+    // otherwise be stranded, because the ordinary sweep (correctly) skips
+    // the live self partition and no leader will ever see this id as dead.
+    AdoptOrphanedIntents(/*include_self=*/resume_id.has_value());
   }
   return Heartbeat();
 }
@@ -134,6 +141,14 @@ void Namenode::SetIntentAppendHoldForTesting(bool hold) {
 
 size_t Namenode::IntentQueuedAppendsForTesting() const {
   return intents_ ? intents_->QueuedAppendsForTesting() : 0;
+}
+
+void Namenode::SetIntentCrashHookForTesting(IntentLog::CrashHook hook) {
+  if (intents_) intents_->SetCrashHookForTesting(std::move(hook));
+}
+
+void Namenode::SetIntentCleanerPausedForTesting(bool paused) {
+  if (intents_) intents_->SetCleanerPausedForTesting(paused);
 }
 
 IntentLogStats Namenode::intent_stats() const {
@@ -180,6 +195,9 @@ void Namenode::PrimeHintApplied() {
 }
 
 hops::Status Namenode::Heartbeat() {
+  // A dead namenode must not advance its election counter: peers would read
+  // the advance as liveness and defer adoption of its orphaned intents.
+  HOPS_RETURN_IF_ERROR(CheckAlive());
   hops::Status st = election_.Heartbeat();  // leader side also GCs the hint log
   if (alive_ && config_->hint_proactive_invalidation) DrainHintInvalidations();
   // Failover adoption: once the membership view ages a dead namenode out,
@@ -1359,7 +1377,7 @@ hops::Status Namenode::ApplyIntent(const IntentRecord& rec) {
   return hops::Status::InvalidArgument("unknown intent op");
 }
 
-void Namenode::AdoptOrphanedIntents() {
+void Namenode::AdoptOrphanedIntents(bool include_self) {
   if (intents_ == nullptr || !alive_) return;
   std::vector<ndb::Row> rows;
   {
@@ -1378,8 +1396,14 @@ void Namenode::AdoptOrphanedIntents() {
     // Skip our own partition (our applier owns it) and alive publishers
     // (their appliers are draining; the membership view must age a dead one
     // out before its log is adopted -- the same rule subtree-lock cleanup
-    // follows).
-    if (rec.nn == id_safe() || election_.IsNamenodeAlive(rec.nn)) continue;
+    // follows). The resumed-identity start path passes include_self: the
+    // previous incarnation's rows ARE ours to replay, and no client can
+    // reach us yet so the applier owns nothing.
+    if (rec.nn == id_safe()) {
+      if (!include_self) continue;
+    } else if (election_.IsNamenodeAlive(rec.nn)) {
+      continue;
+    }
     orphans[rec.nn].push_back(std::move(rec));
   }
   for (auto& [publisher, recs] : orphans) {
@@ -1397,8 +1421,13 @@ void Namenode::AdoptOrphanedIntents() {
       // would wedge the partition behind one poisoned intent.
       intents_adopted_.fetch_add(1, std::memory_order_relaxed);
     }
-    // Consume the partition: delete the replayed rows and the dead
-    // publisher's head row, tolerating rows a racing adopter already took.
+    // Consume the partition: delete the replayed rows, tolerating rows a
+    // racing adopter already took. The publisher's intent_heads row is
+    // deliberately LEFT BEHIND: deleting it would restart that id's seq at 1
+    // if the "dead" namenode was merely stalled (or restarts under its old
+    // id), and a reused seq can collide with the old incarnation's cleaner
+    // deleting freshly acknowledged rows -- a lost ack. One inert two-column
+    // row per retired id is the price of monotonic sequences.
     for (int attempt = 0; attempt < 8; ++attempt) {
       auto tx =
           db_->Begin(ndb::TxHint{schema_->op_intents, static_cast<uint64_t>(publisher)});
@@ -1407,10 +1436,6 @@ void Namenode::AdoptOrphanedIntents() {
         st = tx->Delete(schema_->op_intents, {rec.nn, rec.seq});
         if (st.code() == hops::StatusCode::kNotFound) st = hops::Status::Ok();
         if (!st.ok()) break;
-      }
-      if (st.ok()) {
-        st = tx->Delete(schema_->intent_heads, {publisher});
-        if (st.code() == hops::StatusCode::kNotFound) st = hops::Status::Ok();
       }
       if (st.ok()) st = tx->Commit();
       if (st.ok()) break;

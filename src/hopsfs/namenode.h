@@ -77,8 +77,13 @@ class Namenode {
            std::string location = "nn");
   ~Namenode();
 
-  // Joins the cluster: allocates the namenode id via leader election.
-  hops::Status Start();
+  // Joins the cluster: allocates the namenode id via leader election. With
+  // `resume_id`, rejoins under that existing identity instead (a process
+  // restart that kept its nn_id): the election counter continues from the
+  // old row, and the start-up sweep replays this namenode's OWN surviving
+  // intent partition -- its previous incarnation's acknowledged-but-
+  // unapplied ops -- before serving.
+  hops::Status Start(std::optional<NamenodeId> resume_id = std::nullopt);
   // One leader-election round; drives failure detection and (when proactive
   // hint invalidation is on) drains the hint-invalidation log, applying
   // other namenodes' prefix invalidations to the local hint cache.
@@ -134,6 +139,16 @@ class Namenode {
   void SetIntentAppendHoldForTesting(bool hold);
   // Submissions currently parked in the append queue (0 when async is off).
   size_t IntentQueuedAppendsForTesting() const;
+  // Test hook: simulated process death at a named intent-log boundary (see
+  // IntentLog::SetCrashHookForTesting for the point names). The hook usually
+  // pairs with Kill() inside the callback so the whole namenode dies there.
+  void SetIntentCrashHookForTesting(IntentLog::CrashHook hook);
+  // Test hook: a paused cleaner leaves applied intents' rows in op_intents
+  // (the paused-cleaner fault class).
+  void SetIntentCleanerPausedForTesting(bool paused);
+  // Exposes the adoption sweep so tests can race two would-be leaders over a
+  // dead namenode's partition (production calls it from Start/Heartbeat).
+  void AdoptOrphanedIntentsForTesting() { AdoptOrphanedIntents(); }
   // Counters of the intent log's two stages (zeros when async is off).
   IntentLogStats intent_stats() const;
   // Intents this namenode replayed from dead namenodes' log partitions.
@@ -369,9 +384,12 @@ class Namenode {
   // maps AlreadyExists to applied).
   hops::Status ApplyIntent(const IntentRecord& rec);
   // Replays dead namenodes' durable intents in (publisher, seq) order and
-  // deletes the consumed rows + head rows. Runs at Start (restart recovery)
-  // and on the leader's heartbeat (failover adoption).
-  void AdoptOrphanedIntents();
+  // deletes the consumed rows (head rows are left so a falsely-declared-dead
+  // publisher never reuses sequence numbers). Runs at Start (restart
+  // recovery) and on the leader's heartbeat (failover adoption).
+  // `include_self` replays this namenode's own partition too -- the
+  // resumed-identity start path, before any client can reach us.
+  void AdoptOrphanedIntents(bool include_self = false);
 
   // Stages one pruned scan per entry of `tables` (slot i = tables[i]) keyed
   // by the hint-cache candidate for `components` and puts them in flight.

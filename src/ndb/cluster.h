@@ -27,6 +27,7 @@
 
 #include "ndb/batch.h"
 #include "ndb/cost.h"
+#include "ndb/fault.h"
 #include "ndb/partition.h"
 #include "ndb/schema.h"
 #include "ndb/value.h"
@@ -216,6 +217,10 @@ class Transaction {
   Transaction(Cluster* cluster, TxId id, uint32_t coordinator);
 
   hops::Status CheckUsable(uint32_t partition);
+  // The chaos harness's fault hook (see ndb/fault.h). `abort_tx` mirrors the
+  // coordinator-failure semantics of the per-row path; batch routing and
+  // scans report the error without aborting, like their real failure modes.
+  hops::Status InjectFault(TableId table, bool abort_tx);
   hops::Status AcquireRowLock(TableId table, uint32_t partition, const std::string& ekey,
                               LockMode mode);
   // One row lock wanted by a batch. Batches acquire their whole lock set
@@ -357,6 +362,9 @@ class Cluster {
   std::unique_ptr<Transaction> Begin(std::optional<TxHint> hint = std::nullopt);
 
   // --- Failure injection -----------------------------------------------------
+  // Seeded per-table transient errors and latency spikes (chaos harness);
+  // disarmed by default, costing one relaxed load per access.
+  FaultInjector& fault_injector() { return fault_injector_; }
   void KillDatanode(uint32_t node);
   void RestartDatanode(uint32_t node);
   bool IsAlive(uint32_t node) const;
@@ -413,6 +421,7 @@ class Cluster {
   bool PartitionAvailable(uint32_t partition) const;
 
   ClusterConfig config_;
+  FaultInjector fault_injector_;
   std::unique_ptr<CompletionMux> mux_;
   uint32_t num_partitions_;
   uint32_t num_groups_;

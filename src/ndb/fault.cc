@@ -1,0 +1,62 @@
+#include "ndb/fault.h"
+
+#include <thread>
+
+namespace hops::ndb {
+
+void FaultInjector::Seed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_ = Rng(seed);
+}
+
+void FaultInjector::Arm(TableId table, Spec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  specs_[table] = spec;
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Disarm(TableId table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  specs_.erase(table);
+  armed_.store(!specs_.empty(), std::memory_order_release);
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  specs_.clear();
+  armed_.store(false, std::memory_order_release);
+}
+
+hops::Status FaultInjector::OnAccess(TableId table) {
+  if (!armed_.load(std::memory_order_acquire)) return hops::Status::Ok();
+  bool error = false;
+  std::chrono::microseconds delay{0};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = specs_.find(table);
+    if (it == specs_.end()) it = specs_.find(kAllTables);
+    if (it == specs_.end()) return hops::Status::Ok();
+    const Spec& spec = it->second;
+    // Draw the delay die first so the per-access dice consumption is fixed
+    // regardless of outcomes (seeded runs stay aligned).
+    if (spec.delay_probability > 0 && rng_.Chance(spec.delay_probability)) {
+      delay = spec.delay;
+    }
+    if (spec.error_probability > 0 && rng_.Chance(spec.error_probability)) {
+      error = true;
+    }
+  }
+  // Sleep outside the lock: a latency spike must slow this access, not
+  // serialize every other table's dice rolls behind it.
+  if (delay.count() > 0) {
+    delays_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(delay);
+  }
+  if (error) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return hops::Status::TxAborted("injected transient fault");
+  }
+  return hops::Status::Ok();
+}
+
+}  // namespace hops::ndb

@@ -74,6 +74,14 @@ hops::Status Transaction::CheckUsable(uint32_t partition) {
   return hops::Status::Ok();
 }
 
+hops::Status Transaction::InjectFault(TableId table, bool abort_tx) {
+  FaultInjector& injector = cluster_->fault_injector_;
+  if (!injector.armed()) return hops::Status::Ok();
+  hops::Status st = injector.OnAccess(table);
+  if (!st.ok() && abort_tx && state_ == State::kActive) Abort();
+  return st;
+}
+
 hops::Status Transaction::AcquireRowLock(TableId table, uint32_t partition,
                                          const std::string& ekey, LockMode mode) {
   if (mode == LockMode::kReadCommitted) return hops::Status::Ok();
@@ -151,6 +159,7 @@ hops::Result<Row> Transaction::Read(TableId table, const Key& key, LockMode mode
   const Cluster::Table& t = cluster_->table(table);
   HOPS_ASSIGN_OR_RETURN(partition, cluster_->Route(t, key, pv));
   HOPS_RETURN_IF_ERROR(CheckUsable(partition));
+  HOPS_RETURN_IF_ERROR(InjectFault(table, /*abort_tx=*/true));
   std::string ekey = EncodeKey(key);
   HOPS_RETURN_IF_ERROR(AcquireRowLock(table, partition, ekey, mode));
 
@@ -301,6 +310,9 @@ hops::Status Transaction::RouteReadBatch(ReadBatch& batch, std::vector<LockReque
     HOPS_ASSIGN_OR_RETURN(partition, cluster_->Route(t, op.key, op.pv));
     op.partition = partition;
     HOPS_RETURN_IF_ERROR(CheckUsable(partition));
+    // A routing-stage fault fails the whole flush window through the
+    // existing pipeline error path (no abort here; the window owns cleanup).
+    HOPS_RETURN_IF_ERROR(InjectFault(op.table, /*abort_tx=*/false));
     op.ekey = EncodeKey(op.key);
     if (op.kind == ReadBatch::Op::Kind::kGet && op.mode != LockMode::kReadCommitted) {
       plan.push_back(LockRequest{op.table, partition, op.ekey, op.mode});
@@ -320,6 +332,7 @@ hops::Status Transaction::RouteWriteBatch(WriteBatch& batch, std::vector<LockReq
     HOPS_ASSIGN_OR_RETURN(partition, cluster_->Route(t, op.key, op.pv));
     op.partition = partition;
     HOPS_RETURN_IF_ERROR(CheckUsable(partition));
+    HOPS_RETURN_IF_ERROR(InjectFault(op.table, /*abort_tx=*/false));
     op.ekey = EncodeKey(op.key);
     plan.push_back(LockRequest{op.table, partition, op.ekey, LockMode::kExclusive});
   }
@@ -655,6 +668,7 @@ hops::Status Transaction::Insert(TableId table, Row row, std::optional<uint64_t>
   Key key = ExtractPk(t.schema, row);
   HOPS_ASSIGN_OR_RETURN(partition, cluster_->Route(t, key, pv));
   HOPS_RETURN_IF_ERROR(CheckUsable(partition));
+  HOPS_RETURN_IF_ERROR(InjectFault(table, /*abort_tx=*/true));
   std::string ekey = EncodeKey(key);
   bool fresh_lock = !held_locks_.count({table, partition, ekey});
   HOPS_RETURN_IF_ERROR(AcquireRowLock(table, partition, ekey, LockMode::kExclusive));
@@ -678,6 +692,7 @@ hops::Status Transaction::Update(TableId table, Row row, std::optional<uint64_t>
   Key key = ExtractPk(t.schema, row);
   HOPS_ASSIGN_OR_RETURN(partition, cluster_->Route(t, key, pv));
   HOPS_RETURN_IF_ERROR(CheckUsable(partition));
+  HOPS_RETURN_IF_ERROR(InjectFault(table, /*abort_tx=*/true));
   std::string ekey = EncodeKey(key);
   bool fresh_lock = !held_locks_.count({table, partition, ekey});
   HOPS_RETURN_IF_ERROR(AcquireRowLock(table, partition, ekey, LockMode::kExclusive));
@@ -701,6 +716,7 @@ hops::Status Transaction::Write(TableId table, Row row, std::optional<uint64_t> 
   Key key = ExtractPk(t.schema, row);
   HOPS_ASSIGN_OR_RETURN(partition, cluster_->Route(t, key, pv));
   HOPS_RETURN_IF_ERROR(CheckUsable(partition));
+  HOPS_RETURN_IF_ERROR(InjectFault(table, /*abort_tx=*/true));
   std::string ekey = EncodeKey(key);
   bool fresh_lock = !held_locks_.count({table, partition, ekey});
   HOPS_RETURN_IF_ERROR(AcquireRowLock(table, partition, ekey, LockMode::kExclusive));
@@ -717,6 +733,7 @@ hops::Status Transaction::Delete(TableId table, const Key& key, std::optional<ui
   const Cluster::Table& t = cluster_->table(table);
   HOPS_ASSIGN_OR_RETURN(partition, cluster_->Route(t, key, pv));
   HOPS_RETURN_IF_ERROR(CheckUsable(partition));
+  HOPS_RETURN_IF_ERROR(InjectFault(table, /*abort_tx=*/true));
   std::string ekey = EncodeKey(key);
   bool fresh_lock = !held_locks_.count({table, partition, ekey});
   HOPS_RETURN_IF_ERROR(AcquireRowLock(table, partition, ekey, LockMode::kExclusive));
@@ -793,6 +810,7 @@ hops::Result<std::vector<Row>> Transaction::ScanPartitions(
     TableId table, const std::vector<uint32_t>& partitions, const Key& prefix,
     const ScanOptions& opts, AccessKind kind, bool full_scan) {
   const std::string eprefix = full_scan ? std::string() : EncodeKey(prefix);
+  HOPS_RETURN_IF_ERROR(InjectFault(table, /*abort_tx=*/false));
 
   std::vector<Row> results;
   std::vector<PartTouch> touches;
@@ -853,6 +871,11 @@ hops::Status Transaction::Commit() {
   if (!cluster_->IsAlive(coordinator_)) {
     Abort();
     return hops::Status::TxAborted("transaction coordinator failed");
+  }
+  // A commit-time fault aborts before any staged write applies -- the clean
+  // pre-prepare abort window a real TC failure would hit.
+  if (!write_set_.empty()) {
+    HOPS_RETURN_IF_ERROR(InjectFault(FaultInjector::kAllTables, /*abort_tx=*/true));
   }
 
   // Prepare: every participating partition must be available.
