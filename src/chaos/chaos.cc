@@ -133,6 +133,7 @@ ChaosReport RunChaos(const ChaosOptions& options) {
   fs::MiniClusterOptions mc;
   mc.num_namenodes = options.num_namenodes;
   mc.num_datanodes = options.num_datanodes;
+  mc.fs.kv_engine = options.engine;
   mc.fs.num_handlers = options.num_handlers;
   mc.fs.async_metadata_commit = true;
   auto cluster_or = fs::MiniCluster::Start(mc);
@@ -142,7 +143,7 @@ ChaosReport RunChaos(const ChaosOptions& options) {
     return report;
   }
   std::unique_ptr<fs::MiniCluster> cluster = std::move(*cluster_or);
-  ndb::FaultInjector& injector = cluster->db().fault_injector();
+  kv::FaultInjector& injector = cluster->db().fault_injector();
   injector.Seed(options.seed ^ 0xfa5e1ed5ULL);
   const uint64_t errors0 = injector.injected_errors();
   const uint64_t delays0 = injector.injected_delays();
@@ -293,7 +294,7 @@ ChaosReport RunChaos(const ChaosOptions& options) {
     fs::Namenode* nn = nullptr;  // pause target (survives a slot swap)
     int dn = -1;              // fs datanode index
     uint32_t node = 0;        // NDB data node
-    ndb::TableId table{};     // armed injector key
+    kv::TableId table{};     // armed injector key
   };
   std::vector<ActiveFault> active;
 
@@ -334,13 +335,13 @@ ChaosReport RunChaos(const ChaosOptions& options) {
         break;
       case FaultClass::kNdbTableFaults: {
         const fs::MetadataSchema& s = cluster->schema();
-        ndb::TableId choices[3] = {s.inodes, s.op_intents, ndb::FaultInjector::kAllTables};
+        kv::TableId choices[3] = {s.inodes, s.op_intents, kv::FaultInjector::kAllTables};
         a.table = choices[ev.target % 3];
         injector.Arm(a.table, {ev.probability, 0.0, std::chrono::microseconds{0}});
         break;
       }
       case FaultClass::kNdbLatency:
-        a.table = ndb::FaultInjector::kAllTables;
+        a.table = kv::FaultInjector::kAllTables;
         injector.Arm(a.table,
                      {0.0, 0.5, std::chrono::microseconds{ev.delay_us}});
         break;
@@ -524,6 +525,7 @@ ChaosReport RunChaos(const ChaosOptions& options) {
     fs::MiniClusterOptions oo;
     oo.num_namenodes = 1;
     oo.num_datanodes = 1;
+    oo.fs.kv_engine = options.engine;
     oo.fs.num_handlers = 0;
     oo.fs.async_metadata_commit = false;
     auto oracle_or = fs::MiniCluster::Start(oo);

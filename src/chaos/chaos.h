@@ -8,7 +8,7 @@
 // resumed id), stalled heartbeats, datanode flaps, NDB data-node flaps,
 // paused intent applier/cleaner and hint publisher threads, and NDB-level
 // injected faults (per-table transient errors and latency spikes through
-// ndb::FaultInjector). After a global heal the run is checked against three
+// kv::FaultInjector). After a global heal the run is checked against three
 // oracles:
 //
 //   1. Convergence: the namespace fingerprint equals a crash-free oracle
@@ -71,6 +71,11 @@ struct FaultPlan {
 
 struct ChaosOptions {
   uint64_t seed = 1;
+  // KV backend both the chaos cluster AND the crash-free oracle replay
+  // cluster run on (the convergence oracle only means something when both
+  // sides use the same engine). HOPS_KV_ENGINE still wins inside
+  // MiniCluster::Start, so an env-pinned CI leg overrides this field.
+  kv::EngineKind engine = kv::EngineKind::kNdb;
   int num_namenodes = 3;
   int num_datanodes = 3;
   int num_handlers = 4;

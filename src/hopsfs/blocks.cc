@@ -23,7 +23,7 @@ namespace {
 // under-replication markers. `removed` is reset per attempt so a retried
 // transaction never double counts. Shared by ProcessBlockReport pass 2 and
 // HandleDatanodeFailure.
-hops::Status RemoveReplicaChunk(const MetadataSchema* schema, ndb::Transaction& tx,
+hops::Status RemoveReplicaChunk(const MetadataSchema* schema, kv::Txn& tx,
                                 const std::vector<Replica>& replicas, size_t base, size_t end,
                                 int64_t* removed) {
   *removed = 0;
@@ -32,7 +32,7 @@ hops::Status RemoveReplicaChunk(const MetadataSchema* schema, ndb::Transaction& 
     size_t replica_slot = 0;
     size_t reps_slot = 0;
   };
-  ndb::ReadBatch probes;
+  kv::ReadBatch probes;
   std::vector<ProbeSlots> slots;
   slots.reserve(end - base);
   std::map<std::pair<InodeId, BlockId>, size_t> scan_slots;
@@ -40,16 +40,16 @@ hops::Status RemoveReplicaChunk(const MetadataSchema* schema, ndb::Transaction& 
     const Replica& rep = replicas[i];
     ProbeSlots p;
     p.block_slot =
-        probes.Get(schema->blocks, {rep.inode_id, rep.block_id}, ndb::LockMode::kExclusive);
+        probes.Get(schema->blocks, {rep.inode_id, rep.block_id}, kv::LockMode::kExclusive);
     p.replica_slot = probes.Get(schema->replicas, {rep.inode_id, rep.block_id, rep.datanode_id},
-                                ndb::LockMode::kExclusive);
+                                kv::LockMode::kExclusive);
     auto [it, fresh] = scan_slots.try_emplace(std::make_pair(rep.inode_id, rep.block_id), 0);
     if (fresh) it->second = probes.Scan(schema->replicas, {rep.inode_id, rep.block_id});
     p.reps_slot = it->second;
     slots.push_back(p);
   }
   HOPS_RETURN_IF_ERROR(tx.Execute(probes));
-  ndb::WriteBatch writes;
+  kv::WriteBatch writes;
   // Several removed replicas of the SAME block can sit in one chunk; the
   // under-replication check must see the siblings' staged deletes, not just
   // the shared pre-delete snapshot.
@@ -80,16 +80,16 @@ hops::Status RemoveReplicaChunk(const MetadataSchema* schema, ndb::Transaction& 
 hops::Status Namenode::BlockReceived(DatanodeId dn, BlockId block_id) {
   HOPS_RETURN_IF_ERROR(CheckAlive());
   return RunTx(
-      ndb::TxHint{schema_->block_lookup, static_cast<uint64_t>(block_id)},
-      [&](ndb::Transaction& tx) -> hops::Status {
-        auto lookup = tx.Read(schema_->block_lookup, {block_id}, ndb::LockMode::kReadCommitted);
+      kv::TxHint{schema_->block_lookup, static_cast<uint64_t>(block_id)},
+      [&](kv::Txn& tx) -> hops::Status {
+        auto lookup = tx.Read(schema_->block_lookup, {block_id}, kv::LockMode::kReadCommitted);
         if (!lookup.ok()) {
           // The file was deleted while the datanode wrote: stale receipt.
           return lookup.status().code() == hops::StatusCode::kNotFound ? hops::Status::Ok()
                                                                        : lookup.status();
         }
         InodeId inode = (*lookup)[col::kLookupInode].i64();
-        auto block_row = tx.Read(schema_->blocks, {inode, block_id}, ndb::LockMode::kExclusive);
+        auto block_row = tx.Read(schema_->blocks, {inode, block_id}, kv::LockMode::kExclusive);
         if (!block_row.ok()) {
           return block_row.status().code() == hops::StatusCode::kNotFound
                      ? hops::Status::Ok()
@@ -98,7 +98,7 @@ hops::Status Namenode::BlockReceived(DatanodeId dn, BlockId block_id) {
         Block b = BlockFromRow(*block_row);
         // The life-cycle flips (RUC consumed, replica finalized, pending
         // re-replication satisfied) stage in one batched round trip.
-        ndb::WriteBatch writes;
+        kv::WriteBatch writes;
         writes.DeleteIfExists(schema_->ruc, {inode, block_id, dn});
         Replica rep{inode, block_id, dn, ReplicaState::kFinalized};
         writes.Write(schema_->replicas, ToRow(rep));
@@ -130,15 +130,15 @@ hops::Result<BlockReportResult> Namenode::ProcessBlockReport(
     // Tallied per attempt and folded into `result` only after the
     // transaction commits, so a retried chunk is not counted twice.
     BlockReportResult chunk;
-    hops::Status st = RunTx(std::nullopt, [&](ndb::Transaction& tx) -> hops::Status {
+    hops::Status st = RunTx(std::nullopt, [&](kv::Txn& tx) -> hops::Status {
       chunk = BlockReportResult{};
-      std::vector<ndb::Key> keys;
+      std::vector<kv::Key> keys;
       keys.reserve(end - base);
       for (size_t i = base; i < end; ++i) keys.push_back({report[i]});
       HOPS_ASSIGN_OR_RETURN(lookups, tx.BatchRead(schema_->block_lookup, keys,
-                                                  ndb::LockMode::kReadCommitted));
-      ndb::WriteBatch repairs;
-      std::vector<ndb::Key> replica_keys;
+                                                  kv::LockMode::kReadCommitted));
+      kv::WriteBatch repairs;
+      std::vector<kv::Key> replica_keys;
       for (size_t i = 0; i < lookups.size(); ++i) {
         if (!lookups[i].has_value()) {
           // Orphaned block on the datanode (e.g. re-created namespace).
@@ -151,7 +151,7 @@ hops::Result<BlockReportResult> Namenode::ProcessBlockReport(
         replica_keys.push_back({inode, report[base + i], static_cast<int64_t>(dn)});
       }
       HOPS_ASSIGN_OR_RETURN(replica_rows, tx.BatchRead(schema_->replicas, replica_keys,
-                                                       ndb::LockMode::kReadCommitted));
+                                                       kv::LockMode::kReadCommitted));
       for (size_t j = 0; j < replica_rows.size(); ++j) {
         if (replica_rows[j].has_value()) {
           chunk.blocks_matched++;
@@ -183,8 +183,8 @@ hops::Result<BlockReportResult> Namenode::ProcessBlockReport(
   std::vector<Replica> stale;
   {
     auto tx = db_->Begin();
-    ndb::ScanOptions opts;
-    opts.eq_filter = {{col::kReplicaDatanode, ndb::Value(static_cast<int64_t>(dn))}};
+    kv::ScanOptions opts;
+    opts.eq_filter = {{col::kReplicaDatanode, kv::Value(static_cast<int64_t>(dn))}};
     auto rows = tx->IndexScan(schema_->replicas, {}, opts);
     if (!rows.ok()) return rows.status();
     for (const auto& row : *rows) {
@@ -196,7 +196,7 @@ hops::Result<BlockReportResult> Namenode::ProcessBlockReport(
   for (size_t base = 0; base < stale.size(); base += kStaleChunk) {
     const size_t end = std::min(stale.size(), base + kStaleChunk);
     int64_t removed = 0;
-    hops::Status st = RunTx(std::nullopt, [&](ndb::Transaction& tx) -> hops::Status {
+    hops::Status st = RunTx(std::nullopt, [&](kv::Txn& tx) -> hops::Status {
       return RemoveReplicaChunk(schema_, tx, stale, base, end, &removed);
     });
     if (!st.ok()) return st;
@@ -214,8 +214,8 @@ hops::Result<int64_t> Namenode::HandleDatanodeFailure(DatanodeId dn) {
   std::vector<Replica> lost_ruc;
   {
     auto tx = db_->Begin();
-    ndb::ScanOptions opts;
-    opts.eq_filter = {{col::kReplicaDatanode, ndb::Value(static_cast<int64_t>(dn))}};
+    kv::ScanOptions opts;
+    opts.eq_filter = {{col::kReplicaDatanode, kv::Value(static_cast<int64_t>(dn))}};
     auto rows = tx->IndexScan(schema_->replicas, {}, opts);
     if (!rows.ok()) return rows.status();
     for (const auto& row : *rows) lost.push_back(ReplicaFromRow(row));
@@ -233,7 +233,7 @@ hops::Result<int64_t> Namenode::HandleDatanodeFailure(DatanodeId dn) {
   for (size_t base = 0; base < lost.size(); base += kChunk) {
     const size_t end = std::min(lost.size(), base + kChunk);
     int64_t removed = 0;
-    hops::Status st = RunTx(std::nullopt, [&](ndb::Transaction& tx) -> hops::Status {
+    hops::Status st = RunTx(std::nullopt, [&](kv::Txn& tx) -> hops::Status {
       return RemoveReplicaChunk(schema_, tx, lost, base, end, &removed);
     });
     if (!st.ok()) return st;
@@ -244,8 +244,8 @@ hops::Result<int64_t> Namenode::HandleDatanodeFailure(DatanodeId dn) {
   constexpr size_t kRucChunk = 256;
   for (size_t base = 0; base < lost_ruc.size(); base += kRucChunk) {
     const size_t end = std::min(lost_ruc.size(), base + kRucChunk);
-    hops::Status st = RunTx(std::nullopt, [&](ndb::Transaction& tx) -> hops::Status {
-      ndb::WriteBatch writes;
+    hops::Status st = RunTx(std::nullopt, [&](kv::Txn& tx) -> hops::Status {
+      kv::WriteBatch writes;
       for (size_t i = base; i < end; ++i) {
         const Replica& rep = lost_ruc[i];
         writes.DeleteIfExists(schema_->ruc, {rep.inode_id, rep.block_id, rep.datanode_id});
@@ -272,9 +272,9 @@ hops::Result<int64_t> Namenode::RunReplicationMonitor() {
   int64_t scheduled = 0;
   for (const auto& [inode, blk] : queue) {
     hops::Status st = RunTx(
-        ndb::TxHint{schema_->blocks, static_cast<uint64_t>(inode)},
-        [&](ndb::Transaction& tx) -> hops::Status {
-          auto block_row = tx.Read(schema_->blocks, {inode, blk}, ndb::LockMode::kExclusive);
+        kv::TxHint{schema_->blocks, static_cast<uint64_t>(inode)},
+        [&](kv::Txn& tx) -> hops::Status {
+          auto block_row = tx.Read(schema_->blocks, {inode, blk}, kv::LockMode::kExclusive);
           if (!block_row.ok()) {
             if (block_row.status().code() == hops::StatusCode::kNotFound) {
               hops::Status del = tx.Delete(schema_->urb, {inode, blk, int64_t{0}});
@@ -325,13 +325,13 @@ hops::Result<std::vector<BlockId>> Namenode::FetchInvalidations(DatanodeId dn) {
   // between the two). A datanode re-fetches on failure, so all-or-nothing
   // delivery is fine.
   std::vector<BlockId> blocks;
-  hops::Status st = RunTx(std::nullopt, [&](ndb::Transaction& tx) -> hops::Status {
+  hops::Status st = RunTx(std::nullopt, [&](kv::Txn& tx) -> hops::Status {
     blocks.clear();
-    ndb::ScanOptions opts;
-    opts.eq_filter = {{col::kReplicaDatanode, ndb::Value(static_cast<int64_t>(dn))}};
+    kv::ScanOptions opts;
+    opts.eq_filter = {{col::kReplicaDatanode, kv::Value(static_cast<int64_t>(dn))}};
     HOPS_ASSIGN_OR_RETURN(rows, tx.IndexScan(schema_->inv, {}, opts));
     if (rows.empty()) return hops::Status::Ok();
-    ndb::WriteBatch writes;
+    kv::WriteBatch writes;
     blocks.reserve(rows.size());
     for (const auto& row : rows) {
       Replica rep = ReplicaFromRow(row);

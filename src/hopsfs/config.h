@@ -4,9 +4,18 @@
 #include <chrono>
 #include <cstdint>
 
+#include "kv/kv.h"
+
 namespace hops::fs {
 
 struct FsConfig {
+  // Which transactional KV backend the metadata service runs on: the
+  // NDB-style pessimistic 2PL engine (the paper's) or the optimistic MVCC
+  // engine. MiniCluster::Start resolves the HOPS_KV_ENGINE environment
+  // override (which wins over this field) and writes the result back here,
+  // so after Start the field names the engine actually constructed.
+  kv::EngineKind kv_engine = kv::EngineKind::kNdb;
+
   // Depth at or below which inodes are pseudo-randomly partitioned by child
   // name instead of by parent inode id (paper §4.2.1). Depth counts edges
   // from the root: root = 0, "/a" = 1, "/a/b" = 2. The default 1 matches the

@@ -34,8 +34,8 @@ std::string_view ParentOf(const std::string& path) {
 
 }  // namespace
 
-ndb::Row ToRow(const IntentRecord& rec) {
-  return ndb::Row{rec.nn,
+kv::Row ToRow(const IntentRecord& rec) {
+  return kv::Row{rec.nn,
                   rec.seq,
                   static_cast<int64_t>(rec.op),
                   rec.path,
@@ -48,7 +48,7 @@ ndb::Row ToRow(const IntentRecord& rec) {
                   rec.mtime};
 }
 
-IntentRecord IntentFromRow(const ndb::Row& r) {
+IntentRecord IntentFromRow(const kv::Row& r) {
   IntentRecord rec;
   rec.nn = r[col::kIntentNn].i64();
   rec.seq = r[col::kIntentSeq].i64();
@@ -69,7 +69,7 @@ bool IntentLog::OnApplierThread() { return t_on_applier; }
 IntentLog::ApplierScope::ApplierScope() : prev_(t_on_applier) { t_on_applier = true; }
 IntentLog::ApplierScope::~ApplierScope() { t_on_applier = prev_; }
 
-IntentLog::IntentLog(ndb::Cluster* db, const MetadataSchema* schema, const FsConfig* config)
+IntentLog::IntentLog(kv::Engine* db, const MetadataSchema* schema, const FsConfig* config)
     : db_(db), schema_(schema), config_(config) {}
 
 IntentLog::~IntentLog() { Stop(); }
@@ -114,7 +114,7 @@ void IntentLog::Abandon() {
   cv_.notify_all();
 }
 
-void IntentLog::SetTraceSink(std::function<void(const ndb::CostTrace&)> sink) {
+void IntentLog::SetTraceSink(std::function<void(const kv::CostTrace&)> sink) {
   std::lock_guard<std::mutex> lock(trace_mu_);
   trace_fn_ = std::move(sink);
 }
@@ -335,14 +335,14 @@ hops::Status IntentLog::Submit(IntentRecord rec) {
 }
 
 hops::Status IntentLog::AppendBatchTx(std::vector<std::shared_ptr<AppendWaiter>>& batch) {
-  std::function<void(const ndb::CostTrace&)> sink;
+  std::function<void(const kv::CostTrace&)> sink;
   {
     std::lock_guard<std::mutex> lock(trace_mu_);
     sink = trace_fn_;
   }
   hops::Status st;
   for (int attempt = 0; attempt < 8; ++attempt) {
-    auto tx = db_->Begin(ndb::TxHint{schema_->intent_heads, static_cast<uint64_t>(self_)});
+    auto tx = db_->Begin(kv::TxHint{schema_->intent_heads, static_cast<uint64_t>(self_)});
     if (sink) tx->EnableTrace();
     // The append IS the acknowledgment: flush solo rather than queue in the
     // completion mux behind apply/handler throughput work. Its only lock is
@@ -354,7 +354,7 @@ hops::Status IntentLog::AppendBatchTx(std::vector<std::shared_ptr<AppendWaiter>>
     // per-namenode sequence order equals commit order by construction, and
     // no other namenode ever X-locks this row.
     int64_t seq = 1;
-    auto head = tx->Read(schema_->intent_heads, {self_}, ndb::LockMode::kExclusive);
+    auto head = tx->Read(schema_->intent_heads, {self_}, kv::LockMode::kExclusive);
     if (head.ok()) {
       seq = (*head)[col::kIntentHeadNext].i64();
     } else if (head.status().code() != hops::StatusCode::kNotFound) {
@@ -370,7 +370,7 @@ hops::Status IntentLog::AppendBatchTx(std::vector<std::shared_ptr<AppendWaiter>>
       st = tx->Insert(schema_->op_intents, ToRow(w->rec));
       if (!st.ok()) break;
     }
-    if (st.ok()) st = tx->Write(schema_->intent_heads, ndb::Row{self_, seq});
+    if (st.ok()) st = tx->Write(schema_->intent_heads, kv::Row{self_, seq});
     if (st.ok() && CrashAt("append:pre-commit")) {
       // Nothing durable yet: the waiters fail un-acked and nothing replays.
       if (tx->active()) tx->Abort();
@@ -550,14 +550,14 @@ void IntentLog::CleanerLoop() {
 
 void IntentLog::DeleteIntentRows(const std::vector<IntentRecord>& recs) {
   if (recs.empty()) return;
-  std::function<void(const ndb::CostTrace&)> sink;
+  std::function<void(const kv::CostTrace&)> sink;
   {
     std::lock_guard<std::mutex> lock(trace_mu_);
     sink = trace_fn_;
   }
   for (int attempt = 0; attempt < 8; ++attempt) {
     auto tx =
-        db_->Begin(ndb::TxHint{schema_->op_intents, static_cast<uint64_t>(recs.front().nn)});
+        db_->Begin(kv::TxHint{schema_->op_intents, static_cast<uint64_t>(recs.front().nn)});
     if (sink) {
       tx->EnableTrace();
       tx->SetBackground(true);

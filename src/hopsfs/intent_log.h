@@ -52,7 +52,7 @@
 #include "hopsfs/config.h"
 #include "hopsfs/schema.h"
 #include "hopsfs/types.h"
-#include "ndb/cluster.h"
+#include "kv/kv.h"
 #include "util/status.h"
 
 namespace hops::fs {
@@ -82,8 +82,8 @@ struct IntentRecord {
   int64_t submit_micros = 0;
 };
 
-ndb::Row ToRow(const IntentRecord& rec);
-IntentRecord IntentFromRow(const ndb::Row& row);
+kv::Row ToRow(const IntentRecord& rec);
+IntentRecord IntentFromRow(const kv::Row& row);
 
 struct IntentLogStats {
   uint64_t intents_appended = 0;
@@ -106,7 +106,7 @@ class IntentLog {
   // leaves the remaining intents in the log for adoption.
   using ApplyFn = std::function<hops::Status(const IntentRecord&)>;
 
-  IntentLog(ndb::Cluster* db, const MetadataSchema* schema, const FsConfig* config);
+  IntentLog(kv::Engine* db, const MetadataSchema* schema, const FsConfig* config);
   ~IntentLog();
 
   IntentLog(const IntentLog&) = delete;
@@ -166,7 +166,7 @@ class IntentLog {
   // When set, the appender/cleanup transactions deliver their cost traces
   // here (the namenode forwards its own sink so async ops' traces include
   // the acknowledged append trip and the background apply drain).
-  void SetTraceSink(std::function<void(const ndb::CostTrace&)> sink);
+  void SetTraceSink(std::function<void(const kv::CostTrace&)> sink);
 
   // Blocks until the record is durable in op_intents (group-committed with
   // everything queued meanwhile; the calling thread may lead the group's
@@ -254,13 +254,13 @@ class IntentLog {
   // at `point`. Must be called without mu_ held.
   bool CrashAt(std::string_view point);
 
-  ndb::Cluster* db_;
+  kv::Engine* db_;
   const MetadataSchema* schema_;
   const FsConfig* config_;
   NamenodeId self_ = 0;
   ApplyFn apply_;
   mutable std::mutex trace_mu_;
-  std::function<void(const ndb::CostTrace&)> trace_fn_;
+  std::function<void(const kv::CostTrace&)> trace_fn_;
   mutable std::mutex hook_mu_;
   CrashHook crash_hook_;
 

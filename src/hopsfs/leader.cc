@@ -6,7 +6,7 @@
 
 namespace hops::fs {
 
-LeaderElection::LeaderElection(ndb::Cluster* db, const MetadataSchema* schema,
+LeaderElection::LeaderElection(kv::Engine* db, const MetadataSchema* schema,
                                const FsConfig* config, std::string location)
     : db_(db), schema_(schema), config_(config), location_(std::move(location)) {}
 
@@ -14,17 +14,17 @@ hops::Status LeaderElection::Register() {
   // Allocate a unique id from the variables table; retry on conflicts with
   // other registering namenodes.
   for (int attempt = 0; attempt < 16; ++attempt) {
-    auto tx = db_->Begin(ndb::TxHint{schema_->variables, 0});
-    auto row = tx->Read(schema_->variables, {kVarNextNamenodeId}, ndb::LockMode::kExclusive);
+    auto tx = db_->Begin(kv::TxHint{schema_->variables, 0});
+    auto row = tx->Read(schema_->variables, {kVarNextNamenodeId}, kv::LockMode::kExclusive);
     if (!row.ok()) {
       if (row.status().IsRetryableTx()) continue;
       return row.status();
     }
     int64_t next = (*row)[col::kVarValue].i64();
     hops::Status st =
-        tx->Update(schema_->variables, ndb::Row{kVarNextNamenodeId, next + 1});
+        tx->Update(schema_->variables, kv::Row{kVarNextNamenodeId, next + 1});
     if (!st.ok()) continue;
-    st = tx->Insert(schema_->leader, ndb::Row{next, int64_t{0}, location_});
+    st = tx->Insert(schema_->leader, kv::Row{next, int64_t{0}, location_});
     if (!st.ok()) continue;
     st = tx->Commit();
     if (st.ok()) {
@@ -38,9 +38,9 @@ hops::Status LeaderElection::Register() {
 
 hops::Status LeaderElection::Resume(NamenodeId id) {
   for (int attempt = 0; attempt < 16; ++attempt) {
-    auto tx = db_->Begin(ndb::TxHint{schema_->leader, static_cast<uint64_t>(id)});
+    auto tx = db_->Begin(kv::TxHint{schema_->leader, static_cast<uint64_t>(id)});
     int64_t counter = 0;
-    auto row = tx->Read(schema_->leader, {id}, ndb::LockMode::kExclusive);
+    auto row = tx->Read(schema_->leader, {id}, kv::LockMode::kExclusive);
     if (row.ok()) {
       counter = (*row)[col::kLeaderCounter].i64();
     } else if (row.status().code() != hops::StatusCode::kNotFound) {
@@ -49,7 +49,7 @@ hops::Status LeaderElection::Resume(NamenodeId id) {
       if (row.status().IsRetryableTx()) continue;
       return row.status();
     }
-    hops::Status st = tx->Write(schema_->leader, ndb::Row{id, counter + 1, location_});
+    hops::Status st = tx->Write(schema_->leader, kv::Row{id, counter + 1, location_});
     if (!st.ok()) continue;
     st = tx->Commit();
     if (st.ok()) {
@@ -63,15 +63,15 @@ hops::Status LeaderElection::Resume(NamenodeId id) {
 
 hops::Status LeaderElection::Heartbeat() {
   // Bump our counter and snapshot the whole (small) leader table.
-  std::vector<ndb::Row> rows;
+  std::vector<kv::Row> rows;
   for (int attempt = 0; attempt < 8; ++attempt) {
-    auto tx = db_->Begin(ndb::TxHint{schema_->leader, static_cast<uint64_t>(id_)});
-    auto mine = tx->Read(schema_->leader, {id_}, ndb::LockMode::kExclusive);
+    auto tx = db_->Begin(kv::TxHint{schema_->leader, static_cast<uint64_t>(id_)});
+    auto mine = tx->Read(schema_->leader, {id_}, kv::LockMode::kExclusive);
     if (!mine.ok()) {
       if (mine.status().IsRetryableTx()) continue;
       return mine.status();
     }
-    ndb::Row updated = *mine;
+    kv::Row updated = *mine;
     updated[col::kLeaderCounter] = updated[col::kLeaderCounter].i64() + 1;
     hops::Status st = tx->Update(schema_->leader, std::move(updated));
     if (!st.ok()) continue;
@@ -123,7 +123,7 @@ hops::Status LeaderElection::Heartbeat() {
   // The leader lazily evicts rows of long-dead namenodes...
   if (IsLeader()) {
     for (NamenodeId nn : dead) {
-      auto tx = db_->Begin(ndb::TxHint{schema_->leader, static_cast<uint64_t>(nn)});
+      auto tx = db_->Begin(kv::TxHint{schema_->leader, static_cast<uint64_t>(nn)});
       if (tx->Delete(schema_->leader, {nn}).ok()) {
         (void)tx->Commit();
       }
@@ -140,7 +140,7 @@ void LeaderElection::GcHintLog(const std::vector<NamenodeId>& long_dead) {
   // publish time). The TTL is only the fallback for records no ack will
   // ever cover -- dead or stalled drainers, or drainers that never wrote an
   // ack row.
-  auto tx = db_->Begin(ndb::TxHint{schema_->hint_heads, 0});
+  auto tx = db_->Begin(kv::TxHint{schema_->hint_heads, 0});
   auto heads = tx->FullTableScan(schema_->hint_heads);
   if (!heads.ok()) {
     if (tx->active()) tx->Abort();
@@ -292,7 +292,7 @@ void LeaderElection::GcHintLog(const std::vector<NamenodeId>& long_dead) {
 }
 
 void LeaderElection::Deregister() {
-  auto tx = db_->Begin(ndb::TxHint{schema_->leader, static_cast<uint64_t>(id_)});
+  auto tx = db_->Begin(kv::TxHint{schema_->leader, static_cast<uint64_t>(id_)});
   if (tx->Delete(schema_->leader, {id_}).ok()) {
     (void)tx->Commit();
   }

@@ -18,7 +18,7 @@
 
 #include "hopsfs/config.h"
 #include "hopsfs/schema.h"
-#include "ndb/cluster.h"
+#include "kv/kv.h"
 
 namespace hops::fs {
 
@@ -32,7 +32,7 @@ class MembershipView {
 
 class LeaderElection : public MembershipView {
  public:
-  LeaderElection(ndb::Cluster* db, const MetadataSchema* schema, const FsConfig* config,
+  LeaderElection(kv::Engine* db, const MetadataSchema* schema, const FsConfig* config,
                  std::string location);
 
   // Allocates a fresh namenode id and joins the group. Must be called once.
@@ -83,7 +83,7 @@ class LeaderElection : public MembershipView {
   // Does the namenode still own a leader-table row, by the last scan?
   bool HasPeerRow(NamenodeId nn) const;
 
-  ndb::Cluster* const db_;
+  kv::Engine* const db_;
   const MetadataSchema* const schema_;
   const FsConfig* const config_;
   const std::string location_;

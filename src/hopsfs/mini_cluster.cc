@@ -1,20 +1,99 @@
 #include "hopsfs/mini_cluster.h"
 
+#include <cstdlib>
+
 namespace hops::fs {
 
-MiniCluster::MiniCluster(MiniClusterOptions options, std::unique_ptr<ndb::Cluster> db,
+namespace {
+
+// Fail-fast validation of the combined engine + filesystem knob set. Every
+// rejected combination here either crashed an assert deep in the engine or
+// silently misbehaved (a mux gather delay with no mux, a zero-wide pipeline
+// window); surfacing them at construction names the knob instead.
+hops::Status ValidateOptions(const MiniClusterOptions& o) {
+  if (o.db.num_datanodes == 0) {
+    return hops::Status::InvalidArgument("db.num_datanodes must be > 0");
+  }
+  if (o.db.replication == 0) {
+    return hops::Status::InvalidArgument("db.replication must be > 0");
+  }
+  if (o.db.num_datanodes % o.db.replication != 0) {
+    return hops::Status::InvalidArgument(
+        "db.num_datanodes must be a multiple of db.replication (node groups are "
+        "replication-sized)");
+  }
+  if (o.db.max_in_flight_batches == 0) {
+    return hops::Status::InvalidArgument(
+        "db.max_in_flight_batches must be > 0 (a zero-wide pipeline window can never flush)");
+  }
+  if (o.db.mux_adaptive_gather && !o.db.mux_adaptive_gather_auto && !o.db.use_completion_mux) {
+    return hops::Status::InvalidArgument(
+        "db.mux_adaptive_gather requires db.use_completion_mux (the gather delay is a "
+        "completion-mux policy)");
+  }
+  if (o.num_namenodes <= 0) {
+    return hops::Status::InvalidArgument("num_namenodes must be > 0");
+  }
+  if (o.num_datanodes < 0) {
+    return hops::Status::InvalidArgument("num_datanodes must be >= 0");
+  }
+  if (o.fs.num_handlers < 0) {
+    return hops::Status::InvalidArgument("fs.num_handlers must be >= 0 (0 = inline execution)");
+  }
+  if (o.fs.max_tx_retries < 1) {
+    return hops::Status::InvalidArgument(
+        "fs.max_tx_retries must be >= 1 (every transactional op needs at least one attempt)");
+  }
+  if (o.fs.max_subtree_wait_retries < 0) {
+    return hops::Status::InvalidArgument("fs.max_subtree_wait_retries must be >= 0");
+  }
+  if (o.fs.random_partition_depth < 0) {
+    return hops::Status::InvalidArgument("fs.random_partition_depth must be >= 0");
+  }
+  if (o.fs.id_chunk_size < 1) {
+    return hops::Status::InvalidArgument("fs.id_chunk_size must be >= 1");
+  }
+  if (o.fs.subtree_delete_batch < 1) {
+    return hops::Status::InvalidArgument("fs.subtree_delete_batch must be >= 1");
+  }
+  if (o.fs.subtree_parallelism < 1) {
+    return hops::Status::InvalidArgument("fs.subtree_parallelism must be >= 1");
+  }
+  if (o.fs.async_metadata_commit && o.fs.intent_apply_batch < 1) {
+    return hops::Status::InvalidArgument(
+        "fs.intent_apply_batch must be >= 1 when fs.async_metadata_commit is on");
+  }
+  return hops::Status::Ok();
+}
+
+}  // namespace
+
+MiniCluster::MiniCluster(MiniClusterOptions options, std::unique_ptr<kv::Engine> db,
                          MetadataSchema schema)
     : options_(std::move(options)), db_(std::move(db)), schema_(schema) {}
 
 hops::Result<std::unique_ptr<MiniCluster>> MiniCluster::Start(MiniClusterOptions options) {
+  // HOPS_KV_ENGINE wins over the configured backend, so a whole test or
+  // bench binary can be re-run against the other engine without a rebuild.
+  if (const char* env = std::getenv("HOPS_KV_ENGINE"); env != nullptr && *env != '\0') {
+    auto kind = kv::ParseEngineKind(env);
+    if (!kind) {
+      return hops::Status::InvalidArgument(
+          std::string("unrecognized HOPS_KV_ENGINE value: ") + env);
+    }
+    options.fs.kv_engine = *kind;
+  }
+  HOPS_RETURN_IF_ERROR(ValidateOptions(options));
   if (options.db.mux_adaptive_gather_auto) {
     // Default-on policy for the mux gather delay: with >= 4 handlers per
     // namenode there is nearly always a trailing window microseconds away
     // worth waiting for; below that the delay buys nothing and costs idle
-    // wakeups (bench_fig07's gather sweep is the justification).
-    options.db.mux_adaptive_gather = options.fs.num_handlers >= 4;
+    // wakeups (bench_fig07's gather sweep is the justification). The OCC
+    // engine has no mux, so the policy resolves to off there.
+    options.db.mux_adaptive_gather =
+        options.fs.kv_engine == kv::EngineKind::kNdb && options.fs.num_handlers >= 4;
   }
-  auto db = std::make_unique<ndb::Cluster>(options.db);
+  auto db = kv::MakeEngine(options.fs.kv_engine, options.db);
   HOPS_ASSIGN_OR_RETURN(schema, MetadataSchema::Format(*db));
   std::unique_ptr<MiniCluster> cluster(
       new MiniCluster(std::move(options), std::move(db), schema));

@@ -11,12 +11,12 @@
 #include "hopsfs/datanode.h"
 #include "hopsfs/namenode.h"
 #include "hopsfs/schema.h"
-#include "ndb/cluster.h"
+#include "kv/kv.h"
 
 namespace hops::fs {
 
 struct MiniClusterOptions {
-  ndb::ClusterConfig db;
+  kv::EngineConfig db;
   FsConfig fs;
   int num_namenodes = 2;
   int num_datanodes = 3;
@@ -70,7 +70,7 @@ class MiniCluster {
   // namenode) that trailing windows are usually in flight to merge with.
   static hops::Result<std::unique_ptr<MiniCluster>> Start(MiniClusterOptions options);
 
-  ndb::Cluster& db() { return *db_; }
+  kv::Engine& db() { return *db_; }
   const MetadataSchema& schema() const { return schema_; }
   const FsConfig& fs_config() const { return options_.fs; }
 
@@ -123,12 +123,12 @@ class MiniCluster {
   hops::Status PipelineWrite(const LocatedBlock& block);
 
  private:
-  MiniCluster(MiniClusterOptions options, std::unique_ptr<ndb::Cluster> db,
+  MiniCluster(MiniClusterOptions options, std::unique_ptr<kv::Engine> db,
               MetadataSchema schema);
   void InstallDatanodePicker(Namenode& nn);
 
   MiniClusterOptions options_;
-  std::unique_ptr<ndb::Cluster> db_;
+  std::unique_ptr<kv::Engine> db_;
   MetadataSchema schema_;
   // Guards namenodes_/retired_ against the chaos conductor restarting slots
   // while client threads pick namenodes. Held only for slot access; the

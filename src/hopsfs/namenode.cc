@@ -19,8 +19,8 @@ namespace {
 // Permission bits wanted by CheckAccess.
 constexpr int kRead = 4, kWrite = 2, kExec = 1;
 
-ndb::Key InodeKey(InodeId parent, const std::string& name) {
-  return ndb::Key{parent, name};
+kv::Key InodeKey(InodeId parent, const std::string& name) {
+  return kv::Key{parent, name};
 }
 
 FileStatus StatusFromInode(const Inode& n, std::string path) {
@@ -46,14 +46,14 @@ hops::Result<int64_t> IdAllocator::Next() {
   std::lock_guard<std::mutex> lock(mu_);
   if (next_ >= limit_) {
     for (int attempt = 0; attempt < 16; ++attempt) {
-      auto tx = db_->Begin(ndb::TxHint{schema_->variables, static_cast<uint64_t>(var_id_)});
-      auto row = tx->Read(schema_->variables, {var_id_}, ndb::LockMode::kExclusive);
+      auto tx = db_->Begin(kv::TxHint{schema_->variables, static_cast<uint64_t>(var_id_)});
+      auto row = tx->Read(schema_->variables, {var_id_}, kv::LockMode::kExclusive);
       if (!row.ok()) {
         if (row.status().IsRetryableTx()) continue;
         return row.status();
       }
       int64_t base = (*row)[col::kVarValue].i64();
-      hops::Status st = tx->Update(schema_->variables, ndb::Row{var_id_, base + chunk_});
+      hops::Status st = tx->Update(schema_->variables, kv::Row{var_id_, base + chunk_});
       if (!st.ok()) continue;
       st = tx->Commit();
       if (st.ok()) {
@@ -70,7 +70,7 @@ hops::Result<int64_t> IdAllocator::Next() {
 
 // --- Construction ------------------------------------------------------------
 
-Namenode::Namenode(ndb::Cluster* db, const MetadataSchema* schema, const FsConfig* config,
+Namenode::Namenode(kv::Engine* db, const MetadataSchema* schema, const FsConfig* config,
                    std::string location)
     : db_(db),
       schema_(schema),
@@ -168,14 +168,14 @@ void Namenode::PrimeHintApplied() {
   // retained backlog, and ack those heads so this namenode's arrival does
   // not hold back the leader's ack-based GC.
   if (!config_->hint_proactive_invalidation) return;
-  auto tx = db_->Begin(ndb::TxHint{schema_->hint_heads, 0});
+  auto tx = db_->Begin(kv::TxHint{schema_->hint_heads, 0});
   auto heads = tx->FullTableScan(schema_->hint_heads);
   if (!heads.ok()) {
     if (tx->active()) tx->Abort();
     return;  // first drain replays the backlog: over-invalidation, safe
   }
   const int64_t now = MonotonicMicros();
-  ndb::WriteBatch acks;
+  kv::WriteBatch acks;
   {
     std::lock_guard<std::mutex> lock(hint_applied_mu_);
     for (const auto& row : *heads) {
@@ -183,7 +183,7 @@ void Namenode::PrimeHintApplied() {
       const int64_t head = row[col::kHintHeadNext].i64();
       hint_applied_[publisher] = head - 1;
       if (publisher != id_safe()) {
-        acks.Write(schema_->hint_acks, ndb::Row{id_safe(), publisher, head - 1, now});
+        acks.Write(schema_->hint_acks, kv::Row{id_safe(), publisher, head - 1, now});
       }
     }
   }
@@ -284,20 +284,20 @@ void Namenode::AppendHintPublishes(std::vector<HintPublishEvent> events) {
   const NamenodeId self = id_safe();
   const std::string paths = EncodeHintPaths(prefixes);
   for (int attempt = 0; attempt < 8; ++attempt) {
-    auto tx = db_->Begin(ndb::TxHint{schema_->hint_heads, static_cast<uint64_t>(self)});
+    auto tx = db_->Begin(kv::TxHint{schema_->hint_heads, static_cast<uint64_t>(self)});
     hops::Status st;
     if (config_->hint_global_seq_lock) {
       // Ablation: reproduce the pre-sharding global serialization point --
       // every publisher X-locks this one variables row until commit.
       auto legacy = tx->Read(schema_->variables, {kVarNextHintInvalidationSeq},
-                             ndb::LockMode::kExclusive);
+                             kv::LockMode::kExclusive);
       if (!legacy.ok()) {
         if (tx->active()) tx->Abort();
         if (legacy.status().IsRetryableTx()) continue;
         return;  // best effort: remote namenodes fall back to lazy repair
       }
       st = tx->Update(schema_->variables,
-                      ndb::Row{kVarNextHintInvalidationSeq,
+                      kv::Row{kVarNextHintInvalidationSeq,
                                (*legacy)[col::kVarValue].i64() + 1});
       if (!st.ok()) {
         if (tx->active()) tx->Abort();
@@ -311,7 +311,7 @@ void Namenode::AppendHintPublishes(std::vector<HintPublishEvent> events) {
     // drainer that read head h under a shared lock has every record below h
     // committed. No other namenode ever X-locks this row.
     int64_t seq = 1;
-    auto head = tx->Read(schema_->hint_heads, {self}, ndb::LockMode::kExclusive);
+    auto head = tx->Read(schema_->hint_heads, {self}, kv::LockMode::kExclusive);
     if (head.ok()) {
       seq = (*head)[col::kHintHeadNext].i64();
     } else if (head.status().code() != hops::StatusCode::kNotFound) {
@@ -322,8 +322,8 @@ void Namenode::AppendHintPublishes(std::vector<HintPublishEvent> events) {
     // Monotonic stamp: the GC cutoff must never move backwards under an
     // NTP step (namenodes share a process in this reproduction).
     st = tx->Insert(schema_->hint_invalidations,
-                    ndb::Row{self, seq, op, paths, MonotonicMicros()});
-    if (st.ok()) st = tx->Write(schema_->hint_heads, ndb::Row{self, seq + 1});
+                    kv::Row{self, seq, op, paths, MonotonicMicros()});
+    if (st.ok()) st = tx->Write(schema_->hint_heads, kv::Row{self, seq + 1});
     if (st.ok()) st = tx->Commit();
     if (st.ok()) {
       hint_publish_events_.fetch_add(1, std::memory_order_relaxed);
@@ -370,11 +370,11 @@ void Namenode::DrainHintInvalidations() {
   };
   std::vector<PeerRange> ranges;
   {
-    auto tx = db_->Begin(ndb::TxHint{schema_->hint_heads,
+    auto tx = db_->Begin(kv::TxHint{schema_->hint_heads,
                                      static_cast<uint64_t>(peers.front())});
-    ndb::ReadBatch heads;
+    kv::ReadBatch heads;
     for (NamenodeId nn : peers) {
-      heads.Get(schema_->hint_heads, {nn}, ndb::LockMode::kShared);
+      heads.Get(schema_->hint_heads, {nn}, kv::LockMode::kShared);
     }
     if (!tx->Execute(heads).ok()) {
       if (tx->active()) tx->Abort();
@@ -402,10 +402,10 @@ void Namenode::DrainHintInvalidations() {
   // records the leader already reaped come back as empty slots. A namenode
   // that missed enough ticks to face an implausibly wide range falls back
   // to one pruned scan per oversized publisher partition.
-  auto tx = db_->Begin(ndb::TxHint{schema_->hint_invalidations,
+  auto tx = db_->Begin(kv::TxHint{schema_->hint_invalidations,
                                    static_cast<uint64_t>(ranges.front().nn)});
-  std::vector<ndb::Row> records;
-  std::vector<ndb::Key> keys;
+  std::vector<kv::Row> records;
+  std::vector<kv::Key> keys;
   for (const PeerRange& r : ranges) {
     if (r.to - r.from > 4096) {
       auto rows = tx->Ppis(schema_->hint_invalidations, {r.nn});
@@ -427,7 +427,7 @@ void Namenode::DrainHintInvalidations() {
   }
   if (!keys.empty()) {
     auto got = tx->BatchRead(schema_->hint_invalidations, keys,
-                             ndb::LockMode::kReadCommitted);
+                             kv::LockMode::kReadCommitted);
     if (!got.ok()) {
       if (tx->active()) tx->Abort();
       return;
@@ -447,10 +447,10 @@ void Namenode::DrainHintInvalidations() {
   // must not depend on the ack commit (acks only gate GC; re-applying is
   // idempotent, skipping is not).
   const int64_t now = MonotonicMicros();
-  ndb::WriteBatch acks;
+  kv::WriteBatch acks;
   for (const PeerRange& r : ranges) {
     hint_applied_[r.nn] = r.to - 1;
-    acks.Write(schema_->hint_acks, ndb::Row{id_safe(), r.nn, r.to - 1, now});
+    acks.Write(schema_->hint_acks, kv::Row{id_safe(), r.nn, r.to - 1, now});
   }
   if (!tx->Execute(acks).ok()) {
     if (tx->active()) tx->Abort();
@@ -466,8 +466,8 @@ void Namenode::SetDatanodePicker(std::function<std::vector<DatanodeId>(int)> pic
 
 // --- Transaction runner ------------------------------------------------------
 
-hops::Status Namenode::RunTx(std::optional<ndb::TxHint> hint,
-                             const std::function<hops::Status(ndb::Transaction&)>& body,
+hops::Status Namenode::RunTx(std::optional<kv::TxHint> hint,
+                             const std::function<hops::Status(kv::Txn&)>& body,
                              bool inline_read) {
   int subtree_waits = 0;
   bool want_trace;
@@ -509,6 +509,15 @@ hops::Status Namenode::RunTx(std::optional<ndb::TxHint> hint,
       continue;
     }
     if (st.IsRetryableTx()) {
+      if (st.code() == hops::StatusCode::kConflict) {
+        // OCC commit-time validation lost the race. Unlike a lock timeout
+        // (where the 2PL engine already made us wait our turn), an optimistic
+        // conflict returns instantly, so immediate retries of hot-key
+        // contenders livelock each other. Back off with a capped exponential
+        // delay before re-running the whole optimistic attempt.
+        auto backoff = std::chrono::microseconds(50) * (1 << std::min(attempt, 6));
+        std::this_thread::sleep_for(backoff);
+      }
       ++attempt;
       continue;
     }
@@ -518,8 +527,8 @@ hops::Status Namenode::RunTx(std::optional<ndb::TxHint> hint,
 }
 
 hops::Status Namenode::RunTxAttempt(
-    std::optional<ndb::TxHint> hint,
-    const std::function<hops::Status(ndb::Transaction&)>& body, bool want_trace,
+    std::optional<kv::TxHint> hint,
+    const std::function<hops::Status(kv::Txn&)>& body, bool want_trace,
     bool background, bool latency_sensitive) {
   HOPS_RETURN_IF_ERROR(CheckAlive());
   auto tx = db_->Begin(hint);
@@ -542,8 +551,8 @@ hops::Status Namenode::RunTxAttempt(
 // --- Path resolution & locking (Figure 4, lines 1-6) -------------------------
 
 Namenode::SpeculativeRider Namenode::StageSpeculativeFanout(
-    ndb::Transaction& tx, const std::vector<std::string>& components,
-    std::initializer_list<ndb::TableId> tables) {
+    kv::Txn& tx, const std::vector<std::string>& components,
+    std::initializer_list<kv::TableId> tables) {
   SpeculativeRider rider;
   if (components.size() < 2) return rider;
   // Non-counting probe: ResolveAndLock performs the counted lookup for the
@@ -561,15 +570,15 @@ Namenode::SpeculativeRider Namenode::StageSpeculativeFanout(
   const uint32_t part = db_->PartitionForValue(static_cast<uint64_t>(candidate));
   if (!db_->PrimaryNode(part).has_value()) return rider;
   rider.hinted = candidate;
-  rider.batch = std::make_unique<ndb::ReadBatch>();
-  for (ndb::TableId table : tables) rider.batch->Scan(table, {candidate});
+  rider.batch = std::make_unique<kv::ReadBatch>();
+  for (kv::TableId table : tables) rider.batch->Scan(table, {candidate});
   rider.pending = tx.ExecuteAsync(*rider.batch);
   rider.flushed_early = rider.pending.done();
   return rider;
 }
 
 Namenode::SpeculativeRider Namenode::StageAddBlockFanout(
-    ndb::Transaction& tx, const std::vector<std::string>& components) {
+    kv::Txn& tx, const std::vector<std::string>& components) {
   SpeculativeRider rider;
   if (components.size() < 2) return rider;
   auto hints = hint_cache_.PeekChain(components).hints;
@@ -580,14 +589,14 @@ Namenode::SpeculativeRider Namenode::StageAddBlockFanout(
   const uint32_t part = db_->PartitionForValue(static_cast<uint64_t>(candidate));
   if (!db_->PrimaryNode(part).has_value()) return rider;
   rider.hinted = candidate;
-  rider.batch = std::make_unique<ndb::ReadBatch>();
+  rider.batch = std::make_unique<kv::ReadBatch>();
   // The lease X-lock rides ahead of the inode lock. The lease protocol
   // admits one writer per file, so no two writers race this file's lease
   // row, and a reader never locks it -- the inverted lock order cannot
   // produce a deadlock that a lock timeout + retry does not already cover.
   // A stale hint's discard must UnlockRow the hinted lease (the caller's
   // job) because, unlike the read-only riders, this one locks what it read.
-  rider.batch->Get(schema_->leases, {candidate}, ndb::LockMode::kExclusive);
+  rider.batch->Get(schema_->leases, {candidate}, kv::LockMode::kExclusive);
   rider.batch->Scan(schema_->blocks, {candidate});
   rider.pending = tx.ExecuteAsync(*rider.batch);
   rider.flushed_early = rider.pending.done();
@@ -608,9 +617,9 @@ Namenode::InodePvPair Namenode::InodePvCandidates(int depth, InodeId parent,
   return p;
 }
 
-hops::Result<Namenode::ReadInodeOut> Namenode::ReadInode(ndb::Transaction& tx, InodeId parent,
+hops::Result<Namenode::ReadInodeOut> Namenode::ReadInode(kv::Txn& tx, InodeId parent,
                                                          const std::string& name, int depth,
-                                                         ndb::LockMode mode) {
+                                                         kv::LockMode mode) {
   // Rows that crossed the random-partition depth boundary in a move keep
   // their insert-time partition, so the row may live under either rule. Both
   // probes go out in one batched read instead of primary-then-alternate.
@@ -621,7 +630,7 @@ hops::Result<Namenode::ReadInodeOut> Namenode::ReadInode(ndb::Transaction& tx, I
     if (row.status().code() != hops::StatusCode::kNotFound) return row.status();
     return hops::Status::NotFound("no inode " + name);
   }
-  ndb::ReadBatch batch;
+  kv::ReadBatch batch;
   size_t primary_slot = batch.Get(schema_->inodes, InodeKey(parent, name), mode, pv.primary);
   size_t alternate_slot =
       batch.Get(schema_->inodes, InodeKey(parent, name), mode, pv.alternate);
@@ -636,13 +645,13 @@ hops::Result<Namenode::ReadInodeOut> Namenode::ReadInode(ndb::Transaction& tx, I
 }
 
 hops::Result<std::vector<std::optional<Namenode::ReadInodeOut>>> Namenode::ReadLockItemsBatched(
-    ndb::Transaction& tx, const std::vector<LockItem>& items) {
+    kv::Txn& tx, const std::vector<LockItem>& items) {
   // kStagedOrder: the batch must not re-sort the lock waits into the global
   // (table, partition, key) order, because the rename deadlock-freedom
   // argument is the *path* total order -- the one mkdir/create/delete follow
   // when they lock parent before target one row at a time. Two crossing
   // renames therefore queue on their first common item instead of cycling.
-  ndb::ReadBatch batch(ndb::BatchLockOrder::kStagedOrder);
+  kv::ReadBatch batch(kv::BatchLockOrder::kStagedOrder);
   struct Slots {
     size_t primary = 0;
     size_t alternate = SIZE_MAX;
@@ -664,14 +673,14 @@ hops::Result<std::vector<std::optional<Namenode::ReadInodeOut>>> Namenode::ReadL
     if (alternate_first) {
       s.alternate_pv = pv.alternate;
       s.alternate = batch.Get(schema_->inodes, InodeKey(item.parent, item.name),
-                              ndb::LockMode::kExclusive, pv.alternate);
+                              kv::LockMode::kExclusive, pv.alternate);
     }
     s.primary = batch.Get(schema_->inodes, InodeKey(item.parent, item.name),
-                          ndb::LockMode::kExclusive, pv.primary);
+                          kv::LockMode::kExclusive, pv.primary);
     if (pv.dual && !alternate_first) {
       s.alternate_pv = pv.alternate;
       s.alternate = batch.Get(schema_->inodes, InodeKey(item.parent, item.name),
-                              ndb::LockMode::kExclusive, pv.alternate);
+                              kv::LockMode::kExclusive, pv.alternate);
     }
     slots.push_back(s);
   }
@@ -688,7 +697,7 @@ hops::Result<std::vector<std::optional<Namenode::ReadInodeOut>>> Namenode::ReadL
   return out;
 }
 
-hops::Status Namenode::CheckSubtreeLock(ndb::Transaction& tx, Inode& inode, uint64_t pv) {
+hops::Status Namenode::CheckSubtreeLock(kv::Txn& tx, Inode& inode, uint64_t pv) {
   if (inode.subtree_lock_owner == kNoSubtreeLock) return hops::Status::Ok();
   if (inode.subtree_lock_owner == id_safe()) {
     // Our own flag. If the owning subtree operation is still in flight on
@@ -707,7 +716,7 @@ hops::Status Namenode::CheckSubtreeLock(ndb::Transaction& tx, Inode& inode, uint
   return tx.Update(schema_->inodes, ToRow(inode), pv);
 }
 
-hops::Status Namenode::ResolveSuffix(ndb::Transaction& tx,
+hops::Status Namenode::ResolveSuffix(kv::Txn& tx,
                                      const std::vector<std::string>& components, size_t from,
                                      std::vector<Inode>& chain, uint64_t hint_epoch) {
   // chain holds [root, inode(components[0]) .. inode(components[from-1])];
@@ -715,7 +724,7 @@ hops::Status Namenode::ResolveSuffix(ndb::Transaction& tx,
   for (size_t i = from; i + 1 < components.size(); ++i) {
     InodeId parent = chain.back().id;
     auto out = ReadInode(tx, parent, components[i], static_cast<int>(i) + 1,
-                         ndb::LockMode::kReadCommitted);
+                         kv::LockMode::kReadCommitted);
     if (!out.ok()) return out.status();
     hint_cache_.Put(components, i, parent, out->inode.id, hint_epoch, out->inode.is_dir);
     chain.push_back(std::move(out->inode));
@@ -724,7 +733,7 @@ hops::Status Namenode::ResolveSuffix(ndb::Transaction& tx,
 }
 
 hops::Result<Namenode::Resolved> Namenode::ResolveAndLock(
-    ndb::Transaction& tx, const std::vector<std::string>& components, const LockSpec& spec) {
+    kv::Txn& tx, const std::vector<std::string>& components, const LockSpec& spec) {
   Resolved r;
   r.components = components;
   r.chain.push_back(root_);
@@ -756,15 +765,15 @@ hops::Result<Namenode::Resolved> Namenode::ResolveAndLock(
     if (hints.size() >= n - 1) {
       // Single batched primary-key read for the whole interior (1 round trip
       // instead of N-1), plus the target when its hint is cached too.
-      ndb::ReadBatch batch;
+      kv::ReadBatch batch;
       std::vector<uint64_t> pvs;
       const size_t batched = try_target ? n : n - 1;
       pvs.reserve(batched);
       for (size_t i = 0; i < batched; ++i) {
         InodeId parent = i == 0 ? kRootInode : hints[i - 1].inode_id;
         uint64_t pv = InodePv(static_cast<int>(i) + 1, parent, components[i]);
-        ndb::LockMode mode =
-            i + 1 == n ? spec.target_mode : ndb::LockMode::kReadCommitted;
+        kv::LockMode mode =
+            i + 1 == n ? spec.target_mode : kv::LockMode::kReadCommitted;
         batch.Get(schema_->inodes, InodeKey(parent, components[i]), mode, pv);
         pvs.push_back(pv);
       }
@@ -797,7 +806,7 @@ hops::Result<Namenode::Resolved> Namenode::ResolveAndLock(
         // read below retries both partition rules.
       }
       if (try_target && !target_from_batch &&
-          spec.target_mode != ndb::LockMode::kReadCommitted) {
+          spec.target_mode != kv::LockMode::kReadCommitted) {
         // The batch locked the target key derived from an (evidently stale)
         // hint; drop that lock before falling back so an unrelated live row
         // is not pinned for the rest of the transaction.
@@ -832,7 +841,7 @@ hops::Result<Namenode::Resolved> Namenode::ResolveAndLock(
     // Re-read the parent with an exclusive lock; the RC copy may be stale.
     Inode& rc_parent = r.chain[n - 1];
     auto locked = ReadInode(tx, rc_parent.parent_id, rc_parent.name,
-                            static_cast<int>(n) - 1, ndb::LockMode::kExclusive);
+                            static_cast<int>(n) - 1, kv::LockMode::kExclusive);
     if (!locked.ok()) {
       if (locked.status().code() == hops::StatusCode::kNotFound) {
         return hops::Status::TxAborted("parent vanished during resolution");
@@ -895,14 +904,14 @@ hops::Result<Namenode::Resolved> Namenode::ResolveAndLock(
   // operation's phase-1 flag. Combined with the quiesce scan's
   // take-and-release locks this closes the window where a mutation could
   // slip under an in-flight subtree operation unnoticed.
-  if (spec.target_mode == ndb::LockMode::kExclusive && n >= 2) {
-    std::vector<ndb::Key> keys;
+  if (spec.target_mode == kv::LockMode::kExclusive && n >= 2) {
+    std::vector<kv::Key> keys;
     std::vector<uint64_t> pvs;
     for (size_t i = 0; i + 1 < n; ++i) {
       keys.push_back(InodeKey(r.chain[i].id, components[i]));
       pvs.push_back(r.chain_pvs[i + 1]);
     }
-    auto fresh = tx.BatchRead(schema_->inodes, keys, ndb::LockMode::kReadCommitted, &pvs);
+    auto fresh = tx.BatchRead(schema_->inodes, keys, kv::LockMode::kReadCommitted, &pvs);
     if (!fresh.ok()) return fresh.status();
     for (size_t i = 0; i + 1 < n; ++i) {
       const auto& slot = (*fresh)[i];
@@ -943,23 +952,23 @@ hops::Status Namenode::CheckPathTraversal(const Resolved& r, const UserContext& 
 
 // --- Quota bookkeeping -----------------------------------------------------------
 
-hops::Status Namenode::UpdateQuotaUsage(ndb::Transaction& tx,
+hops::Status Namenode::UpdateQuotaUsage(kv::Txn& tx,
                                         const std::vector<Inode>& ancestors,
                                         int64_t ns_delta, int64_t ss_delta, bool enforce) {
   if (ns_delta == 0 && ss_delta == 0) return hops::Status::Ok();
   // Lock and read every quota row along the chain in one batched round trip
   // (the batch's global lock order keeps concurrent quota updaters
   // deadlock-free), then stage the adjustments in one write batch.
-  ndb::ReadBatch reads;
+  kv::ReadBatch reads;
   std::vector<const Inode*> quota_dirs;
   for (const Inode& dir : ancestors) {
     if (!dir.has_quota) continue;
-    reads.Get(schema_->quotas, {dir.id}, ndb::LockMode::kExclusive);
+    reads.Get(schema_->quotas, {dir.id}, kv::LockMode::kExclusive);
     quota_dirs.push_back(&dir);
   }
   if (quota_dirs.empty()) return hops::Status::Ok();
   HOPS_RETURN_IF_ERROR(tx.Execute(reads));
-  ndb::WriteBatch writes;
+  kv::WriteBatch writes;
   for (size_t i = 0; i < quota_dirs.size(); ++i) {
     if (!reads.row(i).has_value()) continue;  // racing clear
     DirectoryQuota q = QuotaFromRow(*reads.row(i));
@@ -980,9 +989,9 @@ hops::Status Namenode::UpdateQuotaUsage(ndb::Transaction& tx,
 
 // --- Children listing --------------------------------------------------------
 
-hops::Result<std::vector<ndb::Row>> Namenode::ScanChildren(ndb::Transaction& tx,
+hops::Result<std::vector<kv::Row>> Namenode::ScanChildren(kv::Txn& tx,
                                                            const Inode& dir, int dir_depth,
-                                                           const ndb::ScanOptions& opts) {
+                                                           const kv::ScanOptions& opts) {
   if (ChildrenArePruned(dir_depth, config_->random_partition_depth)) {
     // All children share the parent's shard: one partition-pruned scan.
     return tx.Ppis(schema_->inodes, {dir.id}, opts, ChildrenPartitionValue(dir.id));
@@ -1009,9 +1018,9 @@ hops::Status Namenode::MkdirsSync(const std::vector<std::string>& components,
     std::vector<std::string> prefix(components.begin(), components.begin() + depth);
     uint64_t hint_pv = InodePv(static_cast<int>(depth), 0, prefix.back());
     hops::Status st = RunTx(
-        ndb::TxHint{schema_->inodes, hint_pv}, [&](ndb::Transaction& tx) -> hops::Status {
+        kv::TxHint{schema_->inodes, hint_pv}, [&](kv::Txn& tx) -> hops::Status {
           LockSpec spec;
-          spec.target_mode = ndb::LockMode::kExclusive;
+          spec.target_mode = kv::LockMode::kExclusive;
           spec.lock_parent = true;
           spec.target_must_exist = false;
           HOPS_ASSIGN_OR_RETURN(r, ResolveAndLock(tx, prefix, spec));
@@ -1062,10 +1071,10 @@ hops::Status Namenode::CreateSync(const std::vector<std::string>& components,
                                   const std::string& client_name, const UserContext& user) {
   const std::string path = JoinPath(components);
   uint64_t hint_pv = InodePv(static_cast<int>(components.size()), 0, components.back());
-  return RunTx(ndb::TxHint{schema_->inodes, hint_pv},
-               [&](ndb::Transaction& tx) -> hops::Status {
+  return RunTx(kv::TxHint{schema_->inodes, hint_pv},
+               [&](kv::Txn& tx) -> hops::Status {
                  LockSpec spec;
-                 spec.target_mode = ndb::LockMode::kExclusive;
+                 spec.target_mode = kv::LockMode::kExclusive;
                  spec.lock_parent = true;
                  spec.target_must_exist = false;
                  HOPS_ASSIGN_OR_RETURN(r, ResolveAndLock(tx, components, spec));
@@ -1128,9 +1137,9 @@ hops::Status Namenode::MkdirsAsync(const std::vector<std::string>& components,
   if (!intents_->HasPendingPrefix(JoinPath(components))) {
     hops::Status fast = RunTx(
         std::nullopt,
-        [&](ndb::Transaction& tx) -> hops::Status {
+        [&](kv::Txn& tx) -> hops::Status {
           LockSpec spec;
-          spec.target_mode = ndb::LockMode::kReadCommitted;
+          spec.target_mode = kv::LockMode::kReadCommitted;
           spec.lock_parent = false;
           spec.target_must_exist = false;
           HOPS_ASSIGN_OR_RETURN(r, ResolveAndLock(tx, components, spec));
@@ -1158,7 +1167,7 @@ hops::Status Namenode::MkdirsAsync(const std::vector<std::string>& components,
     std::vector<Inode> chain;
     hops::Status st = RunTx(
         std::nullopt,
-        [&](ndb::Transaction& tx) -> hops::Status {
+        [&](kv::Txn& tx) -> hops::Status {
           known = 0;
           pending_mode = false;
           chain.clear();
@@ -1169,7 +1178,7 @@ hops::Status Namenode::MkdirsAsync(const std::vector<std::string>& components,
             auto p = intents_->LookupPending(prefix);
             if (p && !p->is_dir) return hops::Status::NotDirectory(prefix);
             auto out = ReadInode(tx, chain.back().id, components[i], static_cast<int>(i) + 1,
-                                 ndb::LockMode::kReadCommitted);
+                                 kv::LockMode::kReadCommitted);
             if (out.ok()) {
               if (!out->inode.is_dir) return hops::Status::NotDirectory(prefix);
               HOPS_RETURN_IF_ERROR(CheckAccess(chain.back(), user, kExec));
@@ -1242,10 +1251,10 @@ hops::Status Namenode::CreateAsync(const std::vector<std::string>& components,
   if (!intents_->HasPendingPrefix(target)) {
     uint64_t hint_pv = InodePv(static_cast<int>(n), 0, components.back());
     hops::Status st = RunTx(
-        ndb::TxHint{schema_->inodes, hint_pv},
-        [&](ndb::Transaction& tx) -> hops::Status {
+        kv::TxHint{schema_->inodes, hint_pv},
+        [&](kv::Txn& tx) -> hops::Status {
           LockSpec spec;
-          spec.target_mode = ndb::LockMode::kReadCommitted;
+          spec.target_mode = kv::LockMode::kReadCommitted;
           spec.lock_parent = false;
           spec.target_must_exist = false;
           HOPS_ASSIGN_OR_RETURN(r, ResolveAndLock(tx, components, spec));
@@ -1281,7 +1290,7 @@ hops::Status Namenode::CreateAsync(const std::vector<std::string>& components,
     for (int restart = 0;; ++restart) {
       if (restart == 64) return hops::Status::TxAborted("create validation kept racing applies");
       bool applied_mid_walk = false;
-      st = RunTx(std::nullopt, [&](ndb::Transaction& tx) -> hops::Status {
+      st = RunTx(std::nullopt, [&](kv::Txn& tx) -> hops::Status {
         applied_mid_walk = false;
         std::vector<Inode> chain;
         chain.push_back(root_);
@@ -1303,7 +1312,7 @@ hops::Status Namenode::CreateAsync(const std::vector<std::string>& components,
             return hops::Status::Ok();
           }
           auto out = ReadInode(tx, chain.back().id, components[i], static_cast<int>(i) + 1,
-                               ndb::LockMode::kReadCommitted);
+                               kv::LockMode::kReadCommitted);
           if (out.ok()) {
             if (!out->inode.is_dir) return hops::Status::NotDirectory(prefix);
             HOPS_RETURN_IF_ERROR(CheckAccess(chain.back(), user, kExec));
@@ -1321,7 +1330,7 @@ hops::Status Namenode::CreateAsync(const std::vector<std::string>& components,
         // Full committed parent chain: probe the target's committed row too.
         HOPS_RETURN_IF_ERROR(CheckAccess(chain.back(), user, kWrite));
         auto out = ReadInode(tx, chain.back().id, components[n - 1], static_cast<int>(n),
-                             ndb::LockMode::kReadCommitted);
+                             kv::LockMode::kReadCommitted);
         if (out.ok()) {
           return out->inode.is_dir ? hops::Status::IsDirectory(target)
                                    : hops::Status::AlreadyExists(target);
@@ -1379,9 +1388,9 @@ hops::Status Namenode::ApplyIntent(const IntentRecord& rec) {
 
 void Namenode::AdoptOrphanedIntents(bool include_self) {
   if (intents_ == nullptr || !alive_) return;
-  std::vector<ndb::Row> rows;
+  std::vector<kv::Row> rows;
   {
-    auto tx = db_->Begin(ndb::TxHint{schema_->op_intents, static_cast<uint64_t>(id_safe())});
+    auto tx = db_->Begin(kv::TxHint{schema_->op_intents, static_cast<uint64_t>(id_safe())});
     auto scan = tx->FullTableScan(schema_->op_intents);
     if (!scan.ok()) {
       if (tx->active()) tx->Abort();
@@ -1430,7 +1439,7 @@ void Namenode::AdoptOrphanedIntents(bool include_self) {
     // row per retired id is the price of monotonic sequences.
     for (int attempt = 0; attempt < 8; ++attempt) {
       auto tx =
-          db_->Begin(ndb::TxHint{schema_->op_intents, static_cast<uint64_t>(publisher)});
+          db_->Begin(kv::TxHint{schema_->op_intents, static_cast<uint64_t>(publisher)});
       hops::Status st = hops::Status::Ok();
       for (const IntentRecord& rec : recs) {
         st = tx->Delete(schema_->op_intents, {rec.nn, rec.seq});
@@ -1457,13 +1466,13 @@ hops::Result<LocatedBlock> Namenode::AddBlock(const std::string& path,
   LocatedBlock result;
   uint64_t hint_pv = InodePv(static_cast<int>(components.size()), 0, components.back());
   hops::Status st = RunTx(
-      ndb::TxHint{schema_->inodes, hint_pv}, [&](ndb::Transaction& tx) -> hops::Status {
+      kv::TxHint{schema_->inodes, hint_pv}, [&](kv::Txn& tx) -> hops::Status {
         // Speculative fan-out (§5.1 hint reuse): the lease X-lock (slot 0)
         // and the blocks scan (slot 1) ride the resolution window, so a warm
         // addBlock costs one round-trip window before its write batch.
         SpeculativeRider rider = StageAddBlockFanout(tx, components);
         LockSpec spec;
-        spec.target_mode = ndb::LockMode::kExclusive;
+        spec.target_mode = kv::LockMode::kExclusive;
         HOPS_ASSIGN_OR_RETURN(r, ResolveAndLock(tx, components, spec));
         HOPS_RETURN_IF_ERROR(CheckPathTraversal(r, user));
         Inode& file = r.target();
@@ -1471,10 +1480,10 @@ hops::Result<LocatedBlock> Namenode::AddBlock(const std::string& path,
         if (!file.under_construction) {
           return hops::Status::LeaseConflict(path + " is not under construction");
         }
-        ndb::ReadBatch lease_read;
-        ndb::ReadBatch block_fan;
-        const std::optional<ndb::Row>* lease_row = nullptr;
-        const std::vector<ndb::Row>* block_rows = nullptr;
+        kv::ReadBatch lease_read;
+        kv::ReadBatch block_fan;
+        const std::optional<kv::Row>* lease_row = nullptr;
+        const std::vector<kv::Row>* block_rows = nullptr;
         if (rider.Serveable(file.id, r.target_locked_in_batch)) {
           HOPS_RETURN_IF_ERROR(rider.pending.Wait());
           lease_row = &rider.batch->row(0);
@@ -1491,7 +1500,7 @@ hops::Result<LocatedBlock> Namenode::AddBlock(const std::string& path,
           // batches pipeline into one overlapped round-trip window instead
           // of chaining two trips.
           size_t lease_slot =
-              lease_read.Get(schema_->leases, {file.id}, ndb::LockMode::kExclusive);
+              lease_read.Get(schema_->leases, {file.id}, kv::LockMode::kExclusive);
           auto lease_pending = tx.ExecuteAsync(lease_read);
           // File-inode-related data lives in the file's shard: pruned scan.
           size_t blocks_slot = block_fan.Scan(schema_->blocks, {file.id});
@@ -1510,7 +1519,7 @@ hops::Result<LocatedBlock> Namenode::AddBlock(const std::string& path,
         // Commit the previous block (the client finished writing it) and
         // stage the new block + lookup + replica-under-construction rows in
         // one write batch.
-        ndb::WriteBatch writes;
+        kv::WriteBatch writes;
         int64_t next_index = 0;
         for (const auto& row : *block_rows) {
           Block b = BlockFromRow(row);
@@ -1529,7 +1538,7 @@ hops::Result<LocatedBlock> Namenode::AddBlock(const std::string& path,
         b.num_bytes = num_bytes;
         b.replication = file.replication;
         writes.Insert(schema_->blocks, ToRow(b));
-        writes.Insert(schema_->block_lookup, ndb::Row{block_id, file.id});
+        writes.Insert(schema_->block_lookup, kv::Row{block_id, file.id});
         std::vector<DatanodeId> targets;
         {
           std::lock_guard<std::mutex> lock(dn_picker_mu_);
@@ -1562,9 +1571,9 @@ hops::Status Namenode::CompleteFile(const std::string& path, const std::string& 
   WaitForPendingIntents(JoinPath(components));
   uint64_t hint_pv = InodePv(static_cast<int>(components.size()), 0, components.back());
   return RunTx(
-      ndb::TxHint{schema_->inodes, hint_pv}, [&](ndb::Transaction& tx) -> hops::Status {
+      kv::TxHint{schema_->inodes, hint_pv}, [&](kv::Txn& tx) -> hops::Status {
         LockSpec spec;
-        spec.target_mode = ndb::LockMode::kExclusive;
+        spec.target_mode = kv::LockMode::kExclusive;
         HOPS_ASSIGN_OR_RETURN(r, ResolveAndLock(tx, components, spec));
         HOPS_RETURN_IF_ERROR(CheckPathTraversal(r, user));
         Inode& file = r.target();
@@ -1572,22 +1581,22 @@ hops::Status Namenode::CompleteFile(const std::string& path, const std::string& 
         if (!file.under_construction) return hops::Status::Ok();  // idempotent
         // The lease lock and the block + RUC fan-out are independent; both
         // batches pipeline into one overlapped round-trip window.
-        ndb::ReadBatch lease_read;
+        kv::ReadBatch lease_read;
         size_t lease_slot =
-            lease_read.Get(schema_->leases, {file.id}, ndb::LockMode::kExclusive);
+            lease_read.Get(schema_->leases, {file.id}, kv::LockMode::kExclusive);
         auto lease_pending = tx.ExecuteAsync(lease_read);
-        ndb::ReadBatch fanout;
+        kv::ReadBatch fanout;
         size_t block_slot = fanout.Scan(schema_->blocks, {file.id});
         size_t ruc_slot = fanout.Scan(schema_->ruc, {file.id});
         auto fanout_pending = tx.ExecuteAsync(fanout);
         HOPS_RETURN_IF_ERROR(lease_pending.Wait());
         HOPS_RETURN_IF_ERROR(fanout_pending.Wait());
-        const std::optional<ndb::Row>& lease_row = lease_read.row(lease_slot);
+        const std::optional<kv::Row>& lease_row = lease_read.row(lease_slot);
         if (lease_row.has_value() && LeaseFromRow(*lease_row).holder != client_name) {
           return hops::Status::LeaseConflict(path + " is held by another client");
         }
         // ... and one batch staging every state flip.
-        ndb::WriteBatch writes;
+        kv::WriteBatch writes;
         for (const auto& row : fanout.rows(block_slot)) {
           Block b = BlockFromRow(row);
           if (b.state == BlockState::kUnderConstruction) {
@@ -1620,10 +1629,10 @@ hops::Status Namenode::Append(const std::string& path, const std::string& client
   if (components.empty()) return hops::Status::IsDirectory("/");
   WaitForPendingIntents(JoinPath(components));
   uint64_t hint_pv = InodePv(static_cast<int>(components.size()), 0, components.back());
-  return RunTx(ndb::TxHint{schema_->inodes, hint_pv},
-               [&](ndb::Transaction& tx) -> hops::Status {
+  return RunTx(kv::TxHint{schema_->inodes, hint_pv},
+               [&](kv::Txn& tx) -> hops::Status {
                  LockSpec spec;
-                 spec.target_mode = ndb::LockMode::kExclusive;
+                 spec.target_mode = kv::LockMode::kExclusive;
                  HOPS_ASSIGN_OR_RETURN(r, ResolveAndLock(tx, components, spec));
                  HOPS_RETURN_IF_ERROR(CheckPathTraversal(r, user));
                  Inode& file = r.target();
@@ -1648,7 +1657,7 @@ hops::Result<std::vector<LocatedBlock>> Namenode::GetBlockLocations(
   std::vector<LocatedBlock> blocks;
   uint64_t hint_pv = InodePv(static_cast<int>(components.size()), 0, components.back());
   hops::Status st = RunTx(
-      ndb::TxHint{schema_->inodes, hint_pv}, [&](ndb::Transaction& tx) -> hops::Status {
+      kv::TxHint{schema_->inodes, hint_pv}, [&](kv::Txn& tx) -> hops::Status {
         blocks.clear();
         // Speculative fan-out (§5.1 hint reuse): the block + replica scans
         // go in flight before resolution and share its window -- a warm
@@ -1657,7 +1666,7 @@ hops::Result<std::vector<LocatedBlock>> Namenode::GetBlockLocations(
         SpeculativeRider rider = StageSpeculativeFanout(
             tx, components, {schema_->blocks, schema_->replicas});
         LockSpec spec;
-        spec.target_mode = ndb::LockMode::kShared;
+        spec.target_mode = kv::LockMode::kShared;
         HOPS_ASSIGN_OR_RETURN(r, ResolveAndLock(tx, components, spec));
         HOPS_RETURN_IF_ERROR(CheckPathTraversal(r, user));
         Inode& file = r.target();
@@ -1665,9 +1674,9 @@ hops::Result<std::vector<LocatedBlock>> Namenode::GetBlockLocations(
         HOPS_RETURN_IF_ERROR(CheckAccess(file, user, kRead));
         // Both scans are pruned to the file's shard (Figure 3) and batched
         // into a single round trip: the block + replica fan-out of a read.
-        ndb::ReadBatch fanout;
-        const std::vector<ndb::Row>* block_rows = nullptr;
-        const std::vector<ndb::Row>* replica_rows = nullptr;
+        kv::ReadBatch fanout;
+        const std::vector<kv::Row>* block_rows = nullptr;
+        const std::vector<kv::Row>* replica_rows = nullptr;
         if (rider.Serveable(file.id, r.target_locked_in_batch)) {
           HOPS_RETURN_IF_ERROR(rider.pending.Wait());
           block_rows = &rider.batch->rows(0);
@@ -1710,7 +1719,7 @@ hops::Result<FileStatus> Namenode::GetFileInfo(const std::string& path,
   FileStatus status;
   uint64_t hint_pv = InodePv(static_cast<int>(components.size()), 0, components.back());
   hops::Status st =
-      RunTx(ndb::TxHint{schema_->inodes, hint_pv}, [&](ndb::Transaction& tx) -> hops::Status {
+      RunTx(kv::TxHint{schema_->inodes, hint_pv}, [&](kv::Txn& tx) -> hops::Status {
         // Speculative fan-out (the getBlockLocations pattern): the
         // block-count scan rides the resolution window, so a warm stat of a
         // file costs one overlapped round-trip window instead of two. A
@@ -1718,7 +1727,7 @@ hops::Result<FileStatus> Namenode::GetFileInfo(const std::string& path,
         SpeculativeRider rider =
             StageSpeculativeFanout(tx, components, {schema_->blocks});
         LockSpec spec;
-        spec.target_mode = ndb::LockMode::kShared;
+        spec.target_mode = kv::LockMode::kShared;
         HOPS_ASSIGN_OR_RETURN(r, ResolveAndLock(tx, components, spec));
         HOPS_RETURN_IF_ERROR(CheckPathTraversal(r, user));
         status = StatusFromInode(r.target(), JoinPath(components));
@@ -1752,7 +1761,7 @@ hops::Result<std::vector<FileStatus>> Namenode::ListStatus(const std::string& pa
                          ? RootPartitionValue()
                          : InodePv(static_cast<int>(components.size()), 0, components.back());
   hops::Status st = RunTx(
-      ndb::TxHint{schema_->inodes, hint_pv}, [&](ndb::Transaction& tx) -> hops::Status {
+      kv::TxHint{schema_->inodes, hint_pv}, [&](kv::Txn& tx) -> hops::Status {
         listing.clear();
         Inode dir = root_;
         int dir_depth = 0;
@@ -1760,7 +1769,7 @@ hops::Result<std::vector<FileStatus>> Namenode::ListStatus(const std::string& pa
           // The directory inode is shared-locked so the listing cannot see
           // phantom children (paper §5.2.1).
           LockSpec spec;
-          spec.target_mode = ndb::LockMode::kShared;
+          spec.target_mode = kv::LockMode::kShared;
           HOPS_ASSIGN_OR_RETURN(r, ResolveAndLock(tx, components, spec));
           HOPS_RETURN_IF_ERROR(CheckPathTraversal(r, user));
           if (!r.target().is_dir) {
@@ -1840,10 +1849,10 @@ hops::Status Namenode::SetPermission(const std::string& path, int64_t perm,
 hops::Status Namenode::SetPermissionFileTx(const std::vector<std::string>& components,
                                            int64_t perm, const UserContext& user) {
   uint64_t hint_pv = InodePv(static_cast<int>(components.size()), 0, components.back());
-  return RunTx(ndb::TxHint{schema_->inodes, hint_pv},
-               [&](ndb::Transaction& tx) -> hops::Status {
+  return RunTx(kv::TxHint{schema_->inodes, hint_pv},
+               [&](kv::Txn& tx) -> hops::Status {
                  LockSpec spec;
-                 spec.target_mode = ndb::LockMode::kExclusive;
+                 spec.target_mode = kv::LockMode::kExclusive;
                  HOPS_ASSIGN_OR_RETURN(r, ResolveAndLock(tx, components, spec));
                  HOPS_RETURN_IF_ERROR(CheckPathTraversal(r, user));
                  Inode& inode = r.target();
@@ -1905,10 +1914,10 @@ hops::Status Namenode::SetOwnerFileTx(const std::vector<std::string>& components
                                       const std::string& owner, const std::string& group,
                                       const UserContext& /*user*/) {
   uint64_t hint_pv = InodePv(static_cast<int>(components.size()), 0, components.back());
-  return RunTx(ndb::TxHint{schema_->inodes, hint_pv},
-               [&](ndb::Transaction& tx) -> hops::Status {
+  return RunTx(kv::TxHint{schema_->inodes, hint_pv},
+               [&](kv::Txn& tx) -> hops::Status {
                  LockSpec spec;
-                 spec.target_mode = ndb::LockMode::kExclusive;
+                 spec.target_mode = kv::LockMode::kExclusive;
                  HOPS_ASSIGN_OR_RETURN(r, ResolveAndLock(tx, components, spec));
                  Inode& inode = r.target();
                  inode.owner = owner;
@@ -1927,9 +1936,9 @@ hops::Status Namenode::SetReplication(const std::string& path, int64_t replicati
   WaitForPendingIntents(JoinPath(components));
   uint64_t hint_pv = InodePv(static_cast<int>(components.size()), 0, components.back());
   return RunTx(
-      ndb::TxHint{schema_->inodes, hint_pv}, [&](ndb::Transaction& tx) -> hops::Status {
+      kv::TxHint{schema_->inodes, hint_pv}, [&](kv::Txn& tx) -> hops::Status {
         LockSpec spec;
-        spec.target_mode = ndb::LockMode::kExclusive;
+        spec.target_mode = kv::LockMode::kExclusive;
         HOPS_ASSIGN_OR_RETURN(r, ResolveAndLock(tx, components, spec));
         HOPS_RETURN_IF_ERROR(CheckPathTraversal(r, user));
         Inode& file = r.target();
@@ -1942,11 +1951,11 @@ hops::Status Namenode::SetReplication(const std::string& path, int64_t replicati
                                               /*enforce=*/delta > 0));
         // Block + replica fan-out in one batched round trip, then one write
         // batch staging every per-block adjustment.
-        ndb::ReadBatch fanout;
+        kv::ReadBatch fanout;
         size_t block_slot = fanout.Scan(schema_->blocks, {file.id});
         size_t replica_slot = fanout.Scan(schema_->replicas, {file.id});
         HOPS_RETURN_IF_ERROR(tx.Execute(fanout));
-        ndb::WriteBatch writes;
+        kv::WriteBatch writes;
         for (const auto& row : fanout.rows(block_slot)) {
           Block b = BlockFromRow(row);
           b.replication = replication;
@@ -2004,8 +2013,8 @@ hops::Result<ContentSummary> Namenode::GetContentSummary(const std::string& path
     std::vector<DirRef> next;
     for (const DirRef& dir : frontier) {
       hops::Status st = RunTx(
-          ndb::TxHint{schema_->inodes, ChildrenPartitionValue(dir.id)},
-          [&](ndb::Transaction& tx) -> hops::Status {
+          kv::TxHint{schema_->inodes, ChildrenPartitionValue(dir.id)},
+          [&](kv::Txn& tx) -> hops::Status {
             Inode fake;
             fake.id = dir.id;
             fake.is_dir = true;
@@ -2063,14 +2072,14 @@ hops::Status Namenode::Rename(const std::string& src, const std::string& dst,
 hops::Status Namenode::RenameInTx(const std::vector<std::string>& src,
                                   const std::vector<std::string>& dst,
                                   const UserContext& user) {
-  return RunTx(std::nullopt, [&](ndb::Transaction& tx) -> hops::Status {
+  return RunTx(std::nullopt, [&](kv::Txn& tx) -> hops::Status {
     // Resolve both paths' interiors read-committed (no locks yet).
     LockSpec rc_only;
-    rc_only.target_mode = ndb::LockMode::kReadCommitted;
+    rc_only.target_mode = kv::LockMode::kReadCommitted;
     rc_only.target_must_exist = true;
     HOPS_ASSIGN_OR_RETURN(src_r, ResolveAndLock(tx, src, rc_only));
     LockSpec rc_dst;
-    rc_dst.target_mode = ndb::LockMode::kReadCommitted;
+    rc_dst.target_mode = kv::LockMode::kReadCommitted;
     rc_dst.target_must_exist = false;
     HOPS_ASSIGN_OR_RETURN(dst_r, ResolveAndLock(tx, dst, rc_dst));
     HOPS_RETURN_IF_ERROR(CheckPathTraversal(src_r, user));
@@ -2148,7 +2157,7 @@ hops::Status Namenode::RenameInTx(const std::vector<std::string>& src,
     // A directory with children cannot move in one transaction; signal the
     // caller to use the subtree protocol.
     if (moving.is_dir) {
-      ndb::ScanOptions probe;
+      kv::ScanOptions probe;
       HOPS_ASSIGN_OR_RETURN(children,
                             ScanChildren(tx, moving, static_cast<int>(src.size()), probe));
       if (!children.empty()) return hops::Status::NotEmpty(JoinPath(src));
@@ -2197,7 +2206,7 @@ hops::Status Namenode::RenameInTx(const std::vector<std::string>& src,
   });
 }
 
-Namenode::FileArtifactSlots Namenode::StageFileArtifactReads(ndb::ReadBatch& batch,
+Namenode::FileArtifactSlots Namenode::StageFileArtifactReads(kv::ReadBatch& batch,
                                                              InodeId file_id) {
   // All satellite tables are partitioned by the inode id, so the whole
   // fan-out -- blocks, replicas, and every life-cycle table -- stages as
@@ -2205,15 +2214,15 @@ Namenode::FileArtifactSlots Namenode::StageFileArtifactReads(ndb::ReadBatch& bat
   FileArtifactSlots slots;
   slots.block_slot = batch.Scan(schema_->blocks, {file_id});
   slots.replica_slot = batch.Scan(schema_->replicas, {file_id});
-  for (ndb::TableId t : {schema_->urb, schema_->prb, schema_->ruc, schema_->cr, schema_->er}) {
+  for (kv::TableId t : {schema_->urb, schema_->prb, schema_->ruc, schema_->cr, schema_->er}) {
     slots.lifecycle_slots.emplace_back(t, batch.Scan(t, {file_id}));
   }
   return slots;
 }
 
-void Namenode::StageFileArtifactRemovals(const ndb::ReadBatch& batch,
+void Namenode::StageFileArtifactRemovals(const kv::ReadBatch& batch,
                                          const FileArtifactSlots& slots, InodeId file_id,
-                                         ndb::WriteBatch& writes) {
+                                         kv::WriteBatch& writes) {
   for (const auto& row : batch.rows(slots.block_slot)) {
     Block b = BlockFromRow(row);
     writes.Delete(schema_->blocks, {b.inode_id, b.block_id});
@@ -2235,13 +2244,13 @@ void Namenode::StageFileArtifactRemovals(const ndb::ReadBatch& batch,
   writes.DeleteIfExists(schema_->leases, {file_id});
 }
 
-hops::Status Namenode::DeleteFileArtifacts(ndb::Transaction& tx, const Inode& file) {
+hops::Status Namenode::DeleteFileArtifacts(kv::Txn& tx, const Inode& file) {
   // One batched round trip of pruned scans, then one write batch staging
   // every row removal + invalidation.
-  ndb::ReadBatch fanout;
+  kv::ReadBatch fanout;
   FileArtifactSlots slots = StageFileArtifactReads(fanout, file.id);
   HOPS_RETURN_IF_ERROR(tx.Execute(fanout));
-  ndb::WriteBatch writes;
+  kv::WriteBatch writes;
   StageFileArtifactRemovals(fanout, slots, file.id, writes);
   return tx.Execute(writes);
 }
@@ -2257,9 +2266,9 @@ hops::Status Namenode::Delete(const std::string& path, bool recursive,
   WaitForPendingIntents(JoinPath(components));
   uint64_t hint_pv = InodePv(static_cast<int>(components.size()), 0, components.back());
   hops::Status st = RunTx(
-      ndb::TxHint{schema_->inodes, hint_pv}, [&](ndb::Transaction& tx) -> hops::Status {
+      kv::TxHint{schema_->inodes, hint_pv}, [&](kv::Txn& tx) -> hops::Status {
         LockSpec spec;
-        spec.target_mode = ndb::LockMode::kExclusive;
+        spec.target_mode = kv::LockMode::kExclusive;
         spec.lock_parent = true;
         HOPS_ASSIGN_OR_RETURN(r, ResolveAndLock(tx, components, spec));
         HOPS_RETURN_IF_ERROR(CheckPathTraversal(r, user));

@@ -28,7 +28,7 @@
 #include "hopsfs/path.h"
 #include "hopsfs/schema.h"
 #include "hopsfs/types.h"
-#include "ndb/cluster.h"
+#include "kv/kv.h"
 
 namespace hops::fs {
 
@@ -36,14 +36,14 @@ namespace hops::fs {
 // in bulk so the counter row never becomes a write hotspot.
 class IdAllocator {
  public:
-  IdAllocator(ndb::Cluster* db, const MetadataSchema* schema, int64_t var_id,
+  IdAllocator(kv::Engine* db, const MetadataSchema* schema, int64_t var_id,
               int64_t chunk_size)
       : db_(db), schema_(schema), var_id_(var_id), chunk_(chunk_size) {}
 
   hops::Result<int64_t> Next();
 
  private:
-  ndb::Cluster* const db_;
+  kv::Engine* const db_;
   const MetadataSchema* const schema_;
   const int64_t var_id_;
   const int64_t chunk_;
@@ -73,7 +73,7 @@ class Namenode {
   // without any cleanup, exactly like a crash).
   using DieAt = std::function<bool(std::string_view point)>;
 
-  Namenode(ndb::Cluster* db, const MetadataSchema* schema, const FsConfig* config,
+  Namenode(kv::Engine* db, const MetadataSchema* schema, const FsConfig* config,
            std::string location = "nn");
   ~Namenode();
 
@@ -168,7 +168,7 @@ class Namenode {
   // delivered to the sink (used by the benchmark calibration pipeline).
   // Forwarded to the intent log so an async op's traces cover both the
   // acknowledged append trip and the background apply drain.
-  using TraceSink = std::function<void(const ndb::CostTrace&)>;
+  using TraceSink = std::function<void(const kv::CostTrace&)>;
   void SetTraceSink(TraceSink sink);
 
   // --- Client API (HDFS-compatible set; Table 1's operations) --------------
@@ -247,7 +247,7 @@ class Namenode {
   };
 
   struct LockSpec {
-    ndb::LockMode target_mode = ndb::LockMode::kShared;
+    kv::LockMode target_mode = kv::LockMode::kShared;
     bool lock_parent = false;               // X-lock the parent (mutations)
     bool target_must_exist = true;
   };
@@ -263,8 +263,8 @@ class Namenode {
   // handler pool exists: right for lock-free read-committed validation
   // transactions, whose cross-thread dispatch would cost more wall time
   // than their reads (they gain nothing from the completion mux).
-  hops::Status RunTx(std::optional<ndb::TxHint> hint,
-                     const std::function<hops::Status(ndb::Transaction&)>& body,
+  hops::Status RunTx(std::optional<kv::TxHint> hint,
+                     const std::function<hops::Status(kv::Txn&)>& body,
                      bool inline_read = false);
   // One attempt: begin, body, commit-or-abort; no retry classification.
   // `background` marks the transaction's cost-trace accesses as intent-apply
@@ -273,18 +273,18 @@ class Namenode {
   // `latency_sensitive` flushes solo instead of through the completion mux
   // (the inline validation reads: queueing behind throughput work would
   // dominate their cost).
-  hops::Status RunTxAttempt(std::optional<ndb::TxHint> hint,
-                            const std::function<hops::Status(ndb::Transaction&)>& body,
+  hops::Status RunTxAttempt(std::optional<kv::TxHint> hint,
+                            const std::function<hops::Status(kv::Txn&)>& body,
                             bool want_trace, bool background, bool latency_sensitive);
 
   // Figure 4 lines 1-6: resolve the path (hint cache + batched read, with
   // recursive fallback), then lock the last component(s) in total order.
-  hops::Result<Resolved> ResolveAndLock(ndb::Transaction& tx,
+  hops::Result<Resolved> ResolveAndLock(kv::Txn& tx,
                                         const std::vector<std::string>& components,
                                         const LockSpec& spec);
   // Recursive (uncached) resolution of components [from..to); read-committed.
   // Repairs the hint cache under `hint_epoch` (see Resolved::hint_epoch).
-  hops::Status ResolveSuffix(ndb::Transaction& tx, const std::vector<std::string>& components,
+  hops::Status ResolveSuffix(kv::Txn& tx, const std::vector<std::string>& components,
                              size_t from, std::vector<Inode>& chain, uint64_t hint_epoch);
   // Reads one inode by (parent, name) at `depth`, trying the alternate
   // partition rule if the primary one misses (post-move top-level rows).
@@ -292,9 +292,9 @@ class Namenode {
     Inode inode;
     uint64_t pv;  // partition value the row was found at
   };
-  hops::Result<ReadInodeOut> ReadInode(ndb::Transaction& tx, InodeId parent,
+  hops::Result<ReadInodeOut> ReadInode(kv::Txn& tx, InodeId parent,
                                        const std::string& name, int depth,
-                                       ndb::LockMode mode);
+                                       kv::LockMode mode);
   // Batched rename lock phase (ROADMAP item 3): reads + X-locks every lock
   // item -- probing both partition rules per item -- through ONE
   // staged-order ReadBatch, so the whole phase costs one round trip while
@@ -308,10 +308,10 @@ class Namenode {
     int depth;
   };
   hops::Result<std::vector<std::optional<ReadInodeOut>>> ReadLockItemsBatched(
-      ndb::Transaction& tx, const std::vector<LockItem>& items);
+      kv::Txn& tx, const std::vector<LockItem>& items);
   // Checks an inode's subtree lock: kSubtreeLocked while an alive namenode
   // owns it; lazily clears locks owned by dead namenodes (§6.2).
-  hops::Status CheckSubtreeLock(ndb::Transaction& tx, Inode& inode, uint64_t pv);
+  hops::Status CheckSubtreeLock(kv::Txn& tx, Inode& inode, uint64_t pv);
 
   // Speculative hint-based fan-out (§5.1 hint reuse): when the hint cache
   // already names a path's target inode, read-committed pruned scans of
@@ -323,8 +323,8 @@ class Namenode {
   struct SpeculativeRider {
     // Heap-held: the engine keeps a pointer to the staged batch until its
     // window flushes, so the batch address must survive the rider moving.
-    std::unique_ptr<ndb::ReadBatch> batch;
-    ndb::PendingBatch pending;
+    std::unique_ptr<kv::ReadBatch> batch;
+    kv::Pending pending;
     InodeId hinted = kInvalidInode;
     bool flushed_early = false;
     // The rider's rows may be served only when resolution confirmed the
@@ -398,14 +398,14 @@ class Namenode {
   // target lock, so the scans would run unlocked), the chain is not fully
   // cached, or the hinted shard's node group is down (a routing failure
   // fails every member of a flush, so it must not ride a shared window).
-  SpeculativeRider StageSpeculativeFanout(ndb::Transaction& tx,
+  SpeculativeRider StageSpeculativeFanout(kv::Txn& tx,
                                           const std::vector<std::string>& components,
-                                          std::initializer_list<ndb::TableId> tables);
+                                          std::initializer_list<kv::TableId> tables);
   // AddBlock's pre-resolution rider: the lease X-lock (slot 0, a Get) and
   // the blocks scan (slot 1) ride the resolution window. Unlike the
   // read-only riders this one takes a lock keyed by the hint, so a stale
   // hint's discard must also UnlockRow the hinted lease.
-  SpeculativeRider StageAddBlockFanout(ndb::Transaction& tx,
+  SpeculativeRider StageAddBlockFanout(kv::Txn& tx,
                                        const std::vector<std::string>& components);
 
   uint64_t InodePv(int depth, InodeId parent, std::string_view name) const;
@@ -422,20 +422,20 @@ class Namenode {
   InodePvPair InodePvCandidates(int depth, InodeId parent, std::string_view name) const;
   // Children listing that respects the partition scheme: partition-pruned
   // scan below the random-partition depth, index scan at/above it.
-  hops::Result<std::vector<ndb::Row>> ScanChildren(ndb::Transaction& tx, const Inode& dir,
-                                                   int dir_depth, const ndb::ScanOptions& opts);
+  hops::Result<std::vector<kv::Row>> ScanChildren(kv::Txn& tx, const Inode& dir,
+                                                   int dir_depth, const kv::ScanOptions& opts);
 
   hops::Status CheckAccess(const Inode& inode, const UserContext& user, int want) const;
   hops::Status CheckPathTraversal(const Resolved& r, const UserContext& user) const;
 
   // Quota bookkeeping along the resolved ancestor chain (X-locks quota rows
   // in root->leaf order; call within the operation's transaction).
-  hops::Status UpdateQuotaUsage(ndb::Transaction& tx, const std::vector<Inode>& ancestors,
+  hops::Status UpdateQuotaUsage(kv::Txn& tx, const std::vector<Inode>& ancestors,
                                 int64_t ns_delta, int64_t ss_delta, bool enforce);
 
   // Deletes a file inode's satellite rows (blocks, replicas, life-cycle
   // rows, lease, lookup) and stages datanode-side invalidation.
-  hops::Status DeleteFileArtifacts(ndb::Transaction& tx, const Inode& file);
+  hops::Status DeleteFileArtifacts(kv::Txn& tx, const Inode& file);
   // The two halves of that fan-out, exposed so DeleteBatchPipelined can put
   // many files' reads in flight together: StageFileArtifactReads stages the
   // satellite scans into `batch`; StageFileArtifactRemovals turns the
@@ -445,11 +445,11 @@ class Namenode {
     size_t replica_slot = 0;
     // (life-cycle table, its scan slot): carrying the TableId keeps the
     // read and removal halves in lockstep by construction.
-    std::vector<std::pair<ndb::TableId, size_t>> lifecycle_slots;
+    std::vector<std::pair<kv::TableId, size_t>> lifecycle_slots;
   };
-  FileArtifactSlots StageFileArtifactReads(ndb::ReadBatch& batch, InodeId file_id);
-  void StageFileArtifactRemovals(const ndb::ReadBatch& batch, const FileArtifactSlots& slots,
-                                 InodeId file_id, ndb::WriteBatch& writes);
+  FileArtifactSlots StageFileArtifactReads(kv::ReadBatch& batch, InodeId file_id);
+  void StageFileArtifactRemovals(const kv::ReadBatch& batch, const FileArtifactSlots& slots,
+                                 InodeId file_id, kv::WriteBatch& writes);
 
   // Subtree operations (§6); defined in subtree.cc.
   enum class SubtreeOp : int64_t { kDelete = 1, kMove = 2, kSetAttr = 3, kSetQuota = 4 };
@@ -542,7 +542,7 @@ class Namenode {
   NamenodeId id_safe() const;
   // Deletes an inode row trying both partition rules (rows that crossed the
   // random-partition boundary in a move keep their insert-time partition).
-  hops::Status DeleteInodeRow(ndb::Transaction& tx, InodeId parent, const std::string& name,
+  hops::Status DeleteInodeRow(kv::Txn& tx, InodeId parent, const std::string& name,
                               int depth, bool* existed);
 
   // Single-transaction rename used for files and empty directories; directory
@@ -550,7 +550,7 @@ class Namenode {
   hops::Status RenameInTx(const std::vector<std::string>& src,
                           const std::vector<std::string>& dst, const UserContext& user);
 
-  ndb::Cluster* const db_;
+  kv::Engine* const db_;
   const MetadataSchema* const schema_;
   const FsConfig* const config_;
   std::unique_ptr<HandlerPool> handlers_;

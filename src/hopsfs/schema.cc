@@ -6,8 +6,8 @@ namespace hops::fs {
 
 namespace {
 
-using ndb::ColumnType;
-using ndb::Schema;
+using kv::ColumnType;
+using kv::Schema;
 
 Schema InodeSchema() {
   Schema s;
@@ -193,7 +193,7 @@ Schema IntentHeadSchema() {
 
 }  // namespace
 
-hops::Result<MetadataSchema> MetadataSchema::Format(ndb::Cluster& cluster) {
+hops::Result<MetadataSchema> MetadataSchema::Format(kv::Engine& cluster) {
   MetadataSchema m;
   HOPS_ASSIGN_OR_RETURN(inodes, cluster.CreateTable(InodeSchema()));
   m.inodes = inodes;
@@ -247,11 +247,11 @@ hops::Result<MetadataSchema> MetadataSchema::Format(ndb::Cluster& cluster) {
   root.group = "hdfs";
   HOPS_RETURN_IF_ERROR(tx->Insert(m.inodes, ToRow(root), RootPartitionValue()));
   HOPS_RETURN_IF_ERROR(
-      tx->Insert(m.variables, ndb::Row{kVarNextInodeId, kRootInode + 1}));
-  HOPS_RETURN_IF_ERROR(tx->Insert(m.variables, ndb::Row{kVarNextBlockId, int64_t{1}}));
-  HOPS_RETURN_IF_ERROR(tx->Insert(m.variables, ndb::Row{kVarNextNamenodeId, int64_t{1}}));
+      tx->Insert(m.variables, kv::Row{kVarNextInodeId, kRootInode + 1}));
+  HOPS_RETURN_IF_ERROR(tx->Insert(m.variables, kv::Row{kVarNextBlockId, int64_t{1}}));
+  HOPS_RETURN_IF_ERROR(tx->Insert(m.variables, kv::Row{kVarNextNamenodeId, int64_t{1}}));
   HOPS_RETURN_IF_ERROR(
-      tx->Insert(m.variables, ndb::Row{kVarNextHintInvalidationSeq, int64_t{1}}));
+      tx->Insert(m.variables, kv::Row{kVarNextHintInvalidationSeq, int64_t{1}}));
   HOPS_RETURN_IF_ERROR(tx->Commit());
   return m;
 }
@@ -281,15 +281,15 @@ std::vector<std::string> DecodeHintPaths(const std::string& encoded) {
   return out;
 }
 
-ndb::Row ToRow(const Inode& n) {
-  return ndb::Row{n.parent_id,    n.name,   n.id,    int64_t{n.is_dir ? 1 : 0},
+kv::Row ToRow(const Inode& n) {
+  return kv::Row{n.parent_id,    n.name,   n.id,    int64_t{n.is_dir ? 1 : 0},
                   n.perm,         n.owner,  n.group, n.mtime,
                   n.atime,        n.size,   n.replication,
                   n.subtree_lock_owner, int64_t{n.under_construction ? 1 : 0},
                   int64_t{n.has_quota ? 1 : 0}};
 }
 
-Inode InodeFromRow(const ndb::Row& r) {
+Inode InodeFromRow(const kv::Row& r) {
   Inode n;
   n.parent_id = r[col::kInodeParent].i64();
   n.name = r[col::kInodeName].str();
@@ -308,12 +308,12 @@ Inode InodeFromRow(const ndb::Row& r) {
   return n;
 }
 
-ndb::Row ToRow(const Block& b) {
-  return ndb::Row{b.inode_id, b.block_id,  b.block_index,
+kv::Row ToRow(const Block& b) {
+  return kv::Row{b.inode_id, b.block_id,  b.block_index,
                   static_cast<int64_t>(b.state), b.gen_stamp, b.num_bytes, b.replication};
 }
 
-Block BlockFromRow(const ndb::Row& r) {
+Block BlockFromRow(const kv::Row& r) {
   Block b;
   b.inode_id = r[col::kBlockInode].i64();
   b.block_id = r[col::kBlockId].i64();
@@ -325,12 +325,12 @@ Block BlockFromRow(const ndb::Row& r) {
   return b;
 }
 
-ndb::Row ToRow(const Replica& rep) {
-  return ndb::Row{rep.inode_id, rep.block_id, rep.datanode_id,
+kv::Row ToRow(const Replica& rep) {
+  return kv::Row{rep.inode_id, rep.block_id, rep.datanode_id,
                   static_cast<int64_t>(rep.state)};
 }
 
-Replica ReplicaFromRow(const ndb::Row& r) {
+Replica ReplicaFromRow(const kv::Row& r) {
   Replica rep;
   rep.inode_id = r[col::kReplicaInode].i64();
   rep.block_id = r[col::kReplicaBlock].i64();
@@ -339,9 +339,9 @@ Replica ReplicaFromRow(const ndb::Row& r) {
   return rep;
 }
 
-ndb::Row ToRow(const Lease& l) { return ndb::Row{l.inode_id, l.holder, l.last_renewed}; }
+kv::Row ToRow(const Lease& l) { return kv::Row{l.inode_id, l.holder, l.last_renewed}; }
 
-Lease LeaseFromRow(const ndb::Row& r) {
+Lease LeaseFromRow(const kv::Row& r) {
   Lease l;
   l.inode_id = r[col::kLeaseInode].i64();
   l.holder = r[col::kLeaseHolder].str();
@@ -349,11 +349,11 @@ Lease LeaseFromRow(const ndb::Row& r) {
   return l;
 }
 
-ndb::Row ToRow(const DirectoryQuota& q) {
-  return ndb::Row{q.inode_id, q.ns_quota, q.ss_quota, q.ns_used, q.ss_used};
+kv::Row ToRow(const DirectoryQuota& q) {
+  return kv::Row{q.inode_id, q.ns_quota, q.ss_quota, q.ns_used, q.ss_used};
 }
 
-DirectoryQuota QuotaFromRow(const ndb::Row& r) {
+DirectoryQuota QuotaFromRow(const kv::Row& r) {
   DirectoryQuota q;
   q.inode_id = r[col::kQuotaInode].i64();
   q.ns_quota = r[col::kQuotaNs].i64();

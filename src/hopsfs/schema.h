@@ -37,7 +37,7 @@
 #pragma once
 
 #include "hopsfs/types.h"
-#include "ndb/cluster.h"
+#include "kv/kv.h"
 
 namespace hops::fs {
 
@@ -97,16 +97,16 @@ inline constexpr int64_t kVarNextHintInvalidationSeq = 3;
 
 // Creates every table and owns their ids.
 struct MetadataSchema {
-  ndb::TableId inodes{}, blocks{}, replicas{}, urb{}, prb{}, cr{}, ruc{}, er{}, inv{},
+  kv::TableId inodes{}, blocks{}, replicas{}, urb{}, prb{}, cr{}, ruc{}, er{}, inv{},
       leases{}, quotas{}, block_lookup{}, active_subtree_ops{}, leader{}, variables{},
       hint_invalidations{}, hint_heads{}, hint_acks{}, op_intents{}, intent_heads{};
 
   // Creates all tables in `cluster` plus the root inode and id counters.
-  static hops::Result<MetadataSchema> Format(ndb::Cluster& cluster);
+  static hops::Result<MetadataSchema> Format(kv::Engine& cluster);
 
   // Life-cycle tables in the fixed read order of the lock phase (Figure 4,
   // line 6): URB, PRB, RUC, CR, ER, Inv.
-  std::vector<ndb::TableId> LifecycleTables() const { return {urb, prb, ruc, cr, er, inv}; }
+  std::vector<kv::TableId> LifecycleTables() const { return {urb, prb, ruc, cr, er, inv}; }
 };
 
 // --- Codecs -----------------------------------------------------------------
@@ -117,15 +117,15 @@ struct MetadataSchema {
 std::string EncodeHintPaths(const std::vector<std::string>& prefixes);
 std::vector<std::string> DecodeHintPaths(const std::string& encoded);
 
-ndb::Row ToRow(const Inode& inode);
-Inode InodeFromRow(const ndb::Row& row);
-ndb::Row ToRow(const Block& block);
-Block BlockFromRow(const ndb::Row& row);
-ndb::Row ToRow(const Replica& replica);
-Replica ReplicaFromRow(const ndb::Row& row);
-ndb::Row ToRow(const Lease& lease);
-Lease LeaseFromRow(const ndb::Row& row);
-ndb::Row ToRow(const DirectoryQuota& quota);
-DirectoryQuota QuotaFromRow(const ndb::Row& row);
+kv::Row ToRow(const Inode& inode);
+Inode InodeFromRow(const kv::Row& row);
+kv::Row ToRow(const Block& block);
+Block BlockFromRow(const kv::Row& row);
+kv::Row ToRow(const Replica& replica);
+Replica ReplicaFromRow(const kv::Row& row);
+kv::Row ToRow(const Lease& lease);
+Lease LeaseFromRow(const kv::Row& row);
+kv::Row ToRow(const DirectoryQuota& quota);
+DirectoryQuota QuotaFromRow(const kv::Row& row);
 
 }  // namespace hops::fs

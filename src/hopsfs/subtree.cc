@@ -29,18 +29,18 @@
 
 namespace hops::fs {
 
-hops::Status Namenode::DeleteInodeRow(ndb::Transaction& tx, InodeId parent,
+hops::Status Namenode::DeleteInodeRow(kv::Txn& tx, InodeId parent,
                                       const std::string& name, int depth, bool* existed) {
   *existed = false;
   const InodePvPair pv = InodePvCandidates(depth, parent, name);
-  hops::Status st = tx.Delete(schema_->inodes, ndb::Key{parent, name}, pv.primary);
+  hops::Status st = tx.Delete(schema_->inodes, kv::Key{parent, name}, pv.primary);
   if (st.ok()) {
     *existed = true;
     return st;
   }
   if (st.code() != hops::StatusCode::kNotFound) return st;
   if (pv.dual) {
-    st = tx.Delete(schema_->inodes, ndb::Key{parent, name}, pv.alternate);
+    st = tx.Delete(schema_->inodes, kv::Key{parent, name}, pv.alternate);
     if (st.ok()) {
       *existed = true;
       return st;
@@ -63,13 +63,13 @@ hops::Result<Namenode::SubtreeSnapshot> Namenode::SubtreeLockAndQuiesce(
   InodeId registered_root = kInvalidInode;
   uint64_t hint_pv = InodePv(static_cast<int>(components.size()), 0, components.back());
   hops::Status st = RunTx(
-      ndb::TxHint{schema_->inodes, hint_pv}, [&](ndb::Transaction& tx) -> hops::Status {
+      kv::TxHint{schema_->inodes, hint_pv}, [&](kv::Txn& tx) -> hops::Status {
         if (registered_root != kInvalidInode) {
           UnregisterMySubtreeOp(registered_root);  // previous attempt aborted
           registered_root = kInvalidInode;
         }
         LockSpec spec;
-        spec.target_mode = ndb::LockMode::kExclusive;
+        spec.target_mode = kv::LockMode::kExclusive;
         HOPS_ASSIGN_OR_RETURN(r, ResolveAndLock(tx, components, spec));
         HOPS_RETURN_IF_ERROR(CheckPathTraversal(r, user));
         if (!r.target().is_dir) return hops::Status::NotDirectory(my_path);
@@ -98,7 +98,7 @@ hops::Result<Namenode::SubtreeSnapshot> Namenode::SubtreeLockAndQuiesce(
         HOPS_RETURN_IF_ERROR(tx.Update(schema_->inodes, ToRow(target), r.target_pv()));
         HOPS_RETURN_IF_ERROR(tx.Write(
             schema_->active_subtree_ops,
-            ndb::Row{target.id, id_safe(), static_cast<int64_t>(op), my_path}));
+            kv::Row{target.id, id_safe(), static_cast<int64_t>(op), my_path}));
         snap.root = target;
         snap.ancestors.assign(r.chain.begin(), r.chain.end() - 1);
         return hops::Status::Ok();
@@ -152,8 +152,8 @@ hops::Result<std::vector<Namenode::SubtreeNode>> Namenode::QuiesceLevel(
   // round trips overlap instead of costing one trip each. The level is
   // chunked into transactions so a retryable failure (any lock timeout
   // aborts its whole transaction) re-scans one chunk, not the whole level.
-  ndb::ScanOptions opts;
-  opts.lock = ndb::LockMode::kExclusive;
+  kv::ScanOptions opts;
+  opts.lock = kv::LockMode::kExclusive;
   opts.take_and_release = true;
 
   constexpr size_t kDirsPerTx = 64;
@@ -165,12 +165,12 @@ hops::Result<std::vector<Namenode::SubtreeNode>> Namenode::QuiesceLevel(
       st = hops::Status::Ok();
       const size_t undo_mark = next_level.size();  // discard partial output on retry
       auto tx =
-          db_->Begin(ndb::TxHint{schema_->inodes, ChildrenPartitionValue(dirs[base]->id)});
+          db_->Begin(kv::TxHint{schema_->inodes, ChildrenPartitionValue(dirs[base]->id)});
       // deque: ExecuteAsync keeps a pointer to each staged batch until flush.
-      std::deque<ndb::ReadBatch> batches;
-      std::vector<std::pair<const SubtreeNode*, ndb::PendingBatch>> pending;
+      std::deque<kv::ReadBatch> batches;
+      std::vector<std::pair<const SubtreeNode*, kv::Pending>> pending;
       auto absorb = [&](const SubtreeNode* dir,
-                        const std::vector<ndb::Row>& rows) -> hops::Status {
+                        const std::vector<kv::Row>& rows) -> hops::Status {
         for (const auto& row : rows) {
           Inode child = InodeFromRow(row);
           if (child.subtree_lock_owner != kNoSubtreeLock &&
@@ -189,13 +189,13 @@ hops::Result<std::vector<Namenode::SubtreeNode>> Namenode::QuiesceLevel(
         const SubtreeNode* dir = dirs[d];
         if (ChildrenArePruned(dir->depth, config_->random_partition_depth)) {
           batches.emplace_back();
-          batches.back().Scan(schema_->inodes, ndb::Key{dir->id}, opts,
+          batches.back().Scan(schema_->inodes, kv::Key{dir->id}, opts,
                               ChildrenPartitionValue(dir->id));
           pending.emplace_back(dir, tx->ExecuteAsync(batches.back()));
         } else {
           // Top of the tree: children are scattered pseudo-randomly; pay an
           // index scan (§4.2.1). Rare -- only above random_partition_depth.
-          auto rows = tx->IndexScan(schema_->inodes, ndb::Key{dir->id}, opts);
+          auto rows = tx->IndexScan(schema_->inodes, kv::Key{dir->id}, opts);
           st = rows.ok() ? absorb(dir, *rows) : rows.status();
         }
       }
@@ -217,10 +217,10 @@ hops::Result<std::vector<Namenode::SubtreeNode>> Namenode::QuiesceLevel(
 
 hops::Status Namenode::SubtreeAbort(const SubtreeSnapshot& snap) {
   UnregisterMySubtreeOp(snap.root.id);
-  return RunTx(std::nullopt, [&](ndb::Transaction& tx) -> hops::Status {
+  return RunTx(std::nullopt, [&](kv::Txn& tx) -> hops::Status {
     auto out = ReadInode(tx, snap.root.parent_id, snap.root.name,
                          static_cast<int>(snap.root_components.size()),
-                         ndb::LockMode::kExclusive);
+                         kv::LockMode::kExclusive);
     if (out.ok() && out->inode.id == snap.root.id &&
         out->inode.subtree_lock_owner == id_safe()) {
       Inode cleared = out->inode;
@@ -247,7 +247,7 @@ hops::Status Namenode::DeleteBatch(const std::vector<SubtreeNode>& batch,
 // measure the pipelined path's round-trip reduction against it.
 hops::Status Namenode::DeleteBatchPerRow(const std::vector<SubtreeNode>& batch,
                                          const std::vector<Inode>& quota_ancestors) {
-  return RunTx(std::nullopt, [&](ndb::Transaction& tx) -> hops::Status {
+  return RunTx(std::nullopt, [&](kv::Txn& tx) -> hops::Status {
     int64_t ns_removed = 0;
     int64_t ss_removed = 0;
     for (const SubtreeNode& node : batch) {
@@ -274,7 +274,7 @@ hops::Status Namenode::DeleteBatchPerRow(const std::vector<SubtreeNode>& batch,
 
 hops::Status Namenode::DeleteBatchPipelined(const std::vector<SubtreeNode>& batch,
                                             const std::vector<Inode>& quota_ancestors) {
-  return RunTx(std::nullopt, [&](ndb::Transaction& tx) -> hops::Status {
+  return RunTx(std::nullopt, [&](kv::Txn& tx) -> hops::Status {
     // Stage 1: reads, all in flight together -- one X-locking existence
     // probe batch covering every inode row at both candidate partition
     // rules (rows that crossed the random-partition boundary in a move keep
@@ -287,19 +287,19 @@ hops::Status Namenode::DeleteBatchPipelined(const std::vector<SubtreeNode>& batc
       uint64_t primary_pv = 0;
       uint64_t alternate_pv = 0;
     };
-    ndb::ReadBatch probes;
+    kv::ReadBatch probes;
     std::vector<InodeProbe> probe_slots;
     probe_slots.reserve(batch.size());
     for (const SubtreeNode& node : batch) {
       InodeProbe p;
       const InodePvPair pv = InodePvCandidates(node.depth, node.parent_id, node.name);
       p.primary_pv = pv.primary;
-      p.primary_slot = probes.Get(schema_->inodes, ndb::Key{node.parent_id, node.name},
-                                  ndb::LockMode::kExclusive, pv.primary);
+      p.primary_slot = probes.Get(schema_->inodes, kv::Key{node.parent_id, node.name},
+                                  kv::LockMode::kExclusive, pv.primary);
       if (pv.dual) {
         p.alternate_pv = pv.alternate;
-        p.alternate_slot = probes.Get(schema_->inodes, ndb::Key{node.parent_id, node.name},
-                                      ndb::LockMode::kExclusive, pv.alternate);
+        p.alternate_slot = probes.Get(schema_->inodes, kv::Key{node.parent_id, node.name},
+                                      kv::LockMode::kExclusive, pv.alternate);
       }
       probe_slots.push_back(p);
     }
@@ -311,13 +311,13 @@ hops::Status Namenode::DeleteBatchPipelined(const std::vector<SubtreeNode>& batc
       const SubtreeNode* node = nullptr;
       FileArtifactSlots slots;
     };
-    ndb::ReadBatch fanout;
+    kv::ReadBatch fanout;
     std::vector<FileFanout> fanouts;
     for (const SubtreeNode& node : batch) {
       if (node.is_dir) continue;
       fanouts.push_back(FileFanout{&node, StageFileArtifactReads(fanout, node.id)});
     }
-    ndb::PendingBatch fanout_pending;
+    kv::Pending fanout_pending;
     if (!fanout.empty()) fanout_pending = tx.ExecuteAsync(fanout);
     HOPS_RETURN_IF_ERROR(probe_pending.Wait());
     if (fanout_pending.valid()) HOPS_RETURN_IF_ERROR(fanout_pending.Wait());
@@ -325,7 +325,7 @@ hops::Status Namenode::DeleteBatchPipelined(const std::vector<SubtreeNode>& batc
     // Stage 2: one write batch stages every row removal + invalidation; the
     // probes' X locks pin the inode rows, so the staged deletes cannot race
     // a concurrent re-create.
-    ndb::WriteBatch writes;
+    kv::WriteBatch writes;
     int64_t ns_removed = 0;
     int64_t ss_removed = 0;
     for (size_t i = 0; i < batch.size(); ++i) {
@@ -335,7 +335,7 @@ hops::Status Namenode::DeleteBatchPipelined(const std::vector<SubtreeNode>& batc
       bool at_alternate = !at_primary && p.alternate_slot != SIZE_MAX &&
                           probes.row(p.alternate_slot).has_value();
       if (at_primary || at_alternate) {
-        writes.Delete(schema_->inodes, ndb::Key{node.parent_id, node.name},
+        writes.Delete(schema_->inodes, kv::Key{node.parent_id, node.name},
                       at_primary ? p.primary_pv : p.alternate_pv);
         ns_removed++;
         if (!node.is_dir) ss_removed += node.size * node.replication;
@@ -404,14 +404,14 @@ hops::Status Namenode::SubtreeDelete(const std::vector<std::string>& components,
   // The root row is gone (its flag with it); drop the op registration and
   // touch the parent directory.
   UnregisterMySubtreeOp(snap.root.id);
-  return RunTx(std::nullopt, [&](ndb::Transaction& tx) -> hops::Status {
+  return RunTx(std::nullopt, [&](kv::Txn& tx) -> hops::Status {
     hops::Status st = tx.Delete(schema_->active_subtree_ops, {snap.root.id});
     if (!st.ok() && st.code() != hops::StatusCode::kNotFound) return st;
     if (snap.root.parent_id != kRootInode && !snap.ancestors.empty()) {
       const Inode& rc_parent = snap.ancestors.back();
       auto out = ReadInode(tx, rc_parent.parent_id, rc_parent.name,
                            static_cast<int>(components.size()) - 1,
-                           ndb::LockMode::kExclusive);
+                           kv::LockMode::kExclusive);
       if (out.ok() && out->inode.id == snap.root.parent_id) {
         Inode parent = out->inode;
         parent.mtime = NowMicros();
@@ -436,9 +436,9 @@ hops::Status Namenode::SubtreeRename(const std::vector<std::string>& src,
 
   // Phase 3: a single transaction rewrites only the subtree root's row; the
   // inner inodes reference their parents by id and are untouched.
-  hops::Status st = RunTx(std::nullopt, [&](ndb::Transaction& tx) -> hops::Status {
+  hops::Status st = RunTx(std::nullopt, [&](kv::Txn& tx) -> hops::Status {
     LockSpec rc_dst;
-    rc_dst.target_mode = ndb::LockMode::kReadCommitted;
+    rc_dst.target_mode = kv::LockMode::kReadCommitted;
     rc_dst.target_must_exist = false;
     HOPS_ASSIGN_OR_RETURN(dst_r, ResolveAndLock(tx, dst, rc_dst));
     HOPS_RETURN_IF_ERROR(CheckPathTraversal(dst_r, user));
@@ -508,7 +508,7 @@ hops::Status Namenode::SubtreeRename(const std::vector<std::string>& src,
     }
 
     HOPS_RETURN_IF_ERROR(tx.Delete(
-        schema_->inodes, ndb::Key{src_item->out.parent_id, src_item->out.name},
+        schema_->inodes, kv::Key{src_item->out.parent_id, src_item->out.name},
         src_item->out_pv));
     Inode moved = src_item->out;
     moved.parent_id = dst_item->parent;
@@ -558,9 +558,9 @@ hops::Status Namenode::SubtreeSetAttr(
   auto snap_or = SubtreeLockAndQuiesce(components, SubtreeOp::kSetAttr, user);
   if (!snap_or.ok()) return snap_or.status();
   SubtreeSnapshot& snap = *snap_or;
-  hops::Status st = RunTx(std::nullopt, [&](ndb::Transaction& tx) -> hops::Status {
+  hops::Status st = RunTx(std::nullopt, [&](kv::Txn& tx) -> hops::Status {
     auto out = ReadInode(tx, snap.root.parent_id, snap.root.name,
-                         static_cast<int>(components.size()), ndb::LockMode::kExclusive);
+                         static_cast<int>(components.size()), kv::LockMode::kExclusive);
     if (!out.ok()) return out.status();
     Inode inode = out->inode;
     if (inode.id != snap.root.id || inode.subtree_lock_owner != id_safe()) {
@@ -597,9 +597,9 @@ hops::Status Namenode::SubtreeSetQuota(const std::vector<std::string>& component
   auto snap_or = SubtreeLockAndQuiesce(components, SubtreeOp::kSetQuota, user);
   if (!snap_or.ok()) return snap_or.status();
   SubtreeSnapshot& snap = *snap_or;
-  hops::Status st = RunTx(std::nullopt, [&](ndb::Transaction& tx) -> hops::Status {
+  hops::Status st = RunTx(std::nullopt, [&](kv::Txn& tx) -> hops::Status {
     auto out = ReadInode(tx, snap.root.parent_id, snap.root.name,
-                         static_cast<int>(components.size()), ndb::LockMode::kExclusive);
+                         static_cast<int>(components.size()), kv::LockMode::kExclusive);
     if (!out.ok()) return out.status();
     Inode inode = out->inode;
     if (inode.id != snap.root.id || inode.subtree_lock_owner != id_safe()) {

@@ -23,6 +23,10 @@
 #include "ndb/schema.h"
 #include "ndb/value.h"
 
+namespace hops::kv {
+class OccTxn;
+}  // namespace hops::kv
+
 namespace hops::ndb {
 
 class Transaction;
@@ -97,6 +101,7 @@ class ReadBatch {
 
  private:
   friend class Transaction;
+  friend class ::hops::kv::OccTxn;  // the OCC backend executes batches too
   struct Op {
     enum class Kind : uint8_t { kGet, kScan };
     Kind kind = Kind::kGet;
@@ -137,6 +142,7 @@ class WriteBatch {
 
  private:
   friend class Transaction;
+  friend class ::hops::kv::OccTxn;  // the OCC backend executes batches too
   struct Op {
     enum class Kind : uint8_t { kInsert, kUpdate, kWrite, kDelete };
     Kind kind = Kind::kWrite;

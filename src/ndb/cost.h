@@ -131,6 +131,16 @@ struct ClusterStats {
   // paid).
   uint64_t mux_gather_waits = 0;
   uint64_t mux_gathered_windows = 0;
+  // Optimistic-concurrency engine (kv::OccEngine) only; always 0 under the
+  // pessimistic 2PL engine. A conflict is one commit whose validation failed
+  // (the transaction surfaces kConflict and the namenode retries with a
+  // capped backoff), split by what invalidated it: a point read whose row
+  // version changed (occ_key_conflicts) or a recorded scan range into which
+  // a newer version landed -- the phantom case (occ_range_conflicts). The
+  // 2PL-vs-OCC ablation reads these next to lock_waits/lock_timeouts.
+  uint64_t occ_conflicts = 0;
+  uint64_t occ_key_conflicts = 0;
+  uint64_t occ_range_conflicts = 0;
 };
 
 }  // namespace hops::ndb

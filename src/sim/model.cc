@@ -161,7 +161,7 @@ class HopsFsSimulation {
     // rows are serviced at commit.
     while (c.access_idx < c.trace->accesses.size() &&
            c.trace->accesses[c.access_idx].round_trips == 0 &&
-           c.trace->accesses[c.access_idx].kind == ndb::AccessKind::kPkWrite) {
+           c.trace->accesses[c.access_idx].kind == kv::AccessKind::kPkWrite) {
       c.access_idx++;
     }
     if (c.access_idx >= c.trace->accesses.size()) {
@@ -178,7 +178,7 @@ class HopsFsSimulation {
     // transaction's window already paid in the same completion-mux round:
     // it scatters like any carrier but charges no network trip of its own,
     // so windows merged across transactions also cost max, not sum.
-    const ndb::Access& carrier = c.trace->accesses[c.access_idx++];
+    const kv::Access& carrier = c.trace->accesses[c.access_idx++];
     // Asynchronous metadata commits: accesses marked background are the
     // applier's drain, captured past the acknowledgment point. The client
     // was answered when the foreground sequence (validation + intent
@@ -186,12 +186,12 @@ class HopsFsSimulation {
     // background accesses still occupy the database stations and delay op
     // completion, so throughput stays the applied rate.
     if (carrier.background) RecordOpMetrics(c);
-    std::vector<const ndb::Access*> window{&carrier};
+    std::vector<const kv::Access*> window{&carrier};
     while (c.access_idx < c.trace->accesses.size() &&
            c.trace->accesses[c.access_idx].round_trips == 0 &&
            !c.trace->accesses[c.access_idx].co_scheduled) {
-      const ndb::Access& rider = c.trace->accesses[c.access_idx++];
-      if (rider.kind == ndb::AccessKind::kPkWrite) continue;  // piggybacked lock
+      const kv::Access& rider = c.trace->accesses[c.access_idx++];
+      if (rider.kind == kv::AccessKind::kPkWrite) continue;  // piggybacked lock
       window.push_back(&rider);
     }
     double rtt = carrier.co_scheduled ? 0 : cal_.nn_db_rtt_us * carrier.round_trips;
@@ -199,12 +199,12 @@ class HopsFsSimulation {
       // Scatter: every partition touched anywhere in the window serves its
       // share in parallel.
       c.parts_pending = 0;
-      for (const ndb::Access* access : window) c.parts_pending += access->parts.size();
+      for (const kv::Access* access : window) c.parts_pending += access->parts.size();
       if (c.parts_pending == 0) {
         NextAccess(c);
         return;
       }
-      for (const ndb::Access* access : window) {
+      for (const kv::Access* access : window) {
         for (const auto& part : access->parts) {
           double service = cal_.db_access_base_us + part.rows * cal_.db_row_cpu_us;
           DbFor(part.partition).Submit(service, [this, &c] {

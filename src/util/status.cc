@@ -9,6 +9,7 @@ std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
     case StatusCode::kLockTimeout: return "LOCK_TIMEOUT";
     case StatusCode::kTxAborted: return "TX_ABORTED";
+    case StatusCode::kConflict: return "CONFLICT";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
     case StatusCode::kPermissionDenied: return "PERMISSION_DENIED";

@@ -21,6 +21,7 @@ enum class StatusCode {
   kAlreadyExists,     // insert over an existing primary key / path
   kLockTimeout,       // row-lock wait exceeded the configured timeout
   kTxAborted,         // transaction aborted (conflict, coordinator failure)
+  kConflict,          // optimistic-concurrency validation failed at commit
   kUnavailable,       // partition / node group / cluster not available
   kInvalidArgument,
   kPermissionDenied,
@@ -48,6 +49,7 @@ class [[nodiscard]] Status {
   static Status AlreadyExists(std::string m = {}) { return {StatusCode::kAlreadyExists, std::move(m)}; }
   static Status LockTimeout(std::string m = {}) { return {StatusCode::kLockTimeout, std::move(m)}; }
   static Status TxAborted(std::string m = {}) { return {StatusCode::kTxAborted, std::move(m)}; }
+  static Status Conflict(std::string m = {}) { return {StatusCode::kConflict, std::move(m)}; }
   static Status Unavailable(std::string m = {}) { return {StatusCode::kUnavailable, std::move(m)}; }
   static Status InvalidArgument(std::string m = {}) { return {StatusCode::kInvalidArgument, std::move(m)}; }
   static Status PermissionDenied(std::string m = {}) { return {StatusCode::kPermissionDenied, std::move(m)}; }
@@ -64,9 +66,13 @@ class [[nodiscard]] Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
-  // True for conditions a namenode resolves by re-running the transaction.
+  // True for conditions a namenode resolves by re-running the transaction:
+  // 2PL lock-wait timeouts and coordinator aborts, plus OCC commit-time
+  // validation conflicts (which retry with a capped backoff, see
+  // Namenode::RunTx).
   bool IsRetryableTx() const {
-    return code_ == StatusCode::kLockTimeout || code_ == StatusCode::kTxAborted;
+    return code_ == StatusCode::kLockTimeout || code_ == StatusCode::kTxAborted ||
+           code_ == StatusCode::kConflict;
   }
 
   std::string ToString() const;

@@ -77,7 +77,7 @@ hops::Status Materialize(hops::fs::Client& client, const GeneratedNamespace& ns,
   return hops::Status::Ok();
 }
 
-BulkLoader::BulkLoader(ndb::Cluster* db, const hops::fs::MetadataSchema* schema,
+BulkLoader::BulkLoader(kv::Engine* db, const hops::fs::MetadataSchema* schema,
                        const hops::fs::FsConfig* config)
     : db_(db), schema_(schema), config_(config) {}
 
@@ -92,19 +92,19 @@ hops::Result<int64_t> BulkLoader::Load(const GeneratedNamespace& ns, double bloc
       static_cast<int64_t>(static_cast<double>(ns.files.size()) * (blocks_per_file + 1)) + 16;
   int64_t first_inode = 0, first_block = 0;
   {
-    auto tx = db_->Begin(ndb::TxHint{schema_->variables, 0});
+    auto tx = db_->Begin(kv::TxHint{schema_->variables, 0});
     auto inode_row =
-        tx->Read(schema_->variables, {fs::kVarNextInodeId}, ndb::LockMode::kExclusive);
+        tx->Read(schema_->variables, {fs::kVarNextInodeId}, kv::LockMode::kExclusive);
     if (!inode_row.ok()) return inode_row.status();
     first_inode = (*inode_row)[fs::col::kVarValue].i64();
     auto block_row =
-        tx->Read(schema_->variables, {fs::kVarNextBlockId}, ndb::LockMode::kExclusive);
+        tx->Read(schema_->variables, {fs::kVarNextBlockId}, kv::LockMode::kExclusive);
     if (!block_row.ok()) return block_row.status();
     first_block = (*block_row)[fs::col::kVarValue].i64();
     HOPS_RETURN_IF_ERROR(tx->Update(
-        schema_->variables, ndb::Row{fs::kVarNextInodeId, first_inode + inode_count}));
+        schema_->variables, kv::Row{fs::kVarNextInodeId, first_inode + inode_count}));
     HOPS_RETURN_IF_ERROR(tx->Update(
-        schema_->variables, ndb::Row{fs::kVarNextBlockId, first_block + max_blocks}));
+        schema_->variables, kv::Row{fs::kVarNextBlockId, first_block + max_blocks}));
     HOPS_RETURN_IF_ERROR(tx->Commit());
   }
 
@@ -115,7 +115,7 @@ hops::Result<int64_t> BulkLoader::Load(const GeneratedNamespace& ns, double bloc
   int rdepth = config_->random_partition_depth;
 
   constexpr size_t kBatch = 256;
-  std::unique_ptr<ndb::Transaction> tx = db_->Begin();
+  std::unique_ptr<kv::Txn> tx = db_->Begin();
   size_t in_batch = 0;
   auto flush = [&]() -> hops::Status {
     HOPS_RETURN_IF_ERROR(tx->Commit());
@@ -139,12 +139,12 @@ hops::Result<int64_t> BulkLoader::Load(const GeneratedNamespace& ns, double bloc
     for (const auto& name : *parts) {
       depth++;
       uint64_t pv = fs::InodePartitionValue(depth, cur, name, rdepth);
-      auto row = rtx->Read(schema_->inodes, ndb::Key{cur, name},
-                           ndb::LockMode::kReadCommitted, pv);
+      auto row = rtx->Read(schema_->inodes, kv::Key{cur, name},
+                           kv::LockMode::kReadCommitted, pv);
       if (!row.ok()) {
         uint64_t alt = depth <= rdepth ? static_cast<uint64_t>(cur) : HashBytes(name);
-        row = rtx->Read(schema_->inodes, ndb::Key{cur, name},
-                        ndb::LockMode::kReadCommitted, alt);
+        row = rtx->Read(schema_->inodes, kv::Key{cur, name},
+                        kv::LockMode::kReadCommitted, alt);
         if (!row.ok()) {
           return hops::Status::NotFound("bulk load base " + path + " is missing " + name);
         }
@@ -214,7 +214,7 @@ hops::Result<int64_t> BulkLoader::Load(const GeneratedNamespace& ns, double bloc
       blk.replication = 3;
       HOPS_RETURN_IF_ERROR(tx->Insert(schema_->blocks, fs::ToRow(blk)));
       HOPS_RETURN_IF_ERROR(
-          tx->Insert(schema_->block_lookup, ndb::Row{blk.block_id, inode.id}));
+          tx->Insert(schema_->block_lookup, kv::Row{blk.block_id, inode.id}));
       for (int r = 0; r < replicas_per_block; ++r) {
         fs::Replica rep{inode.id, blk.block_id, r + 1, fs::ReplicaState::kFinalized};
         HOPS_RETURN_IF_ERROR(tx->Insert(schema_->replicas, fs::ToRow(rep)));

@@ -41,7 +41,7 @@ hops::Status Materialize(hops::fs::Client& client, const GeneratedNamespace& ns,
 // skips the per-operation transaction machinery.
 class BulkLoader {
  public:
-  BulkLoader(ndb::Cluster* db, const hops::fs::MetadataSchema* schema,
+  BulkLoader(kv::Engine* db, const hops::fs::MetadataSchema* schema,
              const hops::fs::FsConfig* config);
 
   // Loads the namespace; files get `blocks_per_file` blocks (rounded
@@ -50,7 +50,7 @@ class BulkLoader {
                              int replicas_per_block, uint64_t seed);
 
  private:
-  ndb::Cluster* const db_;
+  kv::Engine* const db_;
   const hops::fs::MetadataSchema* const schema_;
   const hops::fs::FsConfig* const config_;
 };

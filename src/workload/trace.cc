@@ -32,7 +32,7 @@ TracePools CollectTraces(hops::fs::MiniCluster& cluster, const GeneratedNamespac
   // The intent-log applier delivers its traces from its own thread, so the
   // sink must be synchronized with the capture loop's.
   std::mutex trace_mu;
-  nn.SetTraceSink([&](const ndb::CostTrace& trace) {
+  nn.SetTraceSink([&](const kv::CostTrace& trace) {
     std::lock_guard<std::mutex> lock(trace_mu);
     if (!tracing) return;
     current.accesses.insert(current.accesses.end(), trace.accesses.begin(),

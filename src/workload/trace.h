@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "hopsfs/mini_cluster.h"
-#include "ndb/cost.h"
+#include "kv/kv.h"
 #include "workload/namespace_gen.h"
 #include "workload/spec.h"
 
@@ -18,7 +18,7 @@ namespace hops::wl {
 // All database accesses of one client-visible file system operation
 // (possibly several transactions, e.g. a multi-level mkdirs).
 struct OpTrace {
-  std::vector<ndb::Access> accesses;
+  std::vector<kv::Access> accesses;
   uint32_t RoundTrips() const {
     uint32_t n = 0;
     for (const auto& a : accesses) n += a.round_trips;

@@ -400,17 +400,26 @@ TEST(ChaosSmokeTest, SeededRunsSatisfyAllOracles) {
   }
   const bool long_run = std::getenv("HOPS_CHAOS_LONG") != nullptr;
 
-  for (uint64_t seed : seeds) {
-    SCOPED_TRACE("HOPS_CHAOS_SEED=" + std::to_string(seed));
-    ChaosOptions o;
-    o.seed = seed;
-    o.duration = std::chrono::milliseconds(long_run ? 8000 : 2500);
-    o.num_faults = long_run ? 10 : 5;
-    ChaosReport report = RunChaos(o);
-    for (const std::string& v : report.violations) ADD_FAILURE() << v;
-    EXPECT_GT(report.ops_acked, 0u);
-    // The plan itself must be reproducible from the seed alone.
-    EXPECT_EQ(report.plan.Fingerprint(), GeneratePlan(o).Fingerprint());
+  // Every seed runs against BOTH KV backends: the oracles (convergence, no
+  // lost ack, bounded unavailability) are engine-independent claims, so a
+  // schedule that holds under 2PL must also hold under OCC retries. When
+  // HOPS_KV_ENGINE is set it wins inside MiniCluster::Start and both legs
+  // exercise the pinned engine.
+  for (kv::EngineKind engine : {kv::EngineKind::kNdb, kv::EngineKind::kOcc}) {
+    for (uint64_t seed : seeds) {
+      SCOPED_TRACE("HOPS_CHAOS_SEED=" + std::to_string(seed) + " engine=" +
+                   std::string(kv::EngineKindName(engine)));
+      ChaosOptions o;
+      o.engine = engine;
+      o.seed = seed;
+      o.duration = std::chrono::milliseconds(long_run ? 8000 : 2500);
+      o.num_faults = long_run ? 10 : 5;
+      ChaosReport report = RunChaos(o);
+      for (const std::string& v : report.violations) ADD_FAILURE() << v;
+      EXPECT_GT(report.ops_acked, 0u);
+      // The plan itself must be reproducible from the seed alone.
+      EXPECT_EQ(report.plan.Fingerprint(), GeneratePlan(o).Fingerprint());
+    }
   }
 }
 
